@@ -1,0 +1,340 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (section 5 and the analytical figures), then times the simulator's
+   hot paths with Bechamel.
+
+   Durations are scaled down from the paper's 3000 s so the whole
+   harness finishes in minutes; set RLA_BENCH_DURATION (seconds) to
+   lengthen the runs — the shapes are stable from ~150 s up.
+
+     dune exec bench/main.exe *)
+
+let ppf = Format.std_formatter
+
+let duration =
+  match Sys.getenv_opt "RLA_BENCH_DURATION" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 50.0 -> f | _ -> 150.0)
+  | None -> 150.0
+
+let seed = 1
+
+let section title =
+  Format.fprintf ppf "@.========================================================@.";
+  Format.fprintf ppf "== %s@." title;
+  Format.fprintf ppf "========================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* Paper reproduction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "FIG4: drift diagram of two competing sessions (analytic)";
+  let pipes = Analysis.Particle.uniform_pipes ~pipe:10.0 ~n:3 in
+  Experiments.Report.print_drift_field ppf
+    (Analysis.Particle.drift_field pipes ~x_max:10.0 ~y_max:10.0 ~step:1.0)
+
+let fig5 () =
+  section "FIG5: density of (cwnd1, cwnd2), Markov model";
+  let pipes = Analysis.Particle.uniform_pipes ~pipe:40.0 ~n:27 in
+  Experiments.Report.print_particle_run ppf
+    (Analysis.Particle.simulate ~rng:(Sim.Rng.create seed) pipes ~steps:100_000 ())
+
+let sharing_cases gateway =
+  List.map
+    (fun i ->
+      Experiments.Sharing.run_case ~gateway ~case_index:i ~duration ~seed ())
+    [ 1; 2; 3; 4; 5 ]
+
+let fig7_and_8 () =
+  section
+    (Printf.sprintf "FIG7: RLA vs TCP, drop-tail gateways (%.0f s runs)" duration);
+  let results = sharing_cases Experiments.Scenario.Droptail in
+  Experiments.Report.print_sharing_table ppf
+    ~title:"Figure 7 — drop-tail gateways" results;
+  section "FIG8: congestion-signal statistics per branch";
+  Experiments.Report.print_signal_table ppf results
+
+let fig9 () =
+  section (Printf.sprintf "FIG9: RLA vs TCP, RED gateways (%.0f s runs)" duration);
+  Experiments.Report.print_sharing_table ppf ~title:"Figure 9 — RED gateways"
+    (sharing_cases Experiments.Scenario.Red)
+
+let fig10 () =
+  section "FIG10: generalized RLA, heterogeneous RTTs";
+  let results =
+    List.map
+      (fun i ->
+        let config = Experiments.Diff_rtt.default_config ~case_index:i in
+        Experiments.Diff_rtt.run
+          { config with Experiments.Diff_rtt.duration; seed })
+      [ 1; 2 ]
+  in
+  Experiments.Report.print_diff_rtt_table ppf results
+
+let sec52 () =
+  section "SEC5.2: two overlapping multicast sessions";
+  let config =
+    Experiments.Multi_session.default_config
+      ~gateway:Experiments.Scenario.Droptail
+  in
+  Experiments.Report.print_multi_session ppf
+    (Experiments.Multi_session.run
+       { config with Experiments.Multi_session.duration; seed })
+
+let sec31 () =
+  section "SEC3.1: drop-tail buffer periods under TCP";
+  let results =
+    List.map
+      (fun n_tcp ->
+        Experiments.Buffer_dynamics.run
+          {
+            Experiments.Buffer_dynamics.default_config with
+            Experiments.Buffer_dynamics.n_tcp;
+            mu_pkts = 100.0 *. float_of_int n_tcp;
+            duration;
+            seed;
+          })
+      [ 1; 2; 4; 8 ]
+  in
+  Experiments.Report.print_buffer_dynamics ppf results
+
+let scaling () =
+  section "SCALING: RLA throughput vs receiver count";
+  Experiments.Scaling.print ppf
+    (Experiments.Scaling.run
+       { Experiments.Scaling.default_config with duration; seed })
+
+let shortflows () =
+  section "SHORTFLOWS: short TCP flows vs long-lived backgrounds";
+  let results =
+    List.map
+      (fun bg ->
+        Experiments.Short_flows.run
+          {
+            (Experiments.Short_flows.default_config bg) with
+            Experiments.Short_flows.duration;
+            seed;
+          })
+      [
+        Experiments.Short_flows.Bg_none;
+        Experiments.Short_flows.Bg_tcp;
+        Experiments.Short_flows.Bg_rla;
+        Experiments.Short_flows.Bg_cbr 220.0;
+      ]
+  in
+  Experiments.Short_flows.print ppf results
+
+let ecn () =
+  section "ECN: RED marking instead of dropping (extension)";
+  List.iter
+    (fun case_index ->
+      Experiments.Ecn.print ppf
+        (Experiments.Ecn.run ~case_index ~duration ~seed ()))
+    [ 1; 3 ]
+
+let eq1 () =
+  section "EQ1: analytical TCP window vs simulation";
+  let config =
+    { Experiments.Validation.default_config with duration; seed }
+  in
+  Experiments.Report.print_validation ppf (Experiments.Validation.run config)
+
+let prop () =
+  section "PROP: RLA window bounds (drift model + Monte-Carlo)";
+  let rng = Sim.Rng.create seed in
+  let rows =
+    List.map
+      (fun (n, ps) ->
+        let w_model = Analysis.Rla_model.pa_window_independent ~ps in
+        let w_mc = Analysis.Rla_model.simulate_window ~rng ~ps ~steps:200_000 in
+        let p_max = Array.fold_left Stdlib.max 0.0 ps in
+        let lo, hi = Analysis.Rla_model.proposition_bounds ~n ~p_max in
+        (n, ps, w_model, w_mc, lo, hi))
+      [
+        (2, [| 0.01; 0.01 |]);
+        (2, [| 0.02; 0.002 |]);
+        (4, Array.make 4 0.02);
+        (8, Array.make 8 0.01);
+        (27, Array.make 27 0.01);
+        (27, Array.append [| 0.03 |] (Array.make 26 0.003));
+      ]
+  in
+  Experiments.Report.print_proposition_table ppf rows
+
+let baseline () =
+  section "BASELINE: rate-based schemes vs TCP (motivation, section 1)";
+  Experiments.Report.print_baseline_matrix ppf
+    (Experiments.Baseline_fairness.run_matrix ~duration ~seed ())
+
+let ablations () =
+  section "ABLATION: RLA design choices (case 3, drop-tail)";
+  let ablation_duration = Stdlib.min duration 150.0 in
+  let run ~title variants =
+    Experiments.Report.print_ablation ppf ~title
+      (Experiments.Ablation.run ~variants ~duration:ablation_duration ~seed ())
+  in
+  run ~title:"congestion-signal grouping window"
+    (Experiments.Ablation.grouping_variants ());
+  run ~title:"forced-cut horizon" (Experiments.Ablation.forced_cut_variants ());
+  run ~title:"eta (troubled-receiver threshold)"
+    (Experiments.Ablation.eta_variants ());
+  run ~title:"phase-effect randomization"
+    (Experiments.Ablation.phase_variants ());
+  run ~title:"generalized pthresh exponent"
+    (Experiments.Ablation.rtt_exponent_variants ());
+  run ~title:"retransmission expiry"
+    (Experiments.Ablation.rexmit_timeout_variants ());
+  run ~title:"receiver ack jitter"
+    (Experiments.Ablation.ack_jitter_variants ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the hot paths                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_heap () =
+  let h = Sim.Heap.create () in
+  Bechamel.Staged.stage (fun () ->
+      for i = 0 to 99 do
+        Sim.Heap.add h ~prio:(float_of_int ((i * 7919) mod 100)) i
+      done;
+      for _ = 0 to 99 do
+        ignore (Sim.Heap.pop h)
+      done)
+
+let bench_rng () =
+  let rng = Sim.Rng.create 1 in
+  Bechamel.Staged.stage (fun () ->
+      let acc = ref 0.0 in
+      for _ = 1 to 100 do
+        acc := !acc +. Sim.Rng.uniform rng
+      done;
+      ignore !acc)
+
+let bench_red () =
+  let red =
+    Net.Red.create (Net.Red.default_params ~mean_pkt_time:0.001)
+      ~rng:(Sim.Rng.create 1)
+  in
+  let t = ref 0.0 in
+  Bechamel.Staged.stage (fun () ->
+      for q = 0 to 99 do
+        t := !t +. 0.001;
+        ignore (Net.Red.decide red ~now:!t ~qlen:(q mod 20))
+      done)
+
+let bench_scoreboard () =
+  Bechamel.Staged.stage (fun () ->
+      let sb = Tcp.Scoreboard.create () in
+      for _ = 1 to 100 do
+        ignore (Tcp.Scoreboard.register_send sb)
+      done;
+      ignore (Tcp.Scoreboard.mark_sacked sb ~lo:40 ~hi:70);
+      ignore (Tcp.Scoreboard.detect_losses sb ~dupthresh:3);
+      ignore (Tcp.Scoreboard.advance_cum sb 100))
+
+let bench_particle () =
+  let pipes = Analysis.Particle.uniform_pipes ~pipe:40.0 ~n:27 in
+  let rng = Sim.Rng.create 2 in
+  Bechamel.Staged.stage (fun () ->
+      ignore (Analysis.Particle.simulate ~rng pipes ~steps:1_000 ()))
+
+let bench_tcp_sim () =
+  Bechamel.Staged.stage (fun () ->
+      let net = Net.Network.create ~seed:1 () in
+      let a = Net.Node.id (Net.Network.add_node net) in
+      let b = Net.Node.id (Net.Network.add_node net) in
+      ignore
+        (Net.Network.duplex net a b
+           {
+             Net.Link.bandwidth_bps = 800_000.0;
+             prop_delay = 0.01;
+             queue = Net.Queue_disc.Droptail;
+             capacity = 20;
+             phase_jitter = false;
+           });
+      Net.Network.install_routes net;
+      ignore (Tcp.Sender.create ~net ~src:a ~dst:b ());
+      Net.Network.run_until net 5.0)
+
+let bench_rla_sim () =
+  Bechamel.Staged.stage (fun () ->
+      let net = Net.Network.create ~seed:1 () in
+      let s = Net.Node.id (Net.Network.add_node net) in
+      let hub = Net.Node.id (Net.Network.add_node net) in
+      let leaves =
+        List.init 3 (fun _ -> Net.Node.id (Net.Network.add_node net))
+      in
+      ignore
+        (Net.Network.duplex net s hub
+           {
+             Net.Link.bandwidth_bps = 100e6;
+             prop_delay = 0.005;
+             queue = Net.Queue_disc.Droptail;
+             capacity = 100;
+             phase_jitter = false;
+           });
+      List.iter
+        (fun leaf ->
+          ignore
+            (Net.Network.duplex net hub leaf
+               {
+                 Net.Link.bandwidth_bps = 1_600_000.0;
+                 prop_delay = 0.02;
+                 queue = Net.Queue_disc.Droptail;
+                 capacity = 20;
+                 phase_jitter = true;
+               }))
+        leaves;
+      Net.Network.install_routes net;
+      ignore (Rla.Sender.create ~net ~src:s ~receivers:leaves ());
+      Net.Network.run_until net 5.0)
+
+let microbench () =
+  section "MICRO: Bechamel timings of the simulator hot paths";
+  let open Bechamel in
+  let test =
+    Test.make_grouped ~name:"micro"
+      [
+        Test.make ~name:"heap add/pop x100" (bench_heap ());
+        Test.make ~name:"rng uniform x100" (bench_rng ());
+        Test.make ~name:"red decide x100" (bench_red ());
+        Test.make ~name:"scoreboard cycle x100" (bench_scoreboard ());
+        Test.make ~name:"particle 1k steps" (bench_particle ());
+        Test.make ~name:"tcp 5s sim" (bench_tcp_sim ());
+        Test.make ~name:"rla 3rcv 5s sim" (bench_rla_sim ());
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ time_ns ] ->
+          Format.fprintf ppf "%-32s %12.0f ns/run@." name time_ns
+      | _ -> Format.fprintf ppf "%-32s (no estimate)@." name)
+    results
+
+let () =
+  let t0 = Sys.time () in
+  fig4 ();
+  fig5 ();
+  fig7_and_8 ();
+  fig9 ();
+  fig10 ();
+  sec52 ();
+  sec31 ();
+  scaling ();
+  shortflows ();
+  ecn ();
+  eq1 ();
+  prop ();
+  baseline ();
+  ablations ();
+  microbench ();
+  Format.fprintf ppf "@.total cpu time: %.1f s@." (Sys.time () -. t0)

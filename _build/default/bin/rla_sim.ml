@@ -1,0 +1,263 @@
+(* Command-line driver: regenerate any of the paper's tables/figures.
+
+     rla_sim fig7 --duration 3000 --seed 3
+     rla_sim fig5 --steps 200000
+     rla_sim all
+
+   Experiment ids match the per-experiment index in DESIGN.md. *)
+
+let ppf = Format.std_formatter
+
+let sharing_cases ~gateway ~duration ~seed =
+  List.map
+    (fun i ->
+      Experiments.Sharing.run_case ~gateway ~case_index:i ~duration ~seed ())
+    [ 1; 2; 3; 4; 5 ]
+
+let run_fig7 ~duration ~seed =
+  let results =
+    sharing_cases ~gateway:Experiments.Scenario.Droptail ~duration ~seed
+  in
+  Experiments.Report.print_sharing_table ppf
+    ~title:"Figure 7 — RLA vs TCP, drop-tail gateways" results;
+  results
+
+let run_fig8 ~duration ~seed =
+  let results =
+    sharing_cases ~gateway:Experiments.Scenario.Droptail ~duration ~seed
+  in
+  Experiments.Report.print_signal_table ppf results
+
+let run_fig9 ~duration ~seed =
+  let results =
+    sharing_cases ~gateway:Experiments.Scenario.Red ~duration ~seed
+  in
+  Experiments.Report.print_sharing_table ppf
+    ~title:"Figure 9 — RLA vs TCP, RED gateways" results
+
+let run_fig10 ~duration ~seed =
+  let results =
+    List.map
+      (fun i ->
+        let config = Experiments.Diff_rtt.default_config ~case_index:i in
+        Experiments.Diff_rtt.run
+          { config with Experiments.Diff_rtt.duration; seed })
+      [ 1; 2 ]
+  in
+  Experiments.Report.print_diff_rtt_table ppf results
+
+let run_sec52 ~duration ~seed =
+  let config =
+    Experiments.Multi_session.default_config
+      ~gateway:Experiments.Scenario.Droptail
+  in
+  let result =
+    Experiments.Multi_session.run
+      { config with Experiments.Multi_session.duration; seed }
+  in
+  Experiments.Report.print_multi_session ppf result
+
+let run_fig4 () =
+  let pipes = Analysis.Particle.uniform_pipes ~pipe:10.0 ~n:3 in
+  let field = Analysis.Particle.drift_field pipes ~x_max:10.0 ~y_max:10.0 ~step:1.0 in
+  Experiments.Report.print_drift_field ppf field
+
+let run_fig5 ~seed ~steps =
+  (* Two sessions, 27 receivers, pipe 60 shared by 2 multicast + 1 TCP:
+     each session's fair window is 20. *)
+  let pipes = Analysis.Particle.uniform_pipes ~pipe:40.0 ~n:27 in
+  let stats =
+    Analysis.Particle.simulate ~rng:(Sim.Rng.create seed) pipes ~steps ()
+  in
+  Experiments.Report.print_particle_run ppf stats
+
+let run_eq1 ~duration ~seed =
+  let config =
+    { Experiments.Validation.default_config with duration; seed }
+  in
+  Experiments.Report.print_validation ppf (Experiments.Validation.run config)
+
+let run_prop ~seed ~steps =
+  let rng = Sim.Rng.create seed in
+  let rows =
+    List.map
+      (fun (n, ps) ->
+        let w_model = Analysis.Rla_model.pa_window_independent ~ps in
+        let w_mc = Analysis.Rla_model.simulate_window ~rng ~ps ~steps in
+        let p_max = Array.fold_left Stdlib.max 0.0 ps in
+        let lo, hi = Analysis.Rla_model.proposition_bounds ~n ~p_max in
+        (n, ps, w_model, w_mc, lo, hi))
+      [
+        (2, [| 0.01; 0.01 |]);
+        (2, [| 0.02; 0.002 |]);
+        (4, [| 0.02; 0.02; 0.02; 0.02 |]);
+        (8, Array.make 8 0.01);
+        (27, Array.make 27 0.01);
+        (27, Array.append [| 0.03 |] (Array.make 26 0.003));
+      ]
+  in
+  Experiments.Report.print_proposition_table ppf rows
+
+let run_sec31 ~duration ~seed =
+  let results =
+    List.map
+      (fun n_tcp ->
+        Experiments.Buffer_dynamics.run
+          {
+            Experiments.Buffer_dynamics.default_config with
+            Experiments.Buffer_dynamics.n_tcp;
+            mu_pkts = 100.0 *. float_of_int n_tcp;
+            duration;
+            seed;
+          })
+      [ 1; 2; 4; 8 ]
+  in
+  Experiments.Report.print_buffer_dynamics ppf results
+
+let run_scaling ~duration ~seed =
+  let points =
+    Experiments.Scaling.run
+      { Experiments.Scaling.default_config with duration; seed }
+  in
+  Experiments.Scaling.print ppf points
+
+let run_shortflows ~duration ~seed =
+  let results =
+    List.map
+      (fun bg ->
+        Experiments.Short_flows.run
+          {
+            (Experiments.Short_flows.default_config bg) with
+            Experiments.Short_flows.duration;
+            seed;
+          })
+      [
+        Experiments.Short_flows.Bg_none;
+        Experiments.Short_flows.Bg_tcp;
+        Experiments.Short_flows.Bg_rla;
+        Experiments.Short_flows.Bg_cbr 220.0;
+      ]
+  in
+  Experiments.Short_flows.print ppf results
+
+let run_ecn ~duration ~seed =
+  List.iter
+    (fun case_index ->
+      Experiments.Ecn.print ppf
+        (Experiments.Ecn.run ~case_index ~duration ~seed ()))
+    [ 1; 3 ]
+
+let run_baseline ~duration ~seed =
+  let results = Experiments.Baseline_fairness.run_matrix ~duration ~seed () in
+  Experiments.Report.print_baseline_matrix ppf results
+
+let run_ablate ~duration ~seed =
+  let run ~title variants =
+    Experiments.Report.print_ablation ppf ~title
+      (Experiments.Ablation.run ~variants ~duration ~seed ())
+  in
+  run ~title:"congestion-signal grouping window"
+    (Experiments.Ablation.grouping_variants ());
+  run ~title:"forced-cut horizon" (Experiments.Ablation.forced_cut_variants ());
+  run ~title:"eta (troubled-receiver threshold)"
+    (Experiments.Ablation.eta_variants ());
+  run ~title:"phase-effect randomization"
+    (Experiments.Ablation.phase_variants ());
+  run ~title:"generalized pthresh exponent"
+    (Experiments.Ablation.rtt_exponent_variants ());
+  run ~title:"retransmission expiry"
+    (Experiments.Ablation.rexmit_timeout_variants ());
+  run ~title:"receiver ack jitter"
+    (Experiments.Ablation.ack_jitter_variants ())
+
+let experiments =
+  [
+    ("fig4", `Fig4);
+    ("fig5", `Fig5);
+    ("fig7", `Fig7);
+    ("fig8", `Fig8);
+    ("fig9", `Fig9);
+    ("fig10", `Fig10);
+    ("sec52", `Sec52);
+    ("sec31", `Sec31);
+    ("scaling", `Scaling);
+    ("shortflows", `Shortflows);
+    ("ecn", `Ecn);
+    ("eq1", `Eq1);
+    ("prop", `Prop);
+    ("baseline", `Baseline);
+    ("ablate", `Ablate);
+    ("all", `All);
+  ]
+
+let dispatch which ~duration ~seed ~steps =
+  match which with
+  | `Fig4 -> run_fig4 ()
+  | `Fig5 -> run_fig5 ~seed ~steps
+  | `Fig7 -> ignore (run_fig7 ~duration ~seed)
+  | `Fig8 -> run_fig8 ~duration ~seed
+  | `Fig9 -> run_fig9 ~duration ~seed
+  | `Fig10 -> run_fig10 ~duration ~seed
+  | `Sec52 -> run_sec52 ~duration ~seed
+  | `Sec31 -> run_sec31 ~duration ~seed
+  | `Scaling -> run_scaling ~duration ~seed
+  | `Shortflows -> run_shortflows ~duration ~seed
+  | `Ecn -> run_ecn ~duration ~seed
+  | `Eq1 -> run_eq1 ~duration ~seed
+  | `Prop -> run_prop ~seed ~steps
+  | `Baseline -> run_baseline ~duration ~seed
+  | `Ablate -> run_ablate ~duration ~seed
+  | `All ->
+      run_fig4 ();
+      run_fig5 ~seed ~steps;
+      let dt = run_fig7 ~duration ~seed in
+      Experiments.Report.print_signal_table ppf dt;
+      run_fig9 ~duration ~seed;
+      run_fig10 ~duration ~seed;
+      run_sec52 ~duration ~seed;
+      run_sec31 ~duration ~seed;
+      run_scaling ~duration ~seed;
+      run_shortflows ~duration ~seed;
+      run_ecn ~duration ~seed;
+      run_eq1 ~duration ~seed;
+      run_prop ~seed ~steps;
+      run_baseline ~duration ~seed
+
+open Cmdliner
+
+let which_arg =
+  let doc =
+    "Experiment to run: " ^ String.concat ", " (List.map fst experiments)
+  in
+  Arg.(
+    required
+    & pos 0 (some (enum experiments)) None
+    & info [] ~docv:"EXPERIMENT" ~doc)
+
+let duration_arg =
+  let doc = "Simulated seconds per run (the paper uses 3000)." in
+  Arg.(value & opt float 300.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed; every run is reproducible from it." in
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let steps_arg =
+  let doc = "Steps for the Monte-Carlo models (fig5, prop)." in
+  Arg.(value & opt int 200_000 & info [ "steps" ] ~docv:"STEPS" ~doc)
+
+let cmd =
+  let doc =
+    "Reproduce the tables and figures of Wang & Schwartz, 'Achieving \
+     Bounded Fairness for Multicast and TCP Traffic in the Internet' \
+     (SIGCOMM 1998)."
+  in
+  let term =
+    Term.(
+      const (fun which duration seed steps ->
+          dispatch which ~duration ~seed ~steps)
+      $ which_arg $ duration_arg $ seed_arg $ steps_arg)
+  in
+  Cmd.v (Cmd.info "rla_sim" ~doc) term
+
+let () = exit (Cmd.eval cmd)

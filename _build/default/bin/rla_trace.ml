@@ -1,0 +1,97 @@
+(* rla_trace — dump CSV time series from a tree-sharing run.
+
+   Records the RLA congestion window, the worst-positioned TCP's
+   window, and the soft-bottleneck queue length, sampling every
+   100 ms (configurable).  Pipe to a file and plot:
+
+     dune exec bin/rla_trace.exe -- --case 3 --duration 200 > run.csv *)
+
+open Cmdliner
+
+let run ~case_index ~gateway ~duration ~seed ~interval =
+  let case = Experiments.Tree.case_of_index case_index in
+  let tree = Experiments.Tree.build ~seed ~gateway ~case () in
+  let net = tree.Experiments.Tree.net in
+  let leaves = Array.to_list tree.Experiments.Tree.leaves in
+  let rla =
+    Rla.Sender.create ~net ~src:tree.Experiments.Tree.root ~receivers:leaves ()
+  in
+  let tcps =
+    List.map
+      (fun leaf -> Tcp.Sender.create ~net ~src:tree.Experiments.Tree.root ~dst:leaf ())
+      leaves
+  in
+  let first_congested = List.hd tree.Experiments.Tree.congested_leaves in
+  let first_tcp =
+    (* The TCP sharing the first congested branch. *)
+    List.nth tcps
+      (Option.get
+         (List.find_index (fun leaf -> leaf = first_congested) leaves))
+  in
+  (* The queue feeding the first congested branch: the last link on the
+     path to that receiver. *)
+  let bottleneck_queue =
+    match
+      List.rev (Net.Network.path net tree.Experiments.Tree.root first_congested)
+    with
+    | last :: _ -> last
+    | [] -> invalid_arg "rla_trace: no path to the congested receiver"
+  in
+  let ts =
+    Experiments.Timeseries.create ~net ~interval
+      ~probes:
+        [
+          { Experiments.Timeseries.name = "rla_cwnd";
+            read = (fun () -> Rla.Sender.cwnd rla) };
+          { Experiments.Timeseries.name = "tcp_cwnd";
+            read = (fun () -> Tcp.Sender.cwnd first_tcp) };
+          { Experiments.Timeseries.name = "queue";
+            read = (fun () -> float_of_int (Net.Link.qlen bottleneck_queue)) };
+          { Experiments.Timeseries.name = "rla_delivered";
+            read = (fun () -> float_of_int (Rla.Sender.max_reach_all rla)) };
+        ]
+  in
+  Net.Network.run_until net duration;
+  Experiments.Timeseries.to_csv Format.std_formatter ts
+
+let case_arg =
+  let doc = "Bottleneck case (1-5, figure 7 numbering)." in
+  Arg.(value & opt int 3 & info [ "case"; "c" ] ~docv:"CASE" ~doc)
+
+let gateway_arg =
+  let doc = "Gateway type: droptail or red." in
+  let gateways =
+    [
+      ("droptail", Experiments.Scenario.Droptail);
+      ("drop-tail", Experiments.Scenario.Droptail);
+      ("red", Experiments.Scenario.Red);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum gateways) Experiments.Scenario.Droptail
+    & info [ "gateway"; "g" ] ~docv:"GATEWAY" ~doc)
+
+let duration_arg =
+  let doc = "Simulated seconds." in
+  Arg.(value & opt float 120.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
+
+let interval_arg =
+  let doc = "Sampling interval (seconds)." in
+  Arg.(value & opt float 0.1 & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc)
+
+let cmd =
+  let doc = "Dump cwnd/queue time series of a tree-sharing run as CSV." in
+  let term =
+    Term.(
+      const (fun case_index gateway duration seed interval ->
+          run ~case_index ~gateway ~duration ~seed ~interval)
+      $ case_arg $ gateway_arg $ duration_arg $ seed_arg $ interval_arg)
+  in
+  Cmd.v (Cmd.info "rla_trace" ~doc) term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/different_rtt.ml: Experiments Printf Rla Tcp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Experiments List Net Printf Rla Stdlib Tcp

@@ -1,0 +1,1 @@
+examples/slow_receiver.ml: Experiments List Net Printf Rla Stdlib

@@ -1,0 +1,1 @@
+examples/tree_sharing.ml: Experiments Format Printf

@@ -1,0 +1,17 @@
+(* Why window-based?  Rate-based schemes vs TCP through one bottleneck.
+
+   The paper's introduction argues that rate-based multicast control
+   with evenly spaced packets sees a different loss process than TCP's
+   bursts at a drop-tail queue, so threshold-tuned schemes (LTRC, MBFC)
+   end up unfair — sometimes starved, sometimes dominant — while the
+   TCP-like RLA tracks the fair share, and RED narrows the gap for
+   everyone.
+
+     dune exec examples/baselines_vs_tcp.exe *)
+
+let () =
+  let results = Experiments.Baseline_fairness.run_matrix ~duration:250.0 () in
+  Experiments.Report.print_baseline_matrix Format.std_formatter results;
+  print_endline
+    "A ratio near 1.0 is fair; LTRC/MBFC drift far from it under \
+     drop-tail, the RLA stays bounded."

@@ -1,0 +1,1 @@
+lib/analysis/particle.ml: Array List Sim Stats Stdlib

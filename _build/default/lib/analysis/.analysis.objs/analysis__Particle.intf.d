@@ -1,0 +1,1 @@
+lib/analysis/particle.mli: Sim Stats

@@ -1,0 +1,1 @@
+lib/analysis/rla_model.ml: Array Sim Stdlib Tcp_model

@@ -1,0 +1,1 @@
+lib/analysis/rla_model.mli: Sim

@@ -1,0 +1,1 @@
+lib/analysis/tcp_model.ml: Sim Stdlib

@@ -1,0 +1,38 @@
+(** Closed-form TCP steady-state models (section 4.1).
+
+    [pa_window p] is the proportional-average window
+    [sqrt(2(1-p)/p)] from the drift analysis of Ott, Kemperman &
+    Mathis; [mahdavi_floyd_rate] is the popular
+    [1.3 / (rtt * sqrt p)] throughput estimate the paper compares
+    against.  Both hold for moderate congestion (p < 5%). *)
+
+val pa_window : float -> float
+(** Proportional-average window (packets) at congestion probability
+    [p]; raises [Invalid_argument] outside (0, 1). *)
+
+val pa_window_approx : float -> float
+(** The small-p simplification [sqrt 2 / sqrt p]. *)
+
+val drift : p:float -> float -> float
+(** [drift ~p w]: expected per-ack window drift
+    [(1-p)/w - p*w/2]; zero exactly at {!pa_window}. *)
+
+val mahdavi_floyd_rate : rtt:float -> p:float -> float
+(** Throughput (pkt/s) [1.3/(rtt*sqrt p)]. *)
+
+val throughput : rtt:float -> p:float -> float
+(** PA-window throughput estimate [pa_window p / rtt]. *)
+
+val congestion_probability_for_window : float -> float
+(** Inverse of {!pa_window}: the congestion probability yielding a
+    given PA window ([p = 2/(w^2+2)]). *)
+
+val moderate_congestion_limit : float
+(** 0.05: the regime in which these formulas (and the paper's
+    theorems) apply. *)
+
+val simulate_pa_window :
+  rng:Sim.Rng.t -> p:float -> steps:int -> float
+(** Monte-Carlo check of the drift model: iterate the idealised window
+    process ([w + 1/w] w.p. [1-p], [w/2] w.p. [p]) and return the
+    sample-average window. *)

@@ -1,0 +1,1 @@
+lib/baselines/cbr.ml: Rate_sender Wire

@@ -1,0 +1,1 @@
+lib/baselines/cbr.mli: Net Rate_sender

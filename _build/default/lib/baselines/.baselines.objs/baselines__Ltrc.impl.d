@@ -1,0 +1,1 @@
+lib/baselines/ltrc.ml: Rate_sender

@@ -1,0 +1,1 @@
+lib/baselines/ltrc.mli: Net Rate_sender

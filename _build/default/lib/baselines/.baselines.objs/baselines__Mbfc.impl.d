@@ -1,0 +1,1 @@
+lib/baselines/mbfc.ml: Rate_sender

@@ -1,0 +1,1 @@
+lib/baselines/mbfc.mli: Net Rate_sender

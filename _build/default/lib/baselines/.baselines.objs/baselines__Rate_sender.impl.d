@@ -1,0 +1,1 @@
+lib/baselines/rate_sender.ml: Array List Net Report_receiver Sim Stats Stdlib Wire

@@ -1,0 +1,1 @@
+lib/baselines/rate_sender.mli: Net Report_receiver

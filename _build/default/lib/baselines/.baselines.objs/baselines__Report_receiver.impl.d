@@ -1,0 +1,1 @@
+lib/baselines/report_receiver.ml: Net Sim Stdlib Wire

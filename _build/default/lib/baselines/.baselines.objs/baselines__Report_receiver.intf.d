@@ -1,0 +1,1 @@
+lib/baselines/report_receiver.mli: Net

@@ -1,0 +1,1 @@
+lib/baselines/rl_rate.ml: Rate_sender

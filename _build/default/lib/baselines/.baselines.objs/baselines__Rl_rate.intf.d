@@ -1,0 +1,1 @@
+lib/baselines/rl_rate.mli: Net Rate_sender

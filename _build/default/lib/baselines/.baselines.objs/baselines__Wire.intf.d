@@ -1,0 +1,1 @@
+lib/baselines/wire.mli: Net

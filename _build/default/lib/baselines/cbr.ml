@@ -1,0 +1,11 @@
+let create ~net ~src ~receivers ~rate ?(data_size = Wire.data_size) () =
+  let config =
+    {
+      (Rate_sender.default_config Rate_sender.Fixed) with
+      Rate_sender.initial_rate = rate;
+      min_rate = rate;
+      max_rate = rate;
+      data_size;
+    }
+  in
+  Rate_sender.create ~net ~src ~receivers config

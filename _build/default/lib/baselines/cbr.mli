@@ -1,0 +1,12 @@
+(** Constant-rate multicast source: no congestion control at all.
+    Used as background cross-traffic and as the zero-reference in the
+    baseline fairness experiment. *)
+
+val create :
+  net:Net.Network.t ->
+  src:Net.Packet.addr ->
+  receivers:Net.Packet.addr list ->
+  rate:float ->
+  ?data_size:int ->
+  unit ->
+  Rate_sender.t

@@ -1,0 +1,20 @@
+(** Loss-tolerant rate controller (Montgomery 1997), as characterised
+    in the paper's introduction: halve the rate when the
+    exponentially-averaged loss rate reported by some receiver exceeds
+    a threshold, with a refractory period after each reduction. *)
+
+val policy :
+  ?loss_threshold:float ->
+  ?ewma_weight:float ->
+  ?refractory:float ->
+  unit ->
+  Rate_sender.policy
+(** Defaults: threshold 0.02, weight 0.25, refractory 1 s. *)
+
+val create :
+  net:Net.Network.t ->
+  src:Net.Packet.addr ->
+  receivers:Net.Packet.addr list ->
+  ?config:Rate_sender.config ->
+  unit ->
+  Rate_sender.t

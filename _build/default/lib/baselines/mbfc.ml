@@ -1,0 +1,11 @@
+let policy ?(loss_threshold = 0.02) ?(population_threshold = 0.25)
+    ?(refractory = 1.0) () =
+  Rate_sender.Mbfc { loss_threshold; population_threshold; refractory }
+
+let create ~net ~src ~receivers ?config () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Rate_sender.default_config (policy ())
+  in
+  Rate_sender.create ~net ~src ~receivers config

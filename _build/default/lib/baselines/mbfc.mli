@@ -1,0 +1,22 @@
+(** Monitor-based flow control (Sano et al. 1997): the double-threshold
+    scheme — a receiver is congested when its monitor-period loss rate
+    exceeds the loss threshold, and the sender halves its rate only
+    when the congested fraction of the population exceeds the
+    population threshold. *)
+
+val policy :
+  ?loss_threshold:float ->
+  ?population_threshold:float ->
+  ?refractory:float ->
+  unit ->
+  Rate_sender.policy
+(** Defaults: loss threshold 0.02, population threshold 0.25,
+    refractory 1 s. *)
+
+val create :
+  net:Net.Network.t ->
+  src:Net.Packet.addr ->
+  receivers:Net.Packet.addr list ->
+  ?config:Rate_sender.config ->
+  unit ->
+  Rate_sender.t

@@ -1,0 +1,10 @@
+let policy ?(loss_threshold = 0.02) ?(refractory = 1.0) () =
+  Rate_sender.Random_listening { loss_threshold; refractory }
+
+let create ~net ~src ~receivers ?config () =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Rate_sender.default_config (policy ())
+  in
+  Rate_sender.create ~net ~src ~receivers config

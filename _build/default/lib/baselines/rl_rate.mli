@@ -1,0 +1,16 @@
+(** Rate-based random listening — the paper's section-6 suggestion that
+    the RLA's key idea ("randomly react to the congestion signals from
+    all receivers") carries over to rate-based control.  Useful as a
+    bridge between the LTRC/MBFC baselines and the window-based RLA. *)
+
+val policy :
+  ?loss_threshold:float -> ?refractory:float -> unit -> Rate_sender.policy
+(** Defaults: loss threshold 0.02, refractory 1 s. *)
+
+val create :
+  net:Net.Network.t ->
+  src:Net.Packet.addr ->
+  receivers:Net.Packet.addr list ->
+  ?config:Rate_sender.config ->
+  unit ->
+  Rate_sender.t

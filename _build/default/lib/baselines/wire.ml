@@ -1,0 +1,12 @@
+type Net.Packet.payload +=
+  | Rate_data of { seq : int; sent_at : float }
+  | Rate_report of {
+      rcvr : Net.Packet.addr;
+      received : int;
+      expected : int;
+      loss_rate : float;
+    }
+
+let data_size = 1000
+
+let report_size = 40

@@ -1,0 +1,18 @@
+(** Payloads for the rate-based multicast schemes.
+
+    Rate-based senders pace evenly spaced data packets down the tree;
+    receivers return periodic loss reports instead of per-packet
+    acknowledgments. *)
+
+type Net.Packet.payload +=
+  | Rate_data of { seq : int; sent_at : float }
+  | Rate_report of {
+      rcvr : Net.Packet.addr;
+      received : int;  (** Data packets seen in the monitor period. *)
+      expected : int;  (** Sequence span covered by the period. *)
+      loss_rate : float;  (** [1 - received/expected], 0 when idle. *)
+    }
+
+val data_size : int
+
+val report_size : int

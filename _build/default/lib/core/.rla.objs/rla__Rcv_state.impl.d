@@ -1,0 +1,1 @@
+lib/core/rcv_state.ml: Net Params Stats Stdlib Tcp

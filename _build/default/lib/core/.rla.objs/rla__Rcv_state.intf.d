@@ -1,0 +1,1 @@
+lib/core/rcv_state.mli: Net Params Tcp

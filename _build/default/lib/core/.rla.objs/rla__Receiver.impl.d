@@ -1,0 +1,1 @@
+lib/core/receiver.ml: Hashtbl List Net Sim Tcp Wire

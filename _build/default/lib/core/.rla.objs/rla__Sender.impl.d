@@ -1,0 +1,1 @@
+lib/core/sender.ml: Array Hashtbl List Net Params Rcv_state Receiver Sim Stats Stdlib Tcp Wire

@@ -1,0 +1,48 @@
+type rtt_scaling = Equal_rtt | Rtt_power of float
+
+type trouble_counting = Dynamic | All_receivers
+
+type t = {
+  eta : float;
+  group_rtt_factor : float;
+  forced_cut_factor : float;
+  rtt_scaling : rtt_scaling;
+  trouble_counting : trouble_counting;
+  rexmit_thresh : int;
+  awnd_weight : float;
+  interval_ewma_weight : float;
+  srtt_weight : float;
+  dupthresh : int;
+  init_cwnd : float;
+  init_ssthresh : float;
+  max_burst : int;
+  rcv_buffer : int;
+  data_size : int;
+  min_rto : float;
+  ack_jitter : float;
+  rexmit_timeout_factor : float;
+}
+
+let default =
+  {
+    eta = 20.0;
+    group_rtt_factor = 2.0;
+    forced_cut_factor = 2.0;
+    rtt_scaling = Equal_rtt;
+    trouble_counting = Dynamic;
+    rexmit_thresh = 0;
+    awnd_weight = 0.01;
+    interval_ewma_weight = 0.125;
+    srtt_weight = 0.125;
+    dupthresh = 3;
+    init_cwnd = 1.0;
+    init_ssthresh = 64.0;
+    max_burst = 4;
+    rcv_buffer = 1_000_000;
+    data_size = 1000;
+    min_rto = 1.0;
+    ack_jitter = 0.002;
+    rexmit_timeout_factor = 2.0;
+  }
+
+let generalized ?(k = 2.0) t = { t with rtt_scaling = Rtt_power k }

@@ -1,0 +1,74 @@
+(** RLA tunables.
+
+    Defaults follow section 3.3 and section 5 of the paper; every knob
+    that the paper calls a design choice is exposed so the ablation
+    benches can vary it. *)
+
+type rtt_scaling =
+  | Equal_rtt  (** Restricted topology: [pthresh = 1/num_trouble_rcvr]. *)
+  | Rtt_power of float
+      (** Generalized RLA (section 5.3):
+          [pthresh = (srtt_i / srtt_max)^k / num_trouble_rcvr]. *)
+
+type trouble_counting =
+  | Dynamic
+      (** Rule 6: count receivers whose congestion-signal cadence is
+          within [eta] of the fastest-losing one. *)
+  | All_receivers
+      (** The paper's evaluation setting ("all receivers are troubled
+          receivers"): [num_trouble_rcvr] equals the number of active
+          receivers, making [pthresh = 1/N] throughout. *)
+
+type t = {
+  eta : float;
+      (** Troubled-receiver threshold: receiver [i] is troubled iff its
+          mean congestion-signal interval is below
+          [eta * min_congestion_interval].  Paper recommends 20. *)
+  group_rtt_factor : float;
+      (** Losses within [group_rtt_factor * srtt_i] of the congestion
+          period start collapse into one signal.  Paper: 2. *)
+  forced_cut_factor : float;
+      (** Force a cut when no cut happened for
+          [forced_cut_factor * awnd * srtt_i] seconds.  Paper: 2.
+          [infinity] disables forced cuts. *)
+  rtt_scaling : rtt_scaling;
+  trouble_counting : trouble_counting;
+  rexmit_thresh : int;
+      (** Retransmit by multicast when more than this many receivers
+          request a packet; 0 (the paper's simulation setting) makes
+          every retransmission multicast. *)
+  awnd_weight : float;  (** EWMA weight for the average window. *)
+  interval_ewma_weight : float;
+      (** EWMA weight for congestion-signal intervals. *)
+  srtt_weight : float;  (** Per-receiver smoothed RTT gain (TCP's 1/8). *)
+  dupthresh : int;  (** SACK loss-detection threshold (3). *)
+  init_cwnd : float;
+  init_ssthresh : float;
+  max_burst : int;
+  rcv_buffer : int;
+      (** Receiver buffer (packets): the send window upper bound is
+          [min_last_ack + rcv_buffer]. *)
+  data_size : int;
+  min_rto : float;
+  ack_jitter : float;
+      (** Receivers delay each acknowledgment by a uniform random time
+          up to this bound (seconds).  A multicast data packet reaches
+          all receivers of an equal-RTT tree at the same instant, so
+          without jitter the resulting synchronized ack burst overflows
+          the reverse bottleneck buffer with {e deterministic} victims
+          — the same receivers lose their acks every round and the
+          all-receiver frontier livelocks.  This is the ack-path analog
+          of the paper's random-overhead device (section 3.1);
+          2 ms is negligible against the 230 ms session RTT. *)
+  rexmit_timeout_factor : float;
+      (** A retransmission unacknowledged for
+          [rexmit_timeout_factor * srtt_i] is presumed lost and
+          re-requested, instead of stalling the acked-by-all frontier
+          until the global timeout collapses the window.  [infinity]
+          disables the mechanism (ablation hook).  Default 2. *)
+}
+
+val default : t
+
+val generalized : ?k:float -> t -> t
+(** Switch to the generalized pthresh with exponent [k] (default 2). *)

@@ -1,0 +1,613 @@
+type coverage = {
+  mutable covered : int;  (* receivers that have this packet *)
+  mutable rexmitted : bool;
+  sent_at : float;
+}
+
+type rexmit_target = To_group | To_receivers of Net.Packet.addr list
+
+type t = {
+  net : Net.Network.t;
+  params : Params.t;
+  src : Net.Packet.addr;
+  flow : Net.Packet.flow;
+  group : Net.Packet.group;
+  rcvrs : Rcv_state.t array;
+  mutable n_active : int;
+  endpoints : Receiver.t list;
+  rng : Sim.Rng.t;
+  rto : Tcp.Rto.t;
+  (* window state *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  awnd : Stats.Ewma.t;
+  mutable last_window_cut : float;
+  mutable next_seq : int;
+  mutable mra : int;  (* max_reach_all: contiguous all-receiver frontier *)
+  coverage : (int, coverage) Hashtbl.t;
+  (* retransmission machinery *)
+  pending : (int, unit) Hashtbl.t;  (* lost somewhere, decision not made *)
+  mutable rexmit_queue : (int * rexmit_target) list;
+  queued : (int, unit) Hashtbl.t;
+  mutable timer : Sim.Scheduler.event_id option;
+  (* counters *)
+  mutable num_trouble : int;
+  mutable window_cuts : int;
+  mutable forced_cuts : int;
+  mutable timeouts : int;
+  mutable signals : int;
+  mutable rexmits_multicast : int;
+  mutable rexmits_unicast : int;
+  mutable sent_new : int;
+  cwnd_avg : Stats.Time_avg.t;
+  rtt : Stats.Welford.t ref;  (* send -> covered-by-all, no-rexmit packets *)
+  rtt_acks : Stats.Welford.t ref;  (* per-acknowledgment samples *)
+  (* measurement baselines *)
+  mutable meas_time : float;
+  mutable meas_mra : int;
+  mutable meas_signals : int;
+  mutable meas_cuts : int;
+  mutable meas_forced : int;
+  mutable meas_timeouts : int;
+  mutable meas_rexmits : int;
+  mutable meas_sent_new : int;
+  mutable meas_signals_per : int array;
+}
+
+let flow t = t.flow
+
+let group t = t.group
+
+let n_receivers t = Array.length t.rcvrs
+
+let cwnd t = t.cwnd
+
+let awnd t = Stats.Ewma.value t.awnd
+
+let num_trouble_rcvr t = t.num_trouble
+
+let max_reach_all t = t.mra
+
+let congestion_signals t = t.signals
+
+let window_cuts t = t.window_cuts
+
+let forced_cuts t = t.forced_cuts
+
+let timeouts t = t.timeouts
+
+let rexmits_multicast t = t.rexmits_multicast
+
+let rexmits_unicast t = t.rexmits_unicast
+
+let receiver_endpoints t = t.endpoints
+
+let now t = Net.Network.now t.net
+
+let fold_active t f init =
+  Array.fold_left
+    (fun acc r -> if Rcv_state.active r then f acc r else acc)
+    init t.rcvrs
+
+let min_last_ack t =
+  fold_active t
+    (fun acc r -> Stdlib.min acc (Tcp.Scoreboard.high_ack (Rcv_state.board r)))
+    max_int
+
+let signals_per_receiver t =
+  Array.to_list
+    (Array.map (fun r -> (Rcv_state.addr r, Rcv_state.signals r)) t.rcvrs)
+
+let set_cwnd t value =
+  t.cwnd <- Stdlib.max 1.0 value;
+  Stats.Time_avg.update t.cwnd_avg ~time:(now t) ~value:t.cwnd
+
+(* --- troubled receivers and the cut probability ------------------- *)
+
+let min_signal_interval t =
+  fold_active t
+    (fun acc r -> Stdlib.min acc (Rcv_state.mean_signal_interval r ~now:(now t)))
+    infinity
+
+let recount_troubled t =
+  match t.params.Params.trouble_counting with
+  | Params.All_receivers -> t.num_trouble <- Stdlib.max 1 t.n_active
+  | Params.Dynamic ->
+      let min_int = min_signal_interval t in
+      let count =
+        fold_active t
+          (fun acc r ->
+            if
+              Rcv_state.is_troubled r ~now:(now t) ~min_interval:min_int
+                ~eta:t.params.Params.eta
+            then acc + 1
+            else acc)
+          0
+      in
+      t.num_trouble <- Stdlib.max 1 count
+
+let max_srtt t =
+  fold_active t (fun acc r -> Stdlib.max acc (Rcv_state.srtt r)) 0.0
+
+let pthresh t r =
+  let scale =
+    match t.params.Params.rtt_scaling with
+    | Params.Equal_rtt -> 1.0
+    | Params.Rtt_power k ->
+        let m = max_srtt t in
+        if m <= 0.0 then 1.0 else (Rcv_state.srtt r /. m) ** k
+  in
+  scale /. float_of_int t.num_trouble
+
+let pthresh_for t addr =
+  match Array.find_opt (fun r -> Rcv_state.addr r = addr) t.rcvrs with
+  | None -> invalid_arg "Sender.pthresh_for: unknown receiver"
+  | Some r -> pthresh t r
+
+(* --- transmission -------------------------------------------------- *)
+
+let cancel_timer t =
+  match t.timer with
+  | None -> ()
+  | Some id ->
+      Sim.Scheduler.cancel (Net.Network.scheduler t.net) id;
+      t.timer <- None
+
+let send_packet t ~seq ~dst ~rexmit =
+  let pkt =
+    Net.Network.make_packet t.net ~flow:t.flow ~src:t.src ~dst
+      ~size:t.params.Params.data_size
+      ~payload:(Wire.Rla_data { seq; sent_at = now t; rexmit })
+  in
+  Net.Network.send t.net pkt
+
+(* The slowest active branch limits the send rate: use the largest pipe
+   over the per-receiver scoreboards. *)
+let max_pipe t =
+  fold_active t
+    (fun acc r -> Stdlib.max acc (Tcp.Scoreboard.pipe (Rcv_state.board r)))
+    0
+
+let send_rexmit t seq target =
+  Hashtbl.remove t.queued seq;
+  (match Hashtbl.find_opt t.coverage seq with
+  | Some c -> c.rexmitted <- true
+  | None -> ());
+  let requesters =
+    match target with
+    | To_group ->
+        List.filter Rcv_state.active (Array.to_list t.rcvrs)
+    | To_receivers addrs ->
+        List.filter_map
+          (fun a ->
+            Array.find_opt
+              (fun r -> Rcv_state.active r && Rcv_state.addr r = a)
+              t.rcvrs)
+          addrs
+  in
+  (* Mark the retransmission only on boards that still consider the
+     packet lost (acks may have arrived since the decision). *)
+  List.iter
+    (fun r ->
+      let board = Rcv_state.board r in
+      if
+        Tcp.Scoreboard.is_lost board seq
+        && not (Tcp.Scoreboard.is_rexmitted board seq)
+      then Tcp.Scoreboard.mark_retransmitted ~at:(now t) board seq)
+    requesters;
+  match target with
+  | To_group ->
+      t.rexmits_multicast <- t.rexmits_multicast + 1;
+      send_packet t ~seq ~dst:(Net.Packet.Multicast t.group) ~rexmit:true
+  | To_receivers addrs ->
+      List.iter
+        (fun a ->
+          t.rexmits_unicast <- t.rexmits_unicast + 1;
+          send_packet t ~seq ~dst:(Net.Packet.Unicast a) ~rexmit:true)
+        addrs
+
+let rec arm_timer t =
+  if t.timer = None && t.next_seq > t.mra then begin
+    let id =
+      Sim.Scheduler.schedule_after
+        (Net.Network.scheduler t.net)
+        (Tcp.Rto.timeout t.rto)
+        (fun () ->
+          t.timer <- None;
+          on_timeout t)
+    in
+    t.timer <- Some id
+  end
+
+and restart_timer t =
+  cancel_timer t;
+  arm_timer t
+
+and try_send t =
+  let budget = ref t.params.Params.max_burst in
+  let window_room () =
+    max_pipe t < int_of_float t.cwnd
+    && t.next_seq - min_last_ack t < t.params.Params.rcv_buffer
+  in
+  while !budget > 0 && window_room () do
+    match t.rexmit_queue with
+    | (seq, target) :: rest ->
+        t.rexmit_queue <- rest;
+        send_rexmit t seq target;
+        decr budget
+    | [] ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Array.iter
+          (fun r ->
+            let s = Tcp.Scoreboard.register_send (Rcv_state.board r) in
+            assert (s = seq))
+          t.rcvrs;
+        Hashtbl.replace t.coverage seq
+          { covered = 0; rexmitted = false; sent_at = now t };
+        t.sent_new <- t.sent_new + 1;
+        send_packet t ~seq ~dst:(Net.Packet.Multicast t.group) ~rexmit:false;
+        decr budget
+  done;
+  arm_timer t
+
+and on_timeout t =
+  if t.next_seq > t.mra then begin
+    t.timeouts <- t.timeouts + 1;
+    t.window_cuts <- t.window_cuts + 1;
+    t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
+    set_cwnd t 1.0;
+    t.last_window_cut <- now t;
+    Tcp.Rto.backoff t.rto;
+    (* Everything unacknowledged anywhere is presumed lost; rebuild the
+       retransmission plan from scratch. *)
+    Array.iter
+      (fun r -> ignore (Tcp.Scoreboard.mark_all_lost (Rcv_state.board r)))
+      t.rcvrs;
+    t.rexmit_queue <- [];
+    Hashtbl.reset t.queued;
+    Hashtbl.reset t.pending;
+    for seq = t.mra to t.next_seq - 1 do
+      if Hashtbl.mem t.coverage seq then schedule_rexmit_decision t seq
+    done
+  end;
+  try_send t
+
+(* Decide (or defer) how to retransmit [seq].  The paper's rule: wait
+   until every receiver has reported on the packet, then multicast if
+   more than [rexmit_thresh] receivers request it, unicast otherwise. *)
+and schedule_rexmit_decision t seq =
+  if not (Hashtbl.mem t.queued seq) then begin
+    let all_reported = ref true in
+    let requesters = ref [] in
+    Array.iter
+      (fun r ->
+        if Rcv_state.active r then begin
+          let board = Rcv_state.board r in
+          if Tcp.Scoreboard.is_lost board seq then
+            requesters := Rcv_state.addr r :: !requesters
+          else begin
+            let covered =
+              seq < Tcp.Scoreboard.high_ack board
+              || Tcp.Scoreboard.is_sacked board seq
+            in
+            if not covered then all_reported := false
+          end
+        end)
+      t.rcvrs;
+    if not !all_reported then Hashtbl.replace t.pending seq ()
+    else begin
+      Hashtbl.remove t.pending seq;
+      match !requesters with
+      | [] -> ()
+      | addrs ->
+          let target =
+            if List.length addrs > t.params.Params.rexmit_thresh then To_group
+            else To_receivers addrs
+          in
+          t.rexmit_queue <- t.rexmit_queue @ [ (seq, target) ];
+          Hashtbl.replace t.queued seq ()
+    end
+  end
+
+(* --- acknowledgment processing ------------------------------------- *)
+
+let advance_frontier t =
+  let n = t.n_active in
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.coverage t.mra with
+    | Some c when c.covered >= n ->
+        if not c.rexmitted then
+          Stats.Welford.add !(t.rtt) (now t -. c.sent_at);
+        Hashtbl.remove t.coverage t.mra;
+        t.mra <- t.mra + 1;
+        progressed := true
+    | Some _ | None -> continue := false
+  done;
+  if !progressed then restart_timer t
+
+(* A packet newly covered by one receiver; on full coverage the window
+   opens (rule 4: cwnd <- cwnd + 1/cwnd once ACKed by all). *)
+let cover t seq =
+  match Hashtbl.find_opt t.coverage seq with
+  | None -> ()
+  | Some c ->
+      c.covered <- c.covered + 1;
+      if c.covered >= t.n_active then begin
+        if t.cwnd < t.ssthresh then set_cwnd t (t.cwnd +. 1.0)
+        else set_cwnd t (t.cwnd +. (1.0 /. t.cwnd))
+      end
+
+let congestion_action t r =
+  recount_troubled t;
+  let acts =
+    match t.params.Params.trouble_counting with
+    | Params.All_receivers -> true
+    | Params.Dynamic ->
+        let min_int = min_signal_interval t in
+        Rcv_state.is_troubled r ~now:(now t) ~min_interval:min_int
+          ~eta:t.params.Params.eta
+  in
+  if acts then begin
+    (* The horizon guards the session-wide cut cadence, so it uses the
+       session round-trip time (the largest branch srtt); keying it on
+       the signaling receiver's srtt would let a nearby receiver force
+       cuts an order of magnitude too often on heterogeneous trees
+       (the paper observes zero forced cuts in its figure-10 runs). *)
+    let horizon =
+      t.params.Params.forced_cut_factor *. Stats.Ewma.value t.awnd
+      *. Stdlib.max (Rcv_state.srtt r) (max_srtt t)
+    in
+    let do_cut ~forced =
+      t.window_cuts <- t.window_cuts + 1;
+      if forced then t.forced_cuts <- t.forced_cuts + 1;
+      t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
+      set_cwnd t t.ssthresh;
+      t.last_window_cut <- now t
+    in
+    if now t -. t.last_window_cut > horizon then do_cut ~forced:true
+    else if Sim.Rng.uniform t.rng <= pthresh t r then do_cut ~forced:false
+  end
+
+let on_ack t r ~cum_ack ~blocks ~echo ~ece =
+  Rcv_state.count_ack r;
+  let rtt_sample = now t -. echo in
+  Rcv_state.observe_rtt r rtt_sample;
+  Stats.Welford.add !(t.rtt_acks) rtt_sample;
+  Tcp.Rto.sample t.rto rtt_sample;
+  let board = Rcv_state.board r in
+  let fresh_cum = Tcp.Scoreboard.advance_cum_seqs board cum_ack in
+  let fresh_sacked =
+    List.concat_map
+      (fun { Tcp.Wire.block_lo; block_hi } ->
+        Tcp.Scoreboard.mark_sacked_seqs board ~lo:block_lo ~hi:block_hi)
+      blocks
+  in
+  List.iter (cover t) fresh_cum;
+  List.iter (cover t) fresh_sacked;
+  advance_frontier t;
+  (* Update the moving average of the window on every ack. *)
+  Stats.Ewma.update t.awnd t.cwnd;
+  let losses = Tcp.Scoreboard.detect_losses board ~dupthresh:t.params.Params.dupthresh in
+  List.iter (fun seq -> schedule_rexmit_decision t seq) losses;
+  (* Re-request retransmissions that have themselves gone unanswered
+     for ~2 srtt on this branch. *)
+  let srtt_i = Rcv_state.srtt r in
+  if srtt_i > 0.0 && t.params.Params.rexmit_timeout_factor < infinity then begin
+    let before = now t -. (t.params.Params.rexmit_timeout_factor *. srtt_i) in
+    let revived = Tcp.Scoreboard.expire_rexmits board ~before in
+    List.iter (fun seq -> schedule_rexmit_decision t seq) revived
+  end;
+  (* Fresh coverage may complete the report set of pending packets. *)
+  if Hashtbl.length t.pending > 0 then begin
+    let pending_seqs = Hashtbl.fold (fun seq () acc -> seq :: acc) t.pending [] in
+    List.iter
+      (fun seq ->
+        Hashtbl.remove t.pending seq;
+        if seq >= t.mra then schedule_rexmit_decision t seq)
+      (List.sort compare pending_seqs)
+  end;
+  (* An ECN echo is a congestion indication exactly like a detected
+     loss: grouped per congestion period, then randomly listened to. *)
+  if (losses <> [] || ece) && Rcv_state.register_losses r ~now:(now t) then begin
+    t.signals <- t.signals + 1;
+    congestion_action t r
+  end;
+  try_send t
+
+(* Stop listening to one receiver — the slow-receiver option of
+   section 4.3.  Coverage counts for outstanding packets are rebuilt
+   from the remaining active scoreboards so the acked-by-all frontier
+   can move past the dropped receiver's holes. *)
+let drop_receiver t addr =
+  match
+    Array.find_opt
+      (fun r -> Rcv_state.active r && Rcv_state.addr r = addr)
+      t.rcvrs
+  with
+  | None -> false
+  | Some victim ->
+      if t.n_active <= 1 then
+        invalid_arg "Sender.drop_receiver: cannot drop the last receiver";
+      Rcv_state.deactivate victim;
+      t.n_active <- t.n_active - 1;
+      (* Recompute coverage over the survivors; grow the window for
+         packets this completes (rule 4 still applies to them). *)
+      let seqs = Hashtbl.fold (fun seq _ acc -> seq :: acc) t.coverage [] in
+      List.iter
+        (fun seq ->
+          match Hashtbl.find_opt t.coverage seq with
+          | None -> ()
+          | Some c ->
+              c.covered <-
+                fold_active t
+                  (fun acc r ->
+                    let board = Rcv_state.board r in
+                    if
+                      seq < Tcp.Scoreboard.high_ack board
+                      || Tcp.Scoreboard.is_sacked board seq
+                    then acc + 1
+                    else acc)
+                  0)
+        (List.sort compare seqs);
+      advance_frontier t;
+      recount_troubled t;
+      (* Retransmission decisions that were waiting on the victim may
+         now be ready. *)
+      let pending_seqs =
+        Hashtbl.fold (fun seq () acc -> seq :: acc) t.pending []
+      in
+      List.iter
+        (fun seq ->
+          Hashtbl.remove t.pending seq;
+          if seq >= t.mra then schedule_rexmit_decision t seq)
+        (List.sort compare pending_seqs);
+      try_send t;
+      true
+
+let active_receivers t =
+  fold_active t (fun acc r -> Rcv_state.addr r :: acc) [] |> List.rev
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+type snapshot = {
+  time : float;
+  delivered : int;
+  throughput : float;
+  send_rate : float;
+  cwnd_now : float;
+  cwnd_avg : float;
+  rtt_avg : float;
+  rtt_all_avg : float;
+  congestion_signals : int;
+  window_cuts : int;
+  forced_cuts : int;
+  timeouts : int;
+  rexmits : int;
+  signals_per_receiver : (Net.Packet.addr * int) list;
+}
+
+let reset_measurement (t : t) =
+  Stats.Time_avg.reset t.cwnd_avg ~start:(now t) ~value:t.cwnd;
+  t.rtt := Stats.Welford.create ();
+  t.rtt_acks := Stats.Welford.create ();
+  t.meas_sent_new <- t.sent_new;
+  t.meas_time <- now t;
+  t.meas_mra <- t.mra;
+  t.meas_signals <- t.signals;
+  t.meas_cuts <- t.window_cuts;
+  t.meas_forced <- t.forced_cuts;
+  t.meas_timeouts <- t.timeouts;
+  t.meas_rexmits <- t.rexmits_multicast + t.rexmits_unicast;
+  t.meas_signals_per <- Array.map Rcv_state.signals t.rcvrs
+
+let snapshot t =
+  let span = now t -. t.meas_time in
+  let delivered = t.mra - t.meas_mra in
+  let sent =
+    t.sent_new - t.meas_sent_new + t.rexmits_multicast + t.rexmits_unicast
+    - t.meas_rexmits
+  in
+  let rate n = if span <= 0.0 then 0.0 else float_of_int n /. span in
+  {
+    time = now t;
+    delivered;
+    throughput = rate delivered;
+    send_rate = rate sent;
+    cwnd_now = t.cwnd;
+    cwnd_avg = Stats.Time_avg.average t.cwnd_avg ~upto:(now t);
+    rtt_avg = Stats.Welford.mean !(t.rtt_acks);
+    rtt_all_avg = Stats.Welford.mean !(t.rtt);
+    congestion_signals = t.signals - t.meas_signals;
+    window_cuts = t.window_cuts - t.meas_cuts;
+    forced_cuts = t.forced_cuts - t.meas_forced;
+    timeouts = t.timeouts - t.meas_timeouts;
+    rexmits = t.rexmits_multicast + t.rexmits_unicast - t.meas_rexmits;
+    signals_per_receiver =
+      Array.to_list
+        (Array.mapi
+           (fun i r ->
+             (Rcv_state.addr r, Rcv_state.signals r - t.meas_signals_per.(i)))
+           t.rcvrs);
+  }
+
+let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
+    =
+  if receivers = [] then invalid_arg "Sender.create: no receivers";
+  let flow = Net.Network.fresh_flow net in
+  let group = Net.Network.fresh_group net in
+  Net.Network.install_multicast net ~group ~src ~members:receivers;
+  let endpoints =
+    List.map
+      (fun node ->
+        Receiver.create ~net ~node ~flow ~sender:src
+          ~ack_jitter:params.Params.ack_jitter ())
+      receivers
+  in
+  let start = Net.Network.now net +. start_at in
+  let t =
+    {
+      net;
+      params;
+      src;
+      flow;
+      group;
+      rcvrs =
+        Array.of_list
+          (List.map
+             (fun addr -> Rcv_state.create ~addr ~params ~session_start:start)
+             receivers);
+      n_active = List.length receivers;
+      endpoints;
+      rng = Net.Network.fork_rng net;
+      rto = Tcp.Rto.create ~min_rto:params.Params.min_rto ();
+      cwnd = Stdlib.max 1.0 params.Params.init_cwnd;
+      ssthresh = params.Params.init_ssthresh;
+      awnd = Stats.Ewma.create ~weight:params.Params.awnd_weight;
+      last_window_cut = start;
+      next_seq = 0;
+      mra = 0;
+      coverage = Hashtbl.create 1024;
+      pending = Hashtbl.create 64;
+      rexmit_queue = [];
+      queued = Hashtbl.create 64;
+      timer = None;
+      num_trouble = 1;
+      window_cuts = 0;
+      forced_cuts = 0;
+      timeouts = 0;
+      signals = 0;
+      rexmits_multicast = 0;
+      rexmits_unicast = 0;
+      sent_new = 0;
+      cwnd_avg =
+        Stats.Time_avg.create ~start ~value:(Stdlib.max 1.0 params.Params.init_cwnd);
+      rtt = ref (Stats.Welford.create ());
+      rtt_acks = ref (Stats.Welford.create ());
+      meas_time = start;
+      meas_mra = 0;
+      meas_signals = 0;
+      meas_cuts = 0;
+      meas_forced = 0;
+      meas_timeouts = 0;
+      meas_rexmits = 0;
+      meas_sent_new = 0;
+      meas_signals_per = Array.make (List.length receivers) 0;
+    }
+  in
+  Stats.Ewma.update t.awnd t.cwnd;
+  Net.Node.attach (Net.Network.node net src) ~flow (fun pkt ->
+      match pkt.Net.Packet.payload with
+      | Wire.Rla_ack { rcvr; cum_ack; blocks; echo; ece } -> (
+          match Array.find_opt (fun r -> Rcv_state.addr r = rcvr) t.rcvrs with
+          | Some r when Rcv_state.active r ->
+              on_ack t r ~cum_ack ~blocks ~echo ~ece
+          | Some _ | None -> ())
+      | _ -> ());
+  let stagger = Sim.Rng.float t.rng 0.1 in
+  ignore
+    (Sim.Scheduler.schedule_at (Net.Network.scheduler net) (start +. stagger)
+       (fun () -> try_send t));
+  t

@@ -1,0 +1,119 @@
+(** The Random Listening Algorithm sender (section 3.3 of the paper).
+
+    One multicast sender feeding [N] receivers over a distribution
+    tree.  The sender keeps a SACK scoreboard per receiver; losses on a
+    branch within [2*srtt_i] of each other collapse into one congestion
+    signal; upon a congestion signal from a troubled receiver the
+    congestion window is halved
+
+    - deterministically, when no cut happened for
+      [2 * awnd * srtt_i] seconds (the {e forced cut}), or
+    - with probability [pthresh = 1/num_trouble_rcvr] (restricted
+      topology) or [(srtt_i/srtt_max)^k / num_trouble_rcvr]
+      (generalized RLA), otherwise.
+
+    The window advances by [1/cwnd] for every packet acknowledged by
+    {e all} receivers; lost packets are retransmitted by multicast when
+    more than [rexmit_thresh] receivers request them and by unicast
+    otherwise. *)
+
+type t
+
+val create :
+  net:Net.Network.t ->
+  src:Net.Packet.addr ->
+  receivers:Net.Packet.addr list ->
+  ?params:Params.t ->
+  ?start_at:float ->
+  unit ->
+  t
+(** Allocates a flow and a multicast group, installs the distribution
+    tree (so {!Net.Network.install_routes} must already have run),
+    creates one {!Receiver} endpoint per receiver node and starts
+    sending at [start_at] (default 0, plus a small random stagger). *)
+
+val flow : t -> Net.Packet.flow
+
+val group : t -> Net.Packet.group
+
+val n_receivers : t -> int
+(** Receivers the session was created with (active or dropped). *)
+
+val drop_receiver : t -> Net.Packet.addr -> bool
+(** The slow-receiver option (section 4.3): stop listening to this
+    receiver.  Its acknowledgments are ignored from now on, it no
+    longer gates the acked-by-all window advance or retransmission
+    decisions, and outstanding packets complete against the remaining
+    receivers.  Returns [false] for an unknown or already-dropped
+    address; raises [Invalid_argument] when it would drop the last
+    active receiver. *)
+
+val active_receivers : t -> Net.Packet.addr list
+
+val cwnd : t -> float
+
+val awnd : t -> float
+(** Moving average of the window size. *)
+
+val num_trouble_rcvr : t -> int
+(** Latest troubled-receiver count (recomputed on each signal). *)
+
+val pthresh_for : t -> Net.Packet.addr -> float
+(** The cut probability that a congestion signal from this receiver
+    would face right now (test/diagnostic hook). *)
+
+val max_reach_all : t -> int
+(** Packets delivered to every receiver (contiguous prefix). *)
+
+val min_last_ack : t -> int
+(** Smallest cumulative ack across receivers. *)
+
+val congestion_signals : t -> int
+(** Total congestion signals detected (all receivers). *)
+
+val signals_per_receiver : t -> (Net.Packet.addr * int) list
+
+val window_cuts : t -> int
+
+val forced_cuts : t -> int
+
+val timeouts : t -> int
+
+val rexmits_multicast : t -> int
+
+val rexmits_unicast : t -> int
+
+val receiver_endpoints : t -> Receiver.t list
+
+val reset_measurement : t -> unit
+(** Restart the measurement window (the paper discards the first
+    100 s): cwnd time-average, RTT stats, and all counter baselines. *)
+
+type snapshot = {
+  time : float;
+  delivered : int;  (** Packets newly reaching all receivers. *)
+  throughput : float;
+      (** All-receiver goodput, pkt/s over the measurement window. *)
+  send_rate : float;
+      (** Packets put on the wire per second (new data + multicast and
+          unicast retransmissions) — the session's bandwidth share of a
+          bottleneck branch, which is what the paper's tables report
+          (~ cwnd / RTT). *)
+  cwnd_now : float;
+  cwnd_avg : float;  (** Time-weighted. *)
+  rtt_avg : float;
+      (** Mean per-acknowledgment round-trip time across receivers
+          (comparable to the competing TCPs' RTT, as in figure 7). *)
+  rtt_all_avg : float;
+      (** Mean time from first transmission to all-receiver coverage,
+          over packets that needed no retransmission (the [RTT_RLA] of
+          equation 5: between 1x and 2x the branch RTT). *)
+  congestion_signals : int;
+  window_cuts : int;
+  forced_cuts : int;
+  timeouts : int;
+  rexmits : int;
+  signals_per_receiver : (Net.Packet.addr * int) list;
+}
+
+val snapshot : t -> snapshot

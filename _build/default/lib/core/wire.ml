@@ -1,0 +1,13 @@
+type Net.Packet.payload +=
+  | Rla_data of { seq : int; sent_at : float; rexmit : bool }
+  | Rla_ack of {
+      rcvr : Net.Packet.addr;
+      cum_ack : int;
+      blocks : Tcp.Wire.sack_block list;
+      echo : float;
+      ece : bool;
+    }
+
+let data_size = Tcp.Wire.data_size
+
+let ack_size = Tcp.Wire.ack_size

@@ -1,0 +1,20 @@
+(** RLA packet payloads.
+
+    Data travels down the multicast tree (retransmissions optionally by
+    unicast); every receiver acknowledges by unicast with the same
+    cumulative + selective format as TCP SACK (the algorithm "closely
+    follows the TCP selective acknowledgment procedure"). *)
+
+type Net.Packet.payload +=
+  | Rla_data of { seq : int; sent_at : float; rexmit : bool }
+  | Rla_ack of {
+      rcvr : Net.Packet.addr;  (** Which receiver is acknowledging. *)
+      cum_ack : int;
+      blocks : Tcp.Wire.sack_block list;
+      echo : float;
+      ece : bool;  (** Echo of an ECN congestion mark. *)
+    }
+
+val data_size : int
+
+val ack_size : int

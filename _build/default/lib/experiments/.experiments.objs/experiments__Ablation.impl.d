@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: List Printf Rla Scenario Sharing Tcp Tree

@@ -1,0 +1,1 @@
+lib/experiments/baseline_fairness.ml: Baselines List Net Option Rla Scenario Stdlib Tcp

@@ -1,0 +1,1 @@
+lib/experiments/buffer_dynamics.ml: List Net Option Sim Stats Stdlib Tcp

@@ -1,0 +1,1 @@
+lib/experiments/buffer_dynamics.mli:

@@ -1,0 +1,1 @@
+lib/experiments/diff_rtt.ml: List Net Printf Rla Scenario Tcp Tree

@@ -1,0 +1,1 @@
+lib/experiments/diff_rtt.mli: Rla Scenario Tcp Tree

@@ -1,0 +1,1 @@
+lib/experiments/ecn.ml: Format List Rla Scenario Sharing String Tcp Tree

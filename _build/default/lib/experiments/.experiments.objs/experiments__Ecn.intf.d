@@ -1,0 +1,1 @@
+lib/experiments/ecn.mli: Format Sharing

@@ -1,0 +1,1 @@
+lib/experiments/multi_session.ml: Array List Net Rla Scenario Tcp Tree

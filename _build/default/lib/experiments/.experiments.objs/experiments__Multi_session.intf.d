@@ -1,0 +1,1 @@
+lib/experiments/multi_session.mli: Rla Scenario Tcp Tree

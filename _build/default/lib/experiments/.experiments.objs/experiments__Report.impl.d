@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablation Analysis Array Baseline_fairness Buffer_dynamics Diff_rtt Format List Multi_session Rla Scenario Sharing Stats Stdlib String Tcp Tree Validation

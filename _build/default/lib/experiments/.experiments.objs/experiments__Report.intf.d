@@ -1,0 +1,1 @@
+lib/experiments/report.mli: Ablation Analysis Baseline_fairness Buffer_dynamics Diff_rtt Format Multi_session Sharing Validation

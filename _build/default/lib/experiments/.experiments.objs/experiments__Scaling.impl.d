@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Format List Net Rla Scenario Stdlib String Tcp

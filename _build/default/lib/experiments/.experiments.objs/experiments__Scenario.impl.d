@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Net Rla String

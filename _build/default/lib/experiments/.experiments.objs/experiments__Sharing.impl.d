@@ -1,0 +1,1 @@
+lib/experiments/sharing.ml: Array List Net Option Rla Scenario Stdlib Tcp Tree

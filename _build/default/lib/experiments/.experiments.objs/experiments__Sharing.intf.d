@@ -1,0 +1,1 @@
+lib/experiments/sharing.mli: Net Rla Scenario Tcp Tree

@@ -1,0 +1,1 @@
+lib/experiments/short_flows.ml: Baselines Format List Net Printf Rla Scenario Sim Stats String Tcp

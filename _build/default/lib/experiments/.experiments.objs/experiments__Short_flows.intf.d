@@ -1,0 +1,1 @@
+lib/experiments/short_flows.mli: Format

@@ -1,0 +1,1 @@
+lib/experiments/timeseries.ml: Array Format List Net Sim Stdlib

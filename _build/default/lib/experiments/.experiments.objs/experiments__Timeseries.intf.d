@@ -1,0 +1,1 @@
+lib/experiments/timeseries.mli: Format Net

@@ -1,0 +1,1 @@
+lib/experiments/tree.ml: Array Net Printf Scenario Stdlib

@@ -1,0 +1,1 @@
+lib/experiments/tree.mli: Net Scenario

@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: Analysis List Net Tcp

@@ -1,0 +1,100 @@
+type variant = {
+  label : string;
+  params : Rla.Params.t;
+  phase_jitter : bool option;
+}
+
+let base = Rla.Params.default
+
+let plain label params = { label; params; phase_jitter = None }
+
+let grouping_variants () =
+  List.map
+    (fun f ->
+      plain
+        (Printf.sprintf "grouping=%.0f RTT" f)
+        { base with Rla.Params.group_rtt_factor = f })
+    [ 0.0; 1.0; 2.0; 4.0 ]
+
+let forced_cut_variants () =
+  plain "forced-cut off" { base with Rla.Params.forced_cut_factor = infinity }
+  :: List.map
+       (fun f ->
+         plain
+           (Printf.sprintf "forced-cut=%.0fx" f)
+           { base with Rla.Params.forced_cut_factor = f })
+       [ 1.0; 2.0; 4.0 ]
+
+let eta_variants () =
+  List.map
+    (fun eta ->
+      plain (Printf.sprintf "eta=%.0f" eta) { base with Rla.Params.eta = eta })
+    [ 2.0; 5.0; 20.0; 100.0 ]
+
+let phase_variants () =
+  [
+    { label = "phase jitter off"; params = base; phase_jitter = Some false };
+    { label = "phase jitter on"; params = base; phase_jitter = Some true };
+  ]
+
+let rexmit_timeout_variants () =
+  plain "rexmit-timeout off"
+    { base with Rla.Params.rexmit_timeout_factor = infinity }
+  :: List.map
+       (fun f ->
+         plain
+           (Printf.sprintf "rexmit-timeout=%.1f srtt" f)
+           { base with Rla.Params.rexmit_timeout_factor = f })
+       [ 1.5; 2.0; 4.0 ]
+
+let ack_jitter_variants () =
+  List.map
+    (fun j ->
+      plain
+        (Printf.sprintf "ack-jitter=%.0f ms" (j *. 1000.0))
+        { base with Rla.Params.ack_jitter = j })
+    [ 0.0; 0.002; 0.01 ]
+
+let rtt_exponent_variants () =
+  List.map
+    (fun k ->
+      plain
+        (Printf.sprintf "pthresh rtt exponent k=%.0f" k)
+        (Rla.Params.generalized ~k base))
+    [ 0.0; 1.0; 2.0 ]
+
+type row = {
+  variant : variant;
+  rla_throughput : float;
+  wtcp_throughput : float;
+  ratio : float;
+  congestion_signals : int;
+  window_cuts : int;
+  forced_cuts : int;
+}
+
+let run ~variants ?(case_index = 3) ?(duration = 250.0) ?(seed = 1) () =
+  List.map
+    (fun variant ->
+      let config =
+        {
+          (Sharing.default_config ~gateway:Scenario.Droptail
+             ~case:(Tree.case_of_index case_index))
+          with
+          Sharing.duration;
+          seed;
+          rla_params = variant.params;
+          phase_jitter = variant.phase_jitter;
+        }
+      in
+      let r = Sharing.run config in
+      {
+        variant;
+        rla_throughput = r.Sharing.rla.Rla.Sender.send_rate;
+        wtcp_throughput = r.Sharing.wtcp.Tcp.Sender.send_rate;
+        ratio = r.Sharing.ratio;
+        congestion_signals = r.Sharing.rla.Rla.Sender.congestion_signals;
+        window_cuts = r.Sharing.rla.Rla.Sender.window_cuts;
+        forced_cuts = r.Sharing.rla.Rla.Sender.forced_cuts;
+      })
+    variants

@@ -1,0 +1,50 @@
+(** Ablations of the RLA design choices DESIGN.md calls out:
+    congestion-signal grouping window, forced-cut horizon, the eta
+    troubled-receiver threshold, phase-effect randomization, and the
+    generalized-pthresh exponent.  Each variant reruns the case-3
+    drop-tail sharing experiment. *)
+
+type variant = {
+  label : string;
+  params : Rla.Params.t;
+  phase_jitter : bool option;
+}
+
+val grouping_variants : unit -> variant list
+(** group_rtt_factor in 0 / 1 / 2 / 4. *)
+
+val forced_cut_variants : unit -> variant list
+(** forced_cut_factor off (infinity) / 1 / 2 / 4. *)
+
+val eta_variants : unit -> variant list
+(** eta in 2 / 5 / 20 / 100. *)
+
+val phase_variants : unit -> variant list
+(** Phase jitter forced off vs on (drop-tail). *)
+
+val rexmit_timeout_variants : unit -> variant list
+(** Per-retransmission expiry off / 1.5 / 2 / 4 srtt. *)
+
+val ack_jitter_variants : unit -> variant list
+(** Receiver ack jitter 0 / 2 / 10 ms. *)
+
+val rtt_exponent_variants : unit -> variant list
+(** Generalized pthresh exponent k in 0 / 1 / 2. *)
+
+type row = {
+  variant : variant;
+  rla_throughput : float;
+  wtcp_throughput : float;
+  ratio : float;
+  congestion_signals : int;
+  window_cuts : int;
+  forced_cuts : int;
+}
+
+val run :
+  variants:variant list ->
+  ?case_index:int ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  row list

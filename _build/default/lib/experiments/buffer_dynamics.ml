@@ -1,0 +1,122 @@
+type config = {
+  n_tcp : int;
+  mu_pkts : float;
+  buffer : int;
+  rtt : float;
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_tcp = 4;
+    mu_pkts = 400.0;
+    buffer = 20;
+    rtt = 0.2;
+    duration = 300.0;
+    warmup = 50.0;
+    seed = 1;
+  }
+
+type result = {
+  config : config;
+  episodes : int;
+  drops : int;
+  drops_per_episode : float;
+  mean_episode_length : float;
+  mean_gap : float;
+  mean_queue : float;
+  episode_over_2rtt : float;
+  gap_over_2rtt : float;
+  measured_rtt : float;
+}
+
+(* Drops separated by less than 2*RTT belong to the same episode — the
+   same grouping rule the RLA applies per receiver. *)
+type episode_state = {
+  mutable first_drop : float;
+  mutable last_drop : float;
+  mutable drop_count : int;
+}
+
+let run config =
+  if config.n_tcp <= 0 then invalid_arg "Buffer_dynamics.run: need TCP flows";
+  if config.duration <= config.warmup then
+    invalid_arg "Buffer_dynamics.run: duration must exceed warmup";
+  let net = Net.Network.create ~seed:config.seed () in
+  let s = Net.Node.id (Net.Network.add_node net) in
+  let r = Net.Node.id (Net.Network.add_node net) in
+  ignore
+    (Net.Network.duplex net s r
+       {
+         Net.Link.bandwidth_bps = config.mu_pkts *. 8000.0;
+         prop_delay = config.rtt /. 2.0;
+         queue = Net.Queue_disc.Droptail;
+         capacity = config.buffer;
+         phase_jitter = true;
+       });
+  Net.Network.install_routes net;
+  let tcps =
+    List.init config.n_tcp (fun _ -> Tcp.Sender.create ~net ~src:s ~dst:r ())
+  in
+  let link = Option.get (Net.Network.link_between net s r) in
+  let sched = Net.Network.scheduler net in
+  let group_window = 2.0 *. config.rtt in
+  let episode_lengths = Stats.Welford.create () in
+  let gaps = Stats.Welford.create () in
+  let drops_per_episode = Stats.Welford.create () in
+  let queue_avg = Stats.Welford.create () in
+  let total_drops = ref 0 in
+  let current = ref None in
+  let close_episode e =
+    Stats.Welford.add episode_lengths (e.last_drop -. e.first_drop);
+    Stats.Welford.add drops_per_episode (float_of_int e.drop_count)
+  in
+  Net.Link.set_drop_hook link (fun _ ->
+      let now = Sim.Scheduler.now sched in
+      if now >= config.warmup then begin
+        incr total_drops;
+        match !current with
+        | Some e when now -. e.last_drop <= group_window ->
+            e.last_drop <- now;
+            e.drop_count <- e.drop_count + 1
+        | Some e ->
+            close_episode e;
+            Stats.Welford.add gaps (now -. e.first_drop);
+            current := Some { first_drop = now; last_drop = now; drop_count = 1 }
+        | None ->
+            current := Some { first_drop = now; last_drop = now; drop_count = 1 }
+      end);
+  (* Sample the queue for its time average. *)
+  let rec sample () =
+    if Sim.Scheduler.now sched >= config.warmup then
+      Stats.Welford.add queue_avg (float_of_int (Net.Link.qlen link));
+    ignore (Sim.Scheduler.schedule_after sched 0.01 sample)
+  in
+  ignore (Sim.Scheduler.schedule_after sched 0.01 sample);
+  Net.Network.run_until net config.warmup;
+  List.iter Tcp.Sender.reset_measurement tcps;
+  Net.Network.run_until net config.duration;
+  (match !current with Some e -> close_episode e | None -> ());
+  let measured_rtt =
+    let sum =
+      List.fold_left
+        (fun acc tcp -> acc +. (Tcp.Sender.snapshot tcp).Tcp.Sender.rtt_avg)
+        0.0 tcps
+    in
+    sum /. float_of_int config.n_tcp
+  in
+  let two_rtt = 2.0 *. Stdlib.max measured_rtt 1e-9 in
+  {
+    config;
+    episodes = Stats.Welford.count episode_lengths;
+    drops = !total_drops;
+    drops_per_episode = Stats.Welford.mean drops_per_episode;
+    mean_episode_length = Stats.Welford.mean episode_lengths;
+    mean_gap = Stats.Welford.mean gaps;
+    mean_queue = Stats.Welford.mean queue_avg;
+    episode_over_2rtt = Stats.Welford.mean episode_lengths /. two_rtt;
+    gap_over_2rtt = Stats.Welford.mean gaps /. two_rtt;
+    measured_rtt;
+  }

@@ -1,0 +1,43 @@
+(** Section 3.1: the macroscopic behaviour of a drop-tail buffer
+    carrying TCP traffic.
+
+    The paper observes that the bottleneck buffer oscillates between
+    (nearly) empty and full, that packet drops cluster into short
+    {e drop episodes} of at most about two round-trip times while
+    consecutive episodes are much further apart, and grounds the RLA's
+    loss-grouping rule (losses within [2*srtt_i] count as one
+    congestion signal) on that observation.
+
+    Rather than relying on queue-occupancy thresholds, this experiment
+    observes the drops themselves: drops closer than [2*RTT] belong to
+    one episode; a new episode starts otherwise.  It reports episode
+    lengths, inter-episode gaps, and the time-average queue. *)
+
+type config = {
+  n_tcp : int;  (** Competing TCP flows through the bottleneck. *)
+  mu_pkts : float;  (** Bottleneck capacity, pkt/s. *)
+  buffer : int;  (** Buffer size in packets (paper: 20). *)
+  rtt : float;  (** Two-way propagation delay. *)
+  duration : float;
+  warmup : float;
+  seed : int;
+}
+
+val default_config : config
+(** 4 TCP flows, 400 pkt/s, buffer 20, 200 ms RTT, 300 s. *)
+
+type result = {
+  config : config;
+  episodes : int;  (** Drop episodes observed after warm-up. *)
+  drops : int;  (** Individual packet drops. *)
+  drops_per_episode : float;
+  mean_episode_length : float;
+      (** First drop to last drop of an episode (s). *)
+  mean_gap : float;  (** First drop to first drop of the next episode. *)
+  mean_queue : float;  (** Time-average queue length (packets). *)
+  episode_over_2rtt : float;  (** mean episode length / (2 * RTT). *)
+  gap_over_2rtt : float;  (** mean gap / (2 * RTT). *)
+  measured_rtt : float;
+}
+
+val run : config -> result

@@ -1,0 +1,86 @@
+type config = {
+  gateway : Scenario.gateway;
+  case : Tree.case;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+  share : float;
+}
+
+let default_config ~case_index =
+  let case =
+    match case_index with
+    | 1 -> Tree.L2_all
+    | 2 -> Tree.L3_all
+    | n ->
+        invalid_arg
+          (Printf.sprintf "Diff_rtt.default_config: case %d not in {1, 2}" n)
+  in
+  {
+    gateway = Scenario.Droptail;
+    case;
+    duration = 300.0;
+    warmup = 100.0;
+    seed = 1;
+    rla_params =
+      Rla.Params.generalized
+        { Rla.Params.default with Rla.Params.trouble_counting = Rla.Params.All_receivers };
+    share = 100.0;
+  }
+
+type result = {
+  config : config;
+  rla : Rla.Sender.snapshot;
+  wtcp : Tcp.Sender.snapshot;
+  btcp : Tcp.Sender.snapshot;
+  n_receivers : int;
+  ratio : float;
+}
+
+let run config =
+  if config.duration <= config.warmup then
+    invalid_arg "Diff_rtt.run: duration must exceed warmup";
+  let tree =
+    Tree.build ~seed:config.seed ~gateway:config.gateway ~case:config.case
+      ~share:config.share ~receivers_include_g3:true ()
+  in
+  let net = tree.Tree.net in
+  let receivers = Tree.receivers tree ~include_g3:true in
+  let rla =
+    Rla.Sender.create ~net ~src:tree.Tree.root ~receivers
+      ~params:config.rla_params ()
+  in
+  (* Background TCPs run to the leaves only: the paper's figure-10 TCP
+     rows all show leaf-level round-trip times. *)
+  let tcps =
+    List.map
+      (fun dst -> Tcp.Sender.create ~net ~src:tree.Tree.root ~dst ())
+      (Tree.receivers tree ~include_g3:false)
+  in
+  Net.Network.run_until net config.warmup;
+  Rla.Sender.reset_measurement rla;
+  List.iter Tcp.Sender.reset_measurement tcps;
+  Net.Network.run_until net config.duration;
+  let rla_snap = Rla.Sender.snapshot rla in
+  let snaps =
+    List.sort
+      (fun a b -> compare a.Tcp.Sender.throughput b.Tcp.Sender.throughput)
+      (List.map Tcp.Sender.snapshot tcps)
+  in
+  let wtcp, btcp =
+    match (snaps, List.rev snaps) with
+    | lo :: _, hi :: _ -> (lo, hi)
+    | _ -> invalid_arg "Diff_rtt.run: no TCP flows"
+  in
+  {
+    config;
+    rla = rla_snap;
+    wtcp;
+    btcp;
+    n_receivers = List.length receivers;
+    ratio =
+      Rla.Fairness.measured_ratio
+        ~rla_throughput:rla_snap.Rla.Sender.send_rate
+        ~tcp_throughput:wtcp.Tcp.Sender.send_rate;
+  }

@@ -1,0 +1,35 @@
+(** Section 5.3 / figure 10: the generalized RLA on a topology with
+    heterogeneous round-trip times.
+
+    The nine level-3 gateways G31..G39 join the multicast session as
+    receivers alongside the 27 leaves (36 receivers total); the G3
+    receivers sit 100 ms (one way) closer to the root.  The generalized
+    RLA scales the cut probability by [(srtt_i / srtt_max)^2] so that
+    congestion signals from short-RTT receivers are mostly ignored.
+    Bottlenecks at the level-2 links (case 1) or level-3 links
+    (case 2). *)
+
+type config = {
+  gateway : Scenario.gateway;
+  case : Tree.case;  (** [Tree.L2_all] or [Tree.L3_all]. *)
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;  (** Defaults to the generalized variant. *)
+  share : float;
+}
+
+val default_config : case_index:int -> config
+(** [case_index] 1 -> L2 bottlenecks, 2 -> L3 bottlenecks (the paper's
+    figure-10 numbering); drop-tail gateways. *)
+
+type result = {
+  config : config;
+  rla : Rla.Sender.snapshot;
+  wtcp : Tcp.Sender.snapshot;
+  btcp : Tcp.Sender.snapshot;
+  n_receivers : int;
+  ratio : float;  (** RLA / worst TCP throughput. *)
+}
+
+val run : config -> result

@@ -1,0 +1,39 @@
+type row = { ecn : bool; result : Sharing.result }
+
+let run ?(case_index = 3) ?(duration = 200.0) ?(seed = 1) () =
+  List.map
+    (fun ecn ->
+      let config =
+        {
+          (Sharing.default_config ~gateway:Scenario.Red
+             ~case:(Tree.case_of_index case_index))
+          with
+          Sharing.duration;
+          warmup = duration /. 4.0;
+          seed;
+          ecn;
+        }
+      in
+      { ecn; result = Sharing.run config })
+    [ false; true ]
+
+let print ppf rows =
+  Format.fprintf ppf
+    "@.ECN extension — RED marking vs dropping (case %s)@."
+    (match rows with
+    | { result; _ } :: _ -> Tree.case_name result.Sharing.config.Sharing.case
+    | [] -> "?");
+  Format.fprintf ppf "%s@." (String.make 84 '-');
+  Format.fprintf ppf "%-8s %10s %10s %8s %8s %10s %8s %8s@." "ecn"
+    "RLA pkt/s" "WTCP" "ratio" "fair" "RLA rexmit" "#cut" "#to";
+  List.iter
+    (fun { ecn; result = r } ->
+      Format.fprintf ppf "%-8s %10.1f %10.1f %8.2f %8s %10d %8d %8d@."
+        (if ecn then "on" else "off")
+        r.Sharing.rla.Rla.Sender.send_rate r.Sharing.wtcp.Tcp.Sender.send_rate
+        r.Sharing.ratio
+        (if r.Sharing.essentially_fair then "yes" else "NO")
+        r.Sharing.rla.Rla.Sender.rexmits r.Sharing.rla.Rla.Sender.window_cuts
+        r.Sharing.rla.Rla.Sender.timeouts)
+    rows;
+  Format.fprintf ppf "%s@." (String.make 84 '-')

@@ -1,0 +1,19 @@
+(** The ECN extension: RED gateways mark instead of dropping, receivers
+    echo the mark, and both TCP and the RLA treat the echo as a
+    congestion signal.
+
+    The paper notes that keeping the RLA TCP-like means "any changes
+    ... in networks to improve TCP performance ... are likely to
+    improve the performance of our algorithm as well"; this experiment
+    demonstrates exactly that: with ECN the session keeps its fair
+    share while retransmissions (and hence duplicate multicast traffic)
+    collapse. *)
+
+type row = { ecn : bool; result : Sharing.result }
+
+val run :
+  ?case_index:int -> ?duration:float -> ?seed:int -> unit -> row list
+(** RED gateways, the given bottleneck case (default 3), ECN off then
+    on. *)
+
+val print : Format.formatter -> row list -> unit

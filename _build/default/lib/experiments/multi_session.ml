@@ -1,0 +1,82 @@
+type config = {
+  gateway : Scenario.gateway;
+  case : Tree.case;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+  share : float;
+}
+
+let default_config ~gateway =
+  {
+    gateway;
+    case = Tree.L4_all;
+    duration = 300.0;
+    warmup = 100.0;
+    seed = 1;
+    rla_params =
+      { Rla.Params.default with Rla.Params.trouble_counting = Rla.Params.All_receivers };
+    share = 100.0;
+  }
+
+type result = {
+  config : config;
+  session1 : Rla.Sender.snapshot;
+  session2 : Rla.Sender.snapshot;
+  wtcp : Tcp.Sender.snapshot;
+  btcp : Tcp.Sender.snapshot;
+  throughput_ratio : float;
+  cwnd_ratio : float;
+}
+
+let run config =
+  if config.duration <= config.warmup then
+    invalid_arg "Multi_session.run: duration must exceed warmup";
+  let tree =
+    Tree.build ~seed:config.seed ~gateway:config.gateway ~case:config.case
+      ~share:config.share ()
+  in
+  let net = tree.Tree.net in
+  let leaves = Array.to_list tree.Tree.leaves in
+  let session1 =
+    Rla.Sender.create ~net ~src:tree.Tree.root ~receivers:leaves
+      ~params:config.rla_params ()
+  in
+  let session2 =
+    Rla.Sender.create ~net ~src:tree.Tree.root ~receivers:leaves
+      ~params:config.rla_params ()
+  in
+  let tcps =
+    List.map
+      (fun leaf -> Tcp.Sender.create ~net ~src:tree.Tree.root ~dst:leaf ())
+      leaves
+  in
+  Net.Network.run_until net config.warmup;
+  Rla.Sender.reset_measurement session1;
+  Rla.Sender.reset_measurement session2;
+  List.iter Tcp.Sender.reset_measurement tcps;
+  Net.Network.run_until net config.duration;
+  let s1 = Rla.Sender.snapshot session1 in
+  let s2 = Rla.Sender.snapshot session2 in
+  let snaps =
+    List.sort
+      (fun a b -> compare a.Tcp.Sender.throughput b.Tcp.Sender.throughput)
+      (List.map Tcp.Sender.snapshot tcps)
+  in
+  let wtcp, btcp =
+    match (snaps, List.rev snaps) with
+    | lo :: _, hi :: _ -> (lo, hi)
+    | _ -> invalid_arg "Multi_session.run: no TCP flows"
+  in
+  let safe_div a b = if b <= 0.0 then infinity else a /. b in
+  {
+    config;
+    session1 = s1;
+    session2 = s2;
+    wtcp;
+    btcp;
+    throughput_ratio =
+      safe_div s1.Rla.Sender.send_rate s2.Rla.Sender.send_rate;
+    cwnd_ratio = safe_div s1.Rla.Sender.cwnd_avg s2.Rla.Sender.cwnd_avg;
+  }

@@ -1,0 +1,29 @@
+(** Section 5.2: two overlapping multicast sessions from the same
+    sender to the same 27 receivers (case-3 topology by default), plus
+    the background TCP per leaf.  The paper reports the two sessions
+    splitting the bandwidth almost equally (65.1 / 65.9 pkt/s, windows
+    19.9 / 20.1). *)
+
+type config = {
+  gateway : Scenario.gateway;
+  case : Tree.case;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+  share : float;
+}
+
+val default_config : gateway:Scenario.gateway -> config
+
+type result = {
+  config : config;
+  session1 : Rla.Sender.snapshot;
+  session2 : Rla.Sender.snapshot;
+  wtcp : Tcp.Sender.snapshot;
+  btcp : Tcp.Sender.snapshot;
+  throughput_ratio : float;  (** session1 / session2, in [0, inf). *)
+  cwnd_ratio : float;
+}
+
+val run : config -> result

@@ -1,0 +1,91 @@
+type config = {
+  ns : int list;
+  gateway : Scenario.gateway;
+  share : float;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+}
+
+let default_config =
+  {
+    ns = [ 2; 4; 8; 16; 32 ];
+    gateway = Scenario.Droptail;
+    share = 100.0;
+    duration = 200.0;
+    warmup = 50.0;
+    seed = 1;
+    rla_params = Rla.Params.default;
+  }
+
+type point = {
+  n : int;
+  rla_throughput : float;
+  rla_cwnd : float;
+  wtcp_throughput : float;
+  ratio : float;
+  congestion_signals : int;
+  window_cuts : int;
+}
+
+let run_point config n =
+  if config.duration <= config.warmup then
+    invalid_arg "Scaling.run: duration must exceed warmup";
+  let net = Net.Network.create ~seed:config.seed () in
+  let s = Net.Node.id (Net.Network.add_node net) in
+  let hub = Net.Node.id (Net.Network.add_node net) in
+  let leaves = List.init n (fun _ -> Net.Node.id (Net.Network.add_node net)) in
+  ignore
+    (Net.Network.duplex net s hub
+       (Scenario.fast_link_config ~gateway:config.gateway ~delay:0.005 ()));
+  List.iter
+    (fun leaf ->
+      ignore
+        (Net.Network.duplex net hub leaf
+           (Scenario.link_config ~gateway:config.gateway
+              ~mu_pkts:(config.share *. 2.0) ~delay:0.05 ())))
+    leaves;
+  Net.Network.install_routes net;
+  let rla =
+    Rla.Sender.create ~net ~src:s ~receivers:leaves ~params:config.rla_params ()
+  in
+  let tcps = List.map (fun leaf -> Tcp.Sender.create ~net ~src:s ~dst:leaf ()) leaves in
+  Net.Network.run_until net config.warmup;
+  Rla.Sender.reset_measurement rla;
+  List.iter Tcp.Sender.reset_measurement tcps;
+  Net.Network.run_until net config.duration;
+  let snap = Rla.Sender.snapshot rla in
+  let wtcp =
+    List.fold_left
+      (fun acc tcp ->
+        Stdlib.min acc (Tcp.Sender.snapshot tcp).Tcp.Sender.send_rate)
+      infinity tcps
+  in
+  {
+    n;
+    rla_throughput = snap.Rla.Sender.send_rate;
+    rla_cwnd = snap.Rla.Sender.cwnd_avg;
+    wtcp_throughput = wtcp;
+    ratio =
+      Rla.Fairness.measured_ratio ~rla_throughput:snap.Rla.Sender.send_rate
+        ~tcp_throughput:wtcp;
+    congestion_signals = snap.Rla.Sender.congestion_signals;
+    window_cuts = snap.Rla.Sender.window_cuts;
+  }
+
+let run config = List.map (run_point config) config.ns
+
+let print ppf points =
+  Format.fprintf ppf
+    "@.Scaling — RLA throughput must not vanish as receivers grow@.";
+  Format.fprintf ppf "%s@." (String.make 72 '-');
+  Format.fprintf ppf "%6s %12s %10s %12s %8s %8s %8s@." "N" "RLA pkt/s"
+    "RLA cwnd" "WTCP pkt/s" "ratio" "#sig" "#cut";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%6d %12.1f %10.1f %12.1f %8.2f %8d %8d@." p.n
+        p.rla_throughput p.rla_cwnd p.wtcp_throughput p.ratio
+        p.congestion_signals p.window_cuts)
+    points;
+  Format.fprintf ppf "%s@." (String.make 72 '-')

@@ -1,0 +1,36 @@
+(** Receiver-count scaling.
+
+    Section 2.1's minimum requirement for reasonable fairness: the
+    multicast session's throughput must not diminish to zero as the
+    number of receivers grows (a sender that reacted to {e every}
+    congestion signal would collapse like 1/N).  This experiment sweeps
+    N receivers on a uniform star whose branches are each shared with
+    one TCP flow, and reports the RLA's throughput and fairness ratio
+    per N. *)
+
+type config = {
+  ns : int list;  (** Receiver counts to sweep. *)
+  gateway : Scenario.gateway;
+  share : float;  (** Per-branch fair share, pkt/s. *)
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+}
+
+val default_config : config
+(** N in 2, 4, 8, 16, 32; drop-tail; 100 pkt/s shares. *)
+
+type point = {
+  n : int;
+  rla_throughput : float;
+  rla_cwnd : float;
+  wtcp_throughput : float;
+  ratio : float;
+  congestion_signals : int;
+  window_cuts : int;
+}
+
+val run : config -> point list
+
+val print : Format.formatter -> point list -> unit

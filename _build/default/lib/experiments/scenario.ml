@@ -1,0 +1,43 @@
+type gateway = Droptail | Red
+
+let gateway_name = function Droptail -> "drop-tail" | Red -> "RED"
+
+let gateway_of_string s =
+  match String.lowercase_ascii s with
+  | "droptail" | "drop-tail" | "tail" -> Some Droptail
+  | "red" -> Some Red
+  | _ -> None
+
+let packet_size = 1000
+
+let queue_kind ~gateway ~mu_pkts ~ecn =
+  match gateway with
+  | Droptail -> Net.Queue_disc.Droptail
+  | Red ->
+      let mean_pkt_time = 1.0 /. mu_pkts in
+      Net.Queue_disc.Red_gateway
+        { (Net.Red.default_params ~mean_pkt_time) with Net.Red.ecn }
+
+let link_config ~gateway ~mu_pkts ~delay ?(buffer = 20) ?phase_jitter
+    ?(ecn = false) () =
+  if mu_pkts <= 0.0 then invalid_arg "Scenario.link_config: bad capacity";
+  let phase_jitter =
+    match phase_jitter with
+    | Some b -> b
+    | None -> ( match gateway with Droptail -> true | Red -> false)
+  in
+  {
+    Net.Link.bandwidth_bps = mu_pkts *. float_of_int (packet_size * 8);
+    prop_delay = delay;
+    queue = queue_kind ~gateway ~mu_pkts ~ecn;
+    capacity = buffer;
+    phase_jitter;
+  }
+
+let fast_link_config ~gateway ~delay ?(buffer = 20) ?phase_jitter () =
+  let mu_pkts = 100.0e6 /. float_of_int (packet_size * 8) in
+  link_config ~gateway ~mu_pkts ~delay ~buffer ?phase_jitter ()
+
+let to_fairness_gateway = function
+  | Droptail -> Rla.Fairness.Droptail
+  | Red -> Rla.Fairness.Red

@@ -1,0 +1,42 @@
+(** Shared experiment vocabulary: gateway selection, link-config
+    helpers and measurement conventions (warm-up discarding). *)
+
+type gateway = Droptail | Red
+
+val gateway_name : gateway -> string
+
+val gateway_of_string : string -> gateway option
+
+val packet_size : int
+(** 1000 bytes, as in all the paper's simulations. *)
+
+val link_config :
+  gateway:gateway ->
+  mu_pkts:float ->
+  delay:float ->
+  ?buffer:int ->
+  ?phase_jitter:bool ->
+  ?ecn:bool ->
+  unit ->
+  Net.Link.config
+(** A link of capacity [mu_pkts] packets/s (1000-byte packets), one-way
+    propagation [delay], buffer of [buffer] packets (default 20).
+    RED gateways get the paper's thresholds (min 5 / max 15); phase
+    jitter defaults to on for drop-tail and off for RED, matching
+    section 5.  [ecn] (default off) makes RED gateways mark instead of
+    dropping in the probabilistic band. *)
+
+val fast_link_config :
+  gateway:gateway ->
+  delay:float ->
+  ?buffer:int ->
+  ?phase_jitter:bool ->
+  unit ->
+  Net.Link.config
+(** A non-bottleneck 100 Mbps link.  The buffer defaults to the paper's
+    20 packets — "all nodes have a buffer of size 20 packets" — which
+    matters: burst fan-in overflows even fast links occasionally, so
+    every branch reports some losses and all receivers stay troubled
+    (the paper's "all receivers are troubled receivers"). *)
+
+val to_fairness_gateway : gateway -> Rla.Fairness.gateway

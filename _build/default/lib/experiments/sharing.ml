@@ -1,0 +1,158 @@
+type config = {
+  gateway : Scenario.gateway;
+  case : Tree.case;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+  share : float;
+  phase_jitter : bool option;
+  ecn : bool;
+}
+
+let default_config ~gateway ~case =
+  {
+    gateway;
+    case;
+    duration = 300.0;
+    warmup = 100.0;
+    seed = 1;
+    (* The paper's evaluation pins num_trouble_rcvr to the receiver
+       count ("all receivers are troubled receivers"). *)
+    rla_params =
+      { Rla.Params.default with Rla.Params.trouble_counting = Rla.Params.All_receivers };
+    share = 100.0;
+    phase_jitter = None;
+    ecn = false;
+  }
+
+type tcp_flow = {
+  leaf : Net.Packet.addr;
+  congested : bool;
+  snap : Tcp.Sender.snapshot;
+}
+
+type group_stat = { worst : int; best : int; average : float }
+
+type result = {
+  config : config;
+  rla : Rla.Sender.snapshot;
+  tcps : tcp_flow list;
+  wtcp : Tcp.Sender.snapshot;
+  btcp : Tcp.Sender.snapshot;
+  n_receivers : int;
+  ratio : float;
+  bounds : float * float;
+  essentially_fair : bool;
+  rla_signals_congested : group_stat;
+  rla_signals_rest : group_stat option;
+  tcp_cuts_congested : group_stat;
+  tcp_cuts_rest : group_stat option;
+}
+
+let group_stat = function
+  | [] -> { worst = 0; best = 0; average = 0.0 }
+  | counts ->
+      let worst = List.fold_left Stdlib.max min_int counts in
+      let best = List.fold_left Stdlib.min max_int counts in
+      let sum = List.fold_left ( + ) 0 counts in
+      {
+        worst;
+        best;
+        average = float_of_int sum /. float_of_int (List.length counts);
+      }
+
+let split_by_congestion ~congested pairs =
+  let in_group, rest =
+    List.partition (fun (leaf, _) -> List.mem leaf congested) pairs
+  in
+  (List.map snd in_group, List.map snd rest)
+
+let run config =
+  if config.duration <= config.warmup then
+    invalid_arg "Sharing.run: duration must exceed warmup";
+  let tree =
+    Tree.build ~seed:config.seed ~gateway:config.gateway ~case:config.case
+      ~share:config.share ?phase_jitter:config.phase_jitter ~ecn:config.ecn ()
+  in
+  let net = tree.Tree.net in
+  let leaves = Array.to_list tree.Tree.leaves in
+  let rla =
+    Rla.Sender.create ~net ~src:tree.Tree.root ~receivers:leaves
+      ~params:config.rla_params ()
+  in
+  let tcps =
+    List.map
+      (fun leaf -> (leaf, Tcp.Sender.create ~net ~src:tree.Tree.root ~dst:leaf ()))
+      leaves
+  in
+  Net.Network.run_until net config.warmup;
+  Rla.Sender.reset_measurement rla;
+  List.iter (fun (_, tcp) -> Tcp.Sender.reset_measurement tcp) tcps;
+  Net.Network.run_until net config.duration;
+  let rla_snap = Rla.Sender.snapshot rla in
+  let congested = tree.Tree.congested_leaves in
+  let tcp_flows =
+    List.map
+      (fun (leaf, tcp) ->
+        { leaf; congested = List.mem leaf congested; snap = Tcp.Sender.snapshot tcp })
+      tcps
+  in
+  let by_throughput =
+    List.sort
+      (fun a b -> compare a.snap.Tcp.Sender.throughput b.snap.Tcp.Sender.throughput)
+      tcp_flows
+  in
+  let wtcp, btcp =
+    match (by_throughput, List.rev by_throughput) with
+    | lo :: _, hi :: _ -> (lo.snap, hi.snap)
+    | _ -> invalid_arg "Sharing.run: no TCP flows"
+  in
+  let n = List.length leaves in
+  (* Fairness is about bandwidth share on the bottleneck, so the ratio
+     compares send rates (new data + retransmissions), as the paper's
+     tables do. *)
+  let ratio =
+    Rla.Fairness.measured_ratio ~rla_throughput:rla_snap.Rla.Sender.send_rate
+      ~tcp_throughput:wtcp.Tcp.Sender.send_rate
+  in
+  let fairness_gateway = Scenario.to_fairness_gateway config.gateway in
+  let bounds = Rla.Fairness.essential_bounds fairness_gateway ~n in
+  let essentially_fair =
+    Rla.Fairness.is_essentially_fair fairness_gateway ~n
+      ~rla_throughput:rla_snap.Rla.Sender.send_rate
+      ~tcp_throughput:wtcp.Tcp.Sender.send_rate
+  in
+  let rla_cong, rla_rest =
+    split_by_congestion ~congested rla_snap.Rla.Sender.signals_per_receiver
+  in
+  let tcp_cong, tcp_rest =
+    split_by_congestion ~congested
+      (List.map (fun f -> (f.leaf, f.snap.Tcp.Sender.window_cuts)) tcp_flows)
+  in
+  {
+    config;
+    rla = rla_snap;
+    tcps = tcp_flows;
+    wtcp;
+    btcp;
+    n_receivers = n;
+    ratio;
+    bounds;
+    essentially_fair;
+    rla_signals_congested = group_stat rla_cong;
+    rla_signals_rest = (if rla_rest = [] then None else Some (group_stat rla_rest));
+    tcp_cuts_congested = group_stat tcp_cong;
+    tcp_cuts_rest = (if tcp_rest = [] then None else Some (group_stat tcp_rest));
+  }
+
+let run_case ~gateway ~case_index ?duration ?seed () =
+  let base = default_config ~gateway ~case:(Tree.case_of_index case_index) in
+  let config =
+    {
+      base with
+      duration = Option.value duration ~default:base.duration;
+      seed = Option.value seed ~default:base.seed;
+    }
+  in
+  run config

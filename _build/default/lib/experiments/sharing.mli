@@ -1,0 +1,64 @@
+(** The paper's main experiment (figures 7, 8 and 9): one RLA multicast
+    session from the tree root to all 27 leaves, plus one background
+    TCP connection from the root to every leaf, under one of the five
+    bottleneck cases, with drop-tail or RED gateways. *)
+
+type config = {
+  gateway : Scenario.gateway;
+  case : Tree.case;
+  duration : float;  (** Total simulated seconds (paper: 3000). *)
+  warmup : float;  (** Discarded prefix (paper: 100). *)
+  seed : int;
+  rla_params : Rla.Params.t;
+  share : float;  (** Soft-bottleneck equal share, pkt/s (paper: 100). *)
+  phase_jitter : bool option;
+      (** Override the gateway-type default (drop-tail: on, RED: off);
+          used by the phase-effect ablation. *)
+  ecn : bool;
+      (** RED gateways mark instead of dropping (the ECN extension);
+          ignored for drop-tail. *)
+}
+
+val default_config : gateway:Scenario.gateway -> case:Tree.case -> config
+(** 300 s runs with 100 s warm-up — long enough for stable shapes while
+    keeping the full five-case sweep tractable; pass a larger
+    [duration] to approach the paper's 3000 s numbers. *)
+
+type tcp_flow = {
+  leaf : Net.Packet.addr;
+  congested : bool;  (** Behind a designated bottleneck link. *)
+  snap : Tcp.Sender.snapshot;
+}
+
+type group_stat = { worst : int; best : int; average : float }
+(** Congestion-signal statistics over a set of branches (figure 8):
+    [worst] is the largest count, [best] the smallest. *)
+
+type result = {
+  config : config;
+  rla : Rla.Sender.snapshot;
+  tcps : tcp_flow list;
+  wtcp : Tcp.Sender.snapshot;  (** Lowest-throughput TCP. *)
+  btcp : Tcp.Sender.snapshot;  (** Highest-throughput TCP. *)
+  n_receivers : int;
+  ratio : float;  (** RLA throughput / worst-TCP throughput. *)
+  bounds : float * float;  (** Theorem (a, b) for this gateway. *)
+  essentially_fair : bool;
+  rla_signals_congested : group_stat;
+      (** Signals per receiver on congested branches. *)
+  rla_signals_rest : group_stat option;
+      (** Same for the remaining branches (cases 4-5). *)
+  tcp_cuts_congested : group_stat;
+  tcp_cuts_rest : group_stat option;
+}
+
+val run : config -> result
+
+val run_case :
+  gateway:Scenario.gateway ->
+  case_index:int ->
+  ?duration:float ->
+  ?seed:int ->
+  unit ->
+  result
+(** Convenience wrapper using the paper's case numbering 1-5. *)

@@ -1,0 +1,115 @@
+type case =
+  | L1_bottleneck
+  | L2_all
+  | L3_all
+  | L4_all
+  | L4_first of int
+  | L2_single
+
+let case_of_index = function
+  | 1 -> L1_bottleneck
+  | 2 -> L3_all
+  | 3 -> L4_all
+  | 4 -> L4_first 5
+  | 5 -> L2_single
+  | n -> invalid_arg (Printf.sprintf "Tree.case_of_index: %d not in 1..5" n)
+
+let case_name = function
+  | L1_bottleneck -> "L1"
+  | L2_all -> "L2i, i=1..3"
+  | L3_all -> "L3i, i=1..9"
+  | L4_all -> "L4i, i=1..27"
+  | L4_first k -> Printf.sprintf "L4i, i=1..%d" k
+  | L2_single -> "L21"
+
+type t = {
+  net : Net.Network.t;
+  root : Net.Packet.addr;
+  g1 : Net.Packet.addr;
+  g2 : Net.Packet.addr array;
+  g3 : Net.Packet.addr array;
+  leaves : Net.Packet.addr array;
+  congested_leaves : Net.Packet.addr list;
+}
+
+let receivers t ~include_g3 =
+  let leaves = Array.to_list t.leaves in
+  if include_g3 then Array.to_list t.g3 @ leaves else leaves
+
+(* Level-4 leaf [i] (0-based) hangs under G3 [i/3], which hangs under
+   G2 [i/9]. *)
+let build ~seed ~gateway ~case ?(share = 100.0) ?(buffer = 20)
+    ?(receivers_include_g3 = false) ?phase_jitter ?(ecn = false) () =
+  let net = Net.Network.create ~seed () in
+  let root = Net.Node.id (Net.Network.add_node net) in
+  let g1 = Net.Node.id (Net.Network.add_node net) in
+  let g2 = Array.init 3 (fun _ -> Net.Node.id (Net.Network.add_node net)) in
+  let g3 = Array.init 9 (fun _ -> Net.Node.id (Net.Network.add_node net)) in
+  let leaves =
+    Array.init 27 (fun _ -> Net.Node.id (Net.Network.add_node net))
+  in
+  (* Unicast TCP flows crossing each link level: one TCP per leaf (the
+     paper's background load stays on the leaves even when the G3
+     gateways join the multicast group, as its figure-10 TCP rows all
+     show leaf-level round-trip times). *)
+  ignore receivers_include_g3;
+  let tcp_through_l1 = 27 in
+  let tcp_through_l2 = 9 in
+  let tcp_through_l3 = 3 in
+  let tcp_through_l4 = 1 in
+  let congested_l1 = case = L1_bottleneck in
+  let congested_l2 i =
+    match case with
+    | L2_all -> true
+    | L2_single -> i = 0
+    | L1_bottleneck | L3_all | L4_all | L4_first _ -> false
+  in
+  let congested_l3 _ = case = L3_all in
+  let congested_l4 i =
+    match case with
+    | L4_all -> true
+    | L4_first k -> i < k
+    | L1_bottleneck | L2_all | L3_all | L2_single -> false
+  in
+  let config ~congested ~tcp_flows ~delay =
+    if congested then
+      Scenario.link_config ~gateway
+        ~mu_pkts:(share *. float_of_int (tcp_flows + 1))
+        ~delay ~buffer ?phase_jitter ~ecn ()
+    else Scenario.fast_link_config ~gateway ~delay ?phase_jitter ()
+  in
+  ignore
+    (Net.Network.duplex net root g1
+       (config ~congested:congested_l1 ~tcp_flows:tcp_through_l1 ~delay:0.005));
+  Array.iteri
+    (fun i n ->
+      ignore
+        (Net.Network.duplex net g1 n
+           (config ~congested:(congested_l2 i) ~tcp_flows:tcp_through_l2
+              ~delay:0.005)))
+    g2;
+  Array.iteri
+    (fun i n ->
+      ignore
+        (Net.Network.duplex net g2.(i / 3) n
+           (config ~congested:(congested_l3 i) ~tcp_flows:tcp_through_l3
+              ~delay:0.005)))
+    g3;
+  Array.iteri
+    (fun i n ->
+      ignore
+        (Net.Network.duplex net g3.(i / 3) n
+           (config ~congested:(congested_l4 i) ~tcp_flows:tcp_through_l4
+              ~delay:0.1)))
+    leaves;
+  Net.Network.install_routes net;
+  let congested_leaves =
+    match case with
+    | L1_bottleneck | L2_all | L3_all | L4_all -> Array.to_list leaves
+    | L4_first k ->
+        Array.to_list (Array.sub leaves 0 (Stdlib.min k (Array.length leaves)))
+    | L2_single ->
+        (* Leaves 0..8 sit below G2.(0), reached through L21. *)
+        Array.to_list (Array.sub leaves 0 9)
+  in
+  { net; root; g1; g2; g3; leaves; congested_leaves }

@@ -1,0 +1,54 @@
+(** The paper's four-level tertiary tree (figure 6).
+
+    Nodes: root [S] — gateway [G1] — gateways [G2 1..3] — gateways
+    [G3 1..9] — receivers [R 1..27].  Links: [L1] (S-G1), [L2i]
+    (G1-G2i), [L3i] (G2-G3i), [L4i] (G3-Ri).  One-way propagation is
+    5 ms on the first three levels and 100 ms on the fourth, so all
+    leaves sit at the same RTT from the root.
+
+    Each case of figures 7-9 designates a set of most-congested links;
+    those get capacity [share * (competing TCP flows + 1)] packets per
+    second so the soft-bottleneck equal share is [share]; all other
+    links run at 100 Mbps. *)
+
+type case =
+  | L1_bottleneck  (** Case 1: the shared root link — fully correlated losses. *)
+  | L2_all  (** All three level-2 links (figure 10, case 1). *)
+  | L3_all  (** Case 2: all nine level-3 links. *)
+  | L4_all  (** Case 3: all 27 leaf links — independent losses. *)
+  | L4_first of int  (** Case 4: only the first [k] leaf links (paper: 5). *)
+  | L2_single  (** Case 5: link L21 only (receivers 1-9 behind it). *)
+
+val case_of_index : int -> case
+(** 1-5 as in the paper's tables; raises [Invalid_argument] otherwise. *)
+
+val case_name : case -> string
+
+type t = {
+  net : Net.Network.t;
+  root : Net.Packet.addr;  (** S *)
+  g1 : Net.Packet.addr;
+  g2 : Net.Packet.addr array;  (** 3 *)
+  g3 : Net.Packet.addr array;  (** 9 *)
+  leaves : Net.Packet.addr array;  (** 27 *)
+  congested_leaves : Net.Packet.addr list;
+      (** Receivers behind a designated bottleneck. *)
+}
+
+val build :
+  seed:int ->
+  gateway:Scenario.gateway ->
+  case:case ->
+  ?share:float ->
+  ?buffer:int ->
+  ?receivers_include_g3:bool ->
+  ?phase_jitter:bool ->
+  ?ecn:bool ->
+  unit ->
+  t
+(** [share] defaults to the paper's 100 pkt/s.
+    [receivers_include_g3] widens the receiver set for the
+    different-RTT experiment (figure 10): TCP flow counts per link then
+    include the G3 receivers. Routes are installed. *)
+
+val receivers : t -> include_g3:bool -> Net.Packet.addr list

@@ -1,0 +1,62 @@
+type point = {
+  p : float;
+  measured_cwnd : float;
+  predicted_cwnd : float;
+  measured_throughput : float;
+  predicted_throughput : float;
+  ratio : float;
+}
+
+type config = {
+  ps : float list;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rtt : float;
+}
+
+let default_config =
+  {
+    ps = [ 0.003; 0.005; 0.01; 0.02; 0.03; 0.05 ];
+    duration = 300.0;
+    warmup = 50.0;
+    seed = 1;
+    rtt = 0.1;
+  }
+
+let run_point ~config ~p =
+  if config.duration <= config.warmup then
+    invalid_arg "Validation.run: duration must exceed warmup";
+  let net = Net.Network.create ~seed:config.seed () in
+  let s = Net.Node.id (Net.Network.add_node net) in
+  let r = Net.Node.id (Net.Network.add_node net) in
+  (* Ample bandwidth and buffer: the window, not the queue, limits the
+     flow, so drops come only from the Bernoulli process. *)
+  let link =
+    {
+      Net.Link.bandwidth_bps = 80.0e6;
+      prop_delay = config.rtt /. 2.0;
+      queue = Net.Queue_disc.Bernoulli_loss p;
+      capacity = 10_000;
+      phase_jitter = false;
+    }
+  in
+  ignore (Net.Network.duplex net s r link);
+  Net.Network.install_routes net;
+  let tcp = Tcp.Sender.create ~net ~src:s ~dst:r () in
+  Net.Network.run_until net config.warmup;
+  Tcp.Sender.reset_measurement tcp;
+  Net.Network.run_until net config.duration;
+  let snap = Tcp.Sender.snapshot tcp in
+  let predicted_cwnd = Analysis.Tcp_model.pa_window p in
+  let rtt = if snap.Tcp.Sender.rtt_avg > 0.0 then snap.Tcp.Sender.rtt_avg else config.rtt in
+  {
+    p;
+    measured_cwnd = snap.Tcp.Sender.cwnd_avg;
+    predicted_cwnd;
+    measured_throughput = snap.Tcp.Sender.throughput;
+    predicted_throughput = predicted_cwnd /. rtt;
+    ratio = snap.Tcp.Sender.cwnd_avg /. predicted_cwnd;
+  }
+
+let run config = List.map (fun p -> run_point ~config ~p) config.ps

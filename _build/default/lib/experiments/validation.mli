@@ -1,0 +1,27 @@
+(** Validation of the analytical window formula (equation 1 /
+    section 4.1): a single TCP SACK flow runs through a link that drops
+    packets independently with probability [p]; the measured
+    time-average congestion window is compared with the
+    proportional-average prediction [sqrt(2(1-p)/p)]. *)
+
+type point = {
+  p : float;  (** Configured per-packet drop probability. *)
+  measured_cwnd : float;
+  predicted_cwnd : float;
+  measured_throughput : float;
+  predicted_throughput : float;  (** PA window / RTT. *)
+  ratio : float;  (** measured / predicted window. *)
+}
+
+type config = {
+  ps : float list;
+  duration : float;
+  warmup : float;
+  seed : int;
+  rtt : float;  (** Two-way propagation delay of the path. *)
+}
+
+val default_config : config
+(** p in 0.003..0.05, 300 s per point, 100 ms RTT. *)
+
+val run : config -> point list

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Hashtbl Link List Node Packet Printf Queue Sim Stdlib

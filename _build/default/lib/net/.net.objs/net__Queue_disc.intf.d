@@ -1,0 +1,1 @@
+lib/net/queue_disc.mli: Red Sim

@@ -1,0 +1,1 @@
+lib/net/red.ml: Sim Stdlib

@@ -1,0 +1,128 @@
+type config = {
+  bandwidth_bps : float;
+  prop_delay : float;
+  queue : Queue_disc.kind;
+  capacity : int;
+  phase_jitter : bool;
+}
+
+type stats = {
+  offered : int;
+  dropped : int;
+  delivered : int;
+  bytes_delivered : int;
+  marked : int;
+}
+
+type t = {
+  id : string;
+  sched : Sim.Scheduler.t;
+  rng : Sim.Rng.t;
+  config : config;
+  disc : Queue_disc.t;
+  buffer : Packet.t Queue.t;
+  deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable offered : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable bytes_delivered : int;
+  mutable marked : int;
+  mutable drop_hook : (Packet.t -> unit) option;
+}
+
+let create ~sched ~rng ~id config ~deliver =
+  if config.bandwidth_bps <= 0.0 then
+    invalid_arg "Link.create: bandwidth must be positive";
+  if config.prop_delay < 0.0 then
+    invalid_arg "Link.create: negative propagation delay";
+  {
+    id;
+    sched;
+    rng;
+    config;
+    disc = Queue_disc.create config.queue ~capacity:config.capacity ~rng;
+    buffer = Queue.create ();
+    deliver;
+    busy = false;
+    offered = 0;
+    dropped = 0;
+    delivered = 0;
+    bytes_delivered = 0;
+    marked = 0;
+    drop_hook = None;
+  }
+
+let id t = t.id
+
+let config t = t.config
+
+let qlen t = Queue.length t.buffer
+
+let busy t = t.busy
+
+let service_time t size = float_of_int (size * 8) /. t.config.bandwidth_bps
+
+let stats t =
+  {
+    offered = t.offered;
+    dropped = t.dropped;
+    delivered = t.delivered;
+    bytes_delivered = t.bytes_delivered;
+    marked = t.marked;
+  }
+
+let reset_stats t =
+  t.offered <- 0;
+  t.dropped <- 0;
+  t.delivered <- 0;
+  t.bytes_delivered <- 0;
+  t.marked <- 0
+
+let set_drop_hook t hook = t.drop_hook <- Some hook
+
+let avg_queue t = Queue_disc.avg_queue t.disc
+
+(* Deliver after propagation (+ optional phase jitter of up to one
+   service time, section 3.1 of the paper). *)
+let propagate t pkt =
+  let jitter =
+    if t.config.phase_jitter then
+      Sim.Rng.float t.rng (service_time t pkt.Packet.size)
+    else 0.0
+  in
+  ignore
+    (Sim.Scheduler.schedule_after t.sched
+       (t.config.prop_delay +. jitter)
+       (fun () -> t.deliver pkt))
+
+let rec start_transmission t =
+  match Queue.take_opt t.buffer with
+  | None ->
+      t.busy <- false;
+      Queue_disc.on_empty t.disc ~now:(Sim.Scheduler.now t.sched)
+  | Some pkt ->
+      t.busy <- true;
+      let tx = service_time t pkt.Packet.size in
+      ignore
+        (Sim.Scheduler.schedule_after t.sched tx (fun () ->
+             t.delivered <- t.delivered + 1;
+             t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+             propagate t pkt;
+             start_transmission t))
+
+let send t pkt =
+  t.offered <- t.offered + 1;
+  let now = Sim.Scheduler.now t.sched in
+  match Queue_disc.on_arrival t.disc ~now ~qlen:(Queue.length t.buffer) with
+  | `Drop -> begin
+      t.dropped <- t.dropped + 1;
+      match t.drop_hook with None -> () | Some hook -> hook pkt
+    end
+  | `Admit ->
+      Queue.add pkt t.buffer;
+      if not t.busy then start_transmission t
+  | `Mark ->
+      t.marked <- t.marked + 1;
+      Queue.add { pkt with Packet.ecn = true } t.buffer;
+      if not t.busy then start_transmission t

@@ -1,0 +1,63 @@
+(** Unidirectional link: buffer + transmitter + propagation delay.
+
+    A packet offered to the link first passes the queue discipline.
+    Admitted packets wait in a FIFO buffer; the transmitter serializes
+    one packet at a time at the configured bandwidth and hands it to
+    the [deliver] callback after the propagation delay.
+
+    When [phase_jitter] is on, a uniform random processing delay of up
+    to one packet service time is added before delivery, implementing
+    the paper's phase-effect elimination for drop-tail gateways
+    (section 3.1). *)
+
+type t
+
+type config = {
+  bandwidth_bps : float;  (** Bits per second. *)
+  prop_delay : float;  (** Seconds, one-way. *)
+  queue : Queue_disc.kind;
+  capacity : int;  (** Buffer size in packets. *)
+  phase_jitter : bool;
+}
+
+type stats = {
+  offered : int;  (** Packets offered to the link. *)
+  dropped : int;  (** Packets rejected by the discipline/buffer. *)
+  delivered : int;  (** Packets handed to the far end. *)
+  bytes_delivered : int;
+  marked : int;  (** Packets ECN-marked by the discipline. *)
+}
+
+val create :
+  sched:Sim.Scheduler.t ->
+  rng:Sim.Rng.t ->
+  id:string ->
+  config ->
+  deliver:(Packet.t -> unit) ->
+  t
+
+val send : t -> Packet.t -> unit
+(** Offer a packet; drops are counted, not signalled to the caller
+    (endpoints learn about losses end-to-end, as in the real network). *)
+
+val id : t -> string
+
+val config : t -> config
+
+val qlen : t -> int
+(** Packets currently waiting (excludes the one in service). *)
+
+val busy : t -> bool
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val service_time : t -> int -> float
+(** [service_time t size] is the transmission time of [size] bytes. *)
+
+val set_drop_hook : t -> (Packet.t -> unit) -> unit
+(** Called on every packet the link drops (for experiment probes). *)
+
+val avg_queue : t -> float
+(** RED average queue estimate ([nan] for drop-tail links). *)

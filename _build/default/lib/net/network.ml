@@ -1,0 +1,195 @@
+type t = {
+  sched : Sim.Scheduler.t;
+  root_rng : Sim.Rng.t;
+  trace : Sim.Trace.t;
+  mutable nodes : Node.t array;
+  mutable n_nodes : int;
+  directed : (Packet.addr * Packet.addr, Link.t) Hashtbl.t;
+  mutable link_list : Link.t list;  (* reverse creation order *)
+  adjacency : (Packet.addr, Packet.addr list ref) Hashtbl.t;
+  mutable next_flow : int;
+  mutable next_group : int;
+  mutable next_uid : int;
+  mutable routed : bool;
+}
+
+let create ?(seed = 1) () =
+  {
+    sched = Sim.Scheduler.create ();
+    root_rng = Sim.Rng.create seed;
+    trace = Sim.Trace.create ();
+    nodes = [||];
+    n_nodes = 0;
+    directed = Hashtbl.create 64;
+    link_list = [];
+    adjacency = Hashtbl.create 64;
+    next_flow = 0;
+    next_group = 0;
+    next_uid = 0;
+    routed = false;
+  }
+
+let scheduler t = t.sched
+
+let rng t = t.root_rng
+
+let fork_rng t = Sim.Rng.split t.root_rng
+
+let trace t = t.trace
+
+let now t = Sim.Scheduler.now t.sched
+
+let add_node t =
+  let id = t.n_nodes in
+  let node = Node.create id in
+  if t.n_nodes = Array.length t.nodes then begin
+    let grown = Array.make (Stdlib.max 8 (2 * t.n_nodes)) node in
+    Array.blit t.nodes 0 grown 0 t.n_nodes;
+    t.nodes <- grown
+  end;
+  t.nodes.(t.n_nodes) <- node;
+  t.n_nodes <- t.n_nodes + 1;
+  node
+
+let node t addr =
+  if addr < 0 || addr >= t.n_nodes then raise Not_found;
+  t.nodes.(addr)
+
+let node_count t = t.n_nodes
+
+let add_neighbor t a b =
+  match Hashtbl.find_opt t.adjacency a with
+  | None -> Hashtbl.replace t.adjacency a (ref [ b ])
+  | Some l -> if not (List.mem b !l) then l := !l @ [ b ]
+
+let one_way t a b config =
+  let dst_node = node t b in
+  let id = Printf.sprintf "%d->%d" a b in
+  let link =
+    Link.create ~sched:t.sched ~rng:(fork_rng t) ~id config
+      ~deliver:(fun pkt -> Node.receive dst_node pkt)
+  in
+  Hashtbl.replace t.directed (a, b) link;
+  t.link_list <- link :: t.link_list;
+  add_neighbor t a b;
+  link
+
+let duplex t a b config =
+  if a = b then invalid_arg "Network.duplex: self loop";
+  ignore (node t a);
+  let ab = one_way t a b config in
+  let ba = one_way t b a config in
+  t.routed <- false;
+  (ab, ba)
+
+let link_between t a b = Hashtbl.find_opt t.directed (a, b)
+
+let links t = List.rev t.link_list
+
+let neighbors t a =
+  match Hashtbl.find_opt t.adjacency a with None -> [] | Some l -> !l
+
+(* BFS from [dest]; parent.(v) is the next node on v's shortest path
+   towards [dest]. *)
+let bfs_parents t dest =
+  let parent = Array.make t.n_nodes (-1) in
+  let visited = Array.make t.n_nodes false in
+  visited.(dest) <- true;
+  let frontier = Queue.create () in
+  Queue.add dest frontier;
+  while not (Queue.is_empty frontier) do
+    let u = Queue.take frontier in
+    List.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          parent.(v) <- u;
+          Queue.add v frontier
+        end)
+      (neighbors t u)
+  done;
+  parent
+
+let install_routes t =
+  for dest = 0 to t.n_nodes - 1 do
+    let parent = bfs_parents t dest in
+    for v = 0 to t.n_nodes - 1 do
+      if v <> dest && parent.(v) >= 0 then
+        match link_between t v parent.(v) with
+        | Some link -> Node.set_route t.nodes.(v) ~dest link
+        | None -> ()
+    done
+  done;
+  t.routed <- true
+
+let require_routes t caller =
+  if not t.routed then
+    invalid_arg (caller ^ ": call Network.install_routes first")
+
+let path t a b =
+  require_routes t "Network.path";
+  let rec walk v acc =
+    if v = b then List.rev acc
+    else
+      match Node.route (node t v) ~dest:b with
+      | None -> []
+      | Some link -> (
+          (* The link id encodes "src->dst"; recover the next hop from
+             the routing table by scanning neighbors. *)
+          match
+            List.find_opt
+              (fun w ->
+                match link_between t v w with
+                | Some l -> Link.id l = Link.id link
+                | None -> false)
+              (neighbors t v)
+          with
+          | None -> []
+          | Some w -> walk w (link :: acc))
+  in
+  if a = b then [] else walk a []
+
+let install_multicast t ~group ~src ~members =
+  require_routes t "Network.install_multicast";
+  List.iter
+    (fun m ->
+      Node.join (node t m) ~group;
+      let rec walk v =
+        if v <> m then
+          match Node.route (node t v) ~dest:m with
+          | None -> ()
+          | Some link -> (
+              match
+                List.find_opt
+                  (fun w ->
+                    match link_between t v w with
+                    | Some l -> Link.id l = Link.id link
+                    | None -> false)
+                  (neighbors t v)
+              with
+              | None -> ()
+              | Some w ->
+                  Node.add_mcast_route (node t v) ~group link;
+                  walk w)
+      in
+      walk src)
+    members
+
+let fresh_flow t =
+  let f = t.next_flow in
+  t.next_flow <- f + 1;
+  f
+
+let fresh_group t =
+  let g = t.next_group in
+  t.next_group <- g + 1;
+  g
+
+let make_packet t ~flow ~src ~dst ~size ~payload =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  { Packet.uid; flow; src; dst; size; payload; born = now t; ecn = false }
+
+let send t pkt = Node.receive (node t pkt.Packet.src) pkt
+
+let run_until t horizon = Sim.Scheduler.run_until t.sched horizon

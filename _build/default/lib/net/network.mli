@@ -1,0 +1,73 @@
+(** Network assembly: nodes, duplex links, routing, multicast trees.
+
+    This is the top-level substrate object an experiment builds once:
+    it owns the scheduler, the root RNG (every component receives a
+    {!Sim.Rng.split} of it, so runs are reproducible from one seed),
+    and allocators for flow and packet identifiers. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh empty network; [seed] defaults to 1. *)
+
+val scheduler : t -> Sim.Scheduler.t
+
+val rng : t -> Sim.Rng.t
+(** The root RNG; prefer {!fork_rng} for components. *)
+
+val fork_rng : t -> Sim.Rng.t
+(** An independent RNG stream. *)
+
+val trace : t -> Sim.Trace.t
+
+val now : t -> float
+
+val add_node : t -> Node.t
+(** Create a node with the next free address. *)
+
+val node : t -> Packet.addr -> Node.t
+(** Raises [Not_found] for an unknown address. *)
+
+val node_count : t -> int
+
+val duplex : t -> Packet.addr -> Packet.addr -> Link.config -> Link.t * Link.t
+(** [duplex t a b config] connects [a] and [b] with two mirror-image
+    links; returns [(a->b, b->a)]. *)
+
+val link_between : t -> Packet.addr -> Packet.addr -> Link.t option
+(** The directed link from the first to the second address, if any. *)
+
+val links : t -> Link.t list
+(** All links, in creation order. *)
+
+val install_routes : t -> unit
+(** Fill every node's unicast table with shortest (hop-count) paths.
+    Call after the topology is complete; idempotent. *)
+
+val install_multicast : t -> group:Packet.group -> src:Packet.addr -> members:Packet.addr list -> unit
+(** Build the distribution tree for [group] as the union of the unicast
+    shortest paths from [src] to each member, and [Node.join] every
+    member.  Requires {!install_routes} to have run. *)
+
+val fresh_flow : t -> Packet.flow
+
+val fresh_group : t -> Packet.group
+
+val make_packet :
+  t ->
+  flow:Packet.flow ->
+  src:Packet.addr ->
+  dst:Packet.dest ->
+  size:int ->
+  payload:Packet.payload ->
+  Packet.t
+(** Allocate a packet stamped with the current time and a fresh uid. *)
+
+val send : t -> Packet.t -> unit
+(** Inject a packet at its source node. *)
+
+val run_until : t -> float -> unit
+
+val path : t -> Packet.addr -> Packet.addr -> Link.t list
+(** Links traversed by unicast traffic between the two addresses
+    (empty if equal or unrouted). *)

@@ -1,0 +1,60 @@
+type t = {
+  id : Packet.addr;
+  routes : (Packet.addr, Link.t) Hashtbl.t;
+  mcast : (Packet.group, Link.t list ref) Hashtbl.t;
+  groups : (Packet.group, unit) Hashtbl.t;
+  handlers : (Packet.flow, Packet.t -> unit) Hashtbl.t;
+  mutable undeliverable : int;
+}
+
+let create id =
+  {
+    id;
+    routes = Hashtbl.create 16;
+    mcast = Hashtbl.create 4;
+    groups = Hashtbl.create 4;
+    handlers = Hashtbl.create 8;
+    undeliverable = 0;
+  }
+
+let id t = t.id
+
+let set_route t ~dest link = Hashtbl.replace t.routes dest link
+
+let route t ~dest = Hashtbl.find_opt t.routes dest
+
+let add_mcast_route t ~group link =
+  match Hashtbl.find_opt t.mcast group with
+  | None -> Hashtbl.replace t.mcast group (ref [ link ])
+  | Some links ->
+      if not (List.exists (fun l -> Link.id l = Link.id link) !links) then
+        links := !links @ [ link ]
+
+let mcast_routes t ~group =
+  match Hashtbl.find_opt t.mcast group with None -> [] | Some l -> !l
+
+let join t ~group = Hashtbl.replace t.groups group ()
+
+let joined t ~group = Hashtbl.mem t.groups group
+
+let attach t ~flow handler = Hashtbl.replace t.handlers flow handler
+
+let detach t ~flow = Hashtbl.remove t.handlers flow
+
+let deliver_local t pkt =
+  match Hashtbl.find_opt t.handlers pkt.Packet.flow with
+  | Some handler -> handler pkt
+  | None -> t.undeliverable <- t.undeliverable + 1
+
+let receive t pkt =
+  match pkt.Packet.dst with
+  | Packet.Unicast a when a = t.id -> deliver_local t pkt
+  | Packet.Unicast a -> (
+      match route t ~dest:a with
+      | Some link -> Link.send link pkt
+      | None -> t.undeliverable <- t.undeliverable + 1)
+  | Packet.Multicast g ->
+      if joined t ~group:g then deliver_local t pkt;
+      List.iter (fun link -> Link.send link pkt) (mcast_routes t ~group:g)
+
+let undeliverable t = t.undeliverable

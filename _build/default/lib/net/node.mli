@@ -1,0 +1,41 @@
+(** Network node: endpoint dispatch + unicast/multicast forwarding.
+
+    A node delivers packets addressed to it (or to a multicast group it
+    joined) to the handler registered for the packet's flow, and
+    forwards everything else along its routing tables.  Routing tables
+    are filled in by {!Network} after the topology is built. *)
+
+type t
+
+val create : Packet.addr -> t
+
+val id : t -> Packet.addr
+
+val set_route : t -> dest:Packet.addr -> Link.t -> unit
+(** Next-hop link for unicast traffic towards [dest]. *)
+
+val route : t -> dest:Packet.addr -> Link.t option
+
+val add_mcast_route : t -> group:Packet.group -> Link.t -> unit
+(** Add an outgoing branch of the distribution tree for [group];
+    duplicates are ignored. *)
+
+val mcast_routes : t -> group:Packet.group -> Link.t list
+
+val join : t -> group:Packet.group -> unit
+(** Become a local receiver of [group]'s traffic. *)
+
+val joined : t -> group:Packet.group -> bool
+
+val attach : t -> flow:Packet.flow -> (Packet.t -> unit) -> unit
+(** Register the endpoint handler for [flow]; replaces any previous
+    handler for the same flow. *)
+
+val detach : t -> flow:Packet.flow -> unit
+
+val receive : t -> Packet.t -> unit
+(** Entry point for packets arriving at (or originating from) this
+    node: local delivery and/or forwarding. *)
+
+val undeliverable : t -> int
+(** Packets that reached this node but had no handler and no route. *)

@@ -1,0 +1,30 @@
+type addr = int
+
+type group = int
+
+type flow = int
+
+type dest = Unicast of addr | Multicast of group
+
+type payload = ..
+
+type payload += Raw
+
+type t = {
+  uid : int;
+  flow : flow;
+  src : addr;
+  dst : dest;
+  size : int;
+  payload : payload;
+  born : float;
+  ecn : bool;
+}
+
+let dest_to_string = function
+  | Unicast a -> Printf.sprintf "node:%d" a
+  | Multicast g -> Printf.sprintf "group:%d" g
+
+let pp ppf t =
+  Format.fprintf ppf "pkt#%d flow:%d %d->%s %dB" t.uid t.flow t.src
+    (dest_to_string t.dst) t.size

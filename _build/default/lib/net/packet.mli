@@ -1,0 +1,41 @@
+(** Simulated packets.
+
+    A packet carries an extensible [payload] so each transport protocol
+    (TCP, RLA, the rate-based baselines) defines its own header type
+    without this module depending on any of them. *)
+
+type addr = int
+(** Node identifier. *)
+
+type group = int
+(** Multicast group identifier. *)
+
+type flow = int
+(** Flow (connection/session) identifier; used to dispatch a delivered
+    packet to the right endpoint agent. *)
+
+type dest = Unicast of addr | Multicast of group
+
+type payload = ..
+(** Extensible: each protocol adds its own constructors. *)
+
+type payload += Raw
+(** Payload-free filler traffic. *)
+
+type t = {
+  uid : int;  (** Unique per network; never reused. *)
+  flow : flow;
+  src : addr;
+  dst : dest;
+  size : int;  (** Bytes, headers included. *)
+  payload : payload;
+  born : float;  (** Creation time, for end-to-end delay accounting. *)
+  ecn : bool;
+      (** Congestion-experienced mark: set by an ECN-enabled RED
+          gateway instead of dropping; echoed back by receivers so
+          senders can react without packet loss. *)
+}
+
+val dest_to_string : dest -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type kind = Droptail | Red_gateway of Red.params | Bernoulli_loss of float
+
+type state = Tail | Red_state of Red.t | Lossy of float * Sim.Rng.t
+
+type t = { kind : kind; capacity : int; state : state }
+
+let create kind ~capacity ~rng =
+  if capacity <= 0 then invalid_arg "Queue_disc.create: capacity must be positive";
+  let state =
+    match kind with
+    | Droptail -> Tail
+    | Red_gateway params -> Red_state (Red.create params ~rng)
+    | Bernoulli_loss p ->
+        if p < 0.0 || p >= 1.0 then
+          invalid_arg "Queue_disc.create: loss probability out of range";
+        Lossy (p, rng)
+  in
+  { kind; capacity; state }
+
+let kind t = t.kind
+
+let capacity t = t.capacity
+
+let on_arrival t ~now ~qlen =
+  if qlen >= t.capacity then `Drop
+  else
+    match t.state with
+    | Tail -> `Admit
+    | Red_state red -> Red.decide red ~now ~qlen
+    | Lossy (p, rng) -> if Sim.Rng.bernoulli rng p then `Drop else `Admit
+
+let on_empty t ~now =
+  match t.state with
+  | Tail | Lossy _ -> ()
+  | Red_state red -> Red.note_empty red ~now
+
+let avg_queue t =
+  match t.state with
+  | Tail | Lossy _ -> nan
+  | Red_state red -> Red.avg_queue red

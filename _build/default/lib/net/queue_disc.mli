@@ -1,0 +1,34 @@
+(** Queue disciplines for gateway buffers.
+
+    Both disciplines enforce a hard physical capacity (packets waiting
+    in the buffer); RED additionally drops early based on its average
+    queue estimate. *)
+
+type kind =
+  | Droptail
+  | Red_gateway of Red.params
+  | Bernoulli_loss of float
+      (** Drop-tail that additionally drops each arrival independently
+          with the given probability — the idealised random-loss link
+          used to validate the analytical window formulas. *)
+
+type t
+
+val create : kind -> capacity:int -> rng:Sim.Rng.t -> t
+(** [capacity] is the buffer size in packets (the paper uses 20). *)
+
+val kind : t -> kind
+
+val capacity : t -> int
+
+val on_arrival : t -> now:float -> qlen:int -> [ `Admit | `Drop | `Mark ]
+(** Decision for a packet arriving when [qlen] packets are waiting;
+    [`Mark] admits the packet with its congestion-experienced bit set
+    (ECN-enabled RED only). *)
+
+val on_empty : t -> now:float -> unit
+(** The buffer just drained (RED idle-time bookkeeping). *)
+
+val avg_queue : t -> float
+(** RED average queue estimate; instantaneous length is not tracked
+    here, so for drop-tail this returns [nan]. *)

@@ -1,0 +1,94 @@
+type params = {
+  min_th : float;
+  max_th : float;
+  w_q : float;
+  max_p : float;
+  mean_pkt_time : float;
+  ecn : bool;
+}
+
+let default_params ~mean_pkt_time =
+  {
+    min_th = 5.0;
+    max_th = 15.0;
+    w_q = 0.002;
+    max_p = 0.1;
+    mean_pkt_time;
+    ecn = false;
+  }
+
+type t = {
+  p : params;
+  rng : Sim.Rng.t;
+  mutable avg : float;
+  mutable count : int;  (* packets since last drop while between thresholds *)
+  mutable q_time : float;  (* start of the current idle period *)
+  mutable idle : bool;
+  mutable drops : int;
+  mutable marks : int;
+}
+
+let create p ~rng =
+  {
+    p;
+    rng;
+    avg = 0.0;
+    count = -1;
+    q_time = 0.0;
+    idle = true;
+    drops = 0;
+    marks = 0;
+  }
+
+let avg_queue t = t.avg
+
+let note_empty t ~now =
+  t.idle <- true;
+  t.q_time <- now
+
+(* Age the average across an idle period as if m small packets had been
+   serviced, per the RED paper. *)
+let update_avg t ~now ~qlen =
+  if t.idle && qlen = 0 then begin
+    let m = (now -. t.q_time) /. t.p.mean_pkt_time in
+    let m = Stdlib.max 0.0 m in
+    t.avg <- t.avg *. ((1.0 -. t.p.w_q) ** m)
+  end
+  else t.avg <- ((1.0 -. t.p.w_q) *. t.avg) +. (t.p.w_q *. float_of_int qlen)
+
+let decide t ~now ~qlen =
+  update_avg t ~now ~qlen;
+  t.idle <- false;
+  if t.avg < t.p.min_th then begin
+    t.count <- -1;
+    `Admit
+  end
+  else if t.avg >= t.p.max_th then begin
+    t.count <- 0;
+    t.drops <- t.drops + 1;
+    `Drop
+  end
+  else begin
+    t.count <- t.count + 1;
+    let p_b =
+      t.p.max_p *. (t.avg -. t.p.min_th) /. (t.p.max_th -. t.p.min_th)
+    in
+    let denom = 1.0 -. (float_of_int t.count *. p_b) in
+    let p_a = if denom <= 0.0 then 1.0 else p_b /. denom in
+    if Sim.Rng.bernoulli t.rng p_a then begin
+      t.count <- 0;
+      if t.p.ecn then begin
+        t.marks <- t.marks + 1;
+        `Mark
+      end
+      else begin
+        t.drops <- t.drops + 1;
+        `Drop
+      end
+    end
+    else `Admit
+  end
+
+let drops t = t.drops
+
+let marks t = t.marks

@@ -1,0 +1,93 @@
+(* Array-based binary min-heap.  Ordering is lexicographic on
+   (priority, sequence number) so that insertions at equal priority pop
+   in FIFO order — required for deterministic event scheduling. *)
+
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 64
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t entry =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let new_cap = if cap = 0 then initial_capacity else 2 * cap in
+    let data = Array.make new_cap entry in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.size && lt t.data.(left) t.data.(!smallest) then smallest := left;
+  if right < t.size && lt t.data.(right) t.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~prio value =
+  let entry = { prio; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_prio t = if t.size = 0 then None else Some t.data.(0).prio
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.prio, e.value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (e.prio, e.value)
+  end
+
+let clear t =
+  t.data <- [||];
+  t.size <- 0
+
+let iter t ~f =
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    f e.prio e.value
+  done

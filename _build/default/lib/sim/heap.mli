@@ -1,0 +1,35 @@
+(** Binary min-heap keyed by [(priority, tie-break counter)].
+
+    The heap is the core of the discrete-event scheduler: events are
+    ordered by simulated time, and events scheduled for the same time
+    fire in insertion order (the monotone counter breaks ties), which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty heap. *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> prio:float -> 'a -> unit
+(** [add t ~prio x] inserts [x] with priority [prio].  Elements with
+    equal priority are returned in insertion order. *)
+
+val min_prio : 'a t -> float option
+(** Priority of the minimum element, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element with its priority. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return the minimum element without removing it. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val iter : 'a t -> f:(float -> 'a -> unit) -> unit
+(** Iterate over all elements in unspecified order. *)

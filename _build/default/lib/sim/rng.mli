@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic decision in the simulator draws from an explicit
+    [Rng.t] so that a run is fully reproducible from its seed.  Streams
+    can be {!split} so independent components (e.g. each traffic source)
+    consume independent sequences regardless of interleaving. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator, advancing
+    [t] by one step. *)
+
+val copy : t -> t
+(** Duplicate the current state. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]; [bound] must be positive. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution. *)
+
+val range : t -> float -> float -> float
+(** [range t lo hi] is uniform in [\[lo, hi)]. *)

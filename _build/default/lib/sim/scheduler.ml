@@ -1,0 +1,81 @@
+type event = { id : int; action : unit -> unit }
+
+type event_id = int
+
+type t = {
+  queue : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable clock : float;
+  mutable next_id : int;
+  mutable fired : int;
+  mutable live : int;
+}
+
+let create () =
+  {
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    clock = 0.0;
+    next_id = 0;
+    fired = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule_at: %g is in the past (now %g)" time
+         t.clock);
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Heap.add t.queue ~prio:time { id; action };
+  t.live <- t.live + 1;
+  id
+
+let schedule_after t delay action = schedule_at t (t.clock +. delay) action
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+(* Pop one event; returns false when the queue is exhausted or the next
+   event lies beyond [horizon]. *)
+let step t horizon =
+  match Heap.peek t.queue with
+  | None -> false
+  | Some (time, _) when time > horizon -> false
+  | Some _ -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (time, ev) ->
+          if Hashtbl.mem t.cancelled ev.id then begin
+            Hashtbl.remove t.cancelled ev.id;
+            true
+          end
+          else begin
+            t.clock <- time;
+            t.live <- t.live - 1;
+            t.fired <- t.fired + 1;
+            ev.action ();
+            true
+          end)
+
+let run_until t horizon =
+  while step t horizon do
+    ()
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let run_until_empty t ~max_events =
+  let budget = ref max_events in
+  while !budget > 0 && step t infinity do
+    decr budget
+  done
+
+let pending t = t.live
+
+let events_fired t = t.fired

@@ -1,0 +1,40 @@
+(** Discrete-event scheduler.
+
+    Time is a [float] in seconds.  Events are closures fired in
+    nondecreasing time order; simultaneous events fire in scheduling
+    order.  Events can be cancelled through the handle returned at
+    scheduling time (used for retransmission timers). *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time (seconds). *)
+
+val schedule_at : t -> float -> (unit -> unit) -> event_id
+(** [schedule_at t time f] fires [f] at absolute [time].  Scheduling in
+    the past raises [Invalid_argument]. *)
+
+val schedule_after : t -> float -> (unit -> unit) -> event_id
+(** [schedule_after t delay f] fires [f] [delay] seconds from now. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event.  Cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val run_until : t -> float -> unit
+(** Execute events in order until the queue is empty or the next event
+    is past the horizon; the clock ends at exactly the horizon. *)
+
+val run_until_empty : t -> max_events:int -> unit
+(** Run until no events remain or [max_events] have fired. *)
+
+val pending : t -> int
+(** Number of pending (non-cancelled) events. *)
+
+val events_fired : t -> int
+(** Total number of events executed so far. *)

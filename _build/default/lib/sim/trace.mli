@@ -1,0 +1,40 @@
+(** Lightweight in-simulation tracing.
+
+    Components emit trace records through a shared sink; experiments
+    install a sink only when they need packet-level visibility, so the
+    default (no sink) costs one branch per emission. *)
+
+type level = Debug | Info | Warn
+
+type record = { time : float; level : level; component : string; message : string }
+
+type t
+
+val create : unit -> t
+(** A trace hub with no sink installed. *)
+
+val set_sink : t -> (record -> unit) -> unit
+(** Install a sink receiving every record. *)
+
+val clear_sink : t -> unit
+
+val enabled : t -> bool
+(** [true] iff a sink is installed. *)
+
+val emit : t -> time:float -> level:level -> component:string -> string -> unit
+
+val emitf :
+  t ->
+  time:float ->
+  level:level ->
+  component:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+(** Formatted emission; the format arguments are not evaluated when no
+    sink is installed. *)
+
+val memory_sink : unit -> (record -> unit) * (unit -> record list)
+(** A sink accumulating records in memory, plus a function returning
+    them in emission order. *)
+
+val level_to_string : level -> string

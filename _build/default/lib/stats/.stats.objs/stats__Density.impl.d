@@ -1,0 +1,1 @@
+lib/stats/density.ml: Array Format Stdlib

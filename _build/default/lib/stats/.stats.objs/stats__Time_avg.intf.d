@@ -1,0 +1,1 @@
+lib/stats/time_avg.mli:

@@ -1,0 +1,21 @@
+type t = { weight : float; mutable avg : float; mutable samples : int }
+
+let create ~weight =
+  if weight <= 0.0 || weight > 1.0 then
+    invalid_arg "Ewma.create: weight must be in (0, 1]";
+  { weight; avg = 0.0; samples = 0 }
+
+let update t x =
+  if t.samples = 0 then t.avg <- x
+  else t.avg <- t.avg +. (t.weight *. (x -. t.avg));
+  t.samples <- t.samples + 1
+
+let value t = t.avg
+
+let value_opt t = if t.samples = 0 then None else Some t.avg
+
+let samples t = t.samples
+
+let reset t =
+  t.avg <- 0.0;
+  t.samples <- 0

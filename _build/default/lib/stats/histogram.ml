@@ -1,0 +1,64 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let bins t = Array.length t.counts
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let width = (t.hi -. t.lo) /. float_of_int (bins t) in
+    let i = int_of_float ((x -. t.lo) /. width) in
+    let i = Stdlib.min i (bins t - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let count t = t.total
+
+let bin_count t i = t.counts.(i)
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let bin_center t i =
+  let width = (t.hi -. t.lo) /. float_of_int (bins t) in
+  t.lo +. ((float_of_int i +. 0.5) *. width)
+
+let mode_bin t =
+  if t.total = 0 then None
+  else begin
+    let best = ref 0 in
+    for i = 1 to bins t - 1 do
+      if t.counts.(i) > t.counts.(!best) then best := i
+    done;
+    if t.counts.(!best) = 0 then None else Some !best
+  end
+
+let to_list t =
+  List.init (bins t) (fun i -> (bin_center t i, t.counts.(i)))
+
+let pp ppf t =
+  let max_count =
+    Array.fold_left Stdlib.max 1 t.counts
+  in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let width = 40 * c / max_count in
+        Format.fprintf ppf "%8.2f | %s %d@." (bin_center t i)
+          (String.make width '#') c
+      end)
+    t.counts

@@ -1,0 +1,33 @@
+(** Fixed-bin histogram over a closed interval.
+
+    Samples outside the interval land in underflow/overflow bins so no
+    observation is silently lost. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total samples, including out-of-range ones. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based). *)
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bin_center : t -> int -> float
+
+val bins : t -> int
+
+val mode_bin : t -> int option
+(** Index of the fullest bin; [None] when empty. *)
+
+val to_list : t -> (float * int) list
+(** [(bin center, count)] for every bin. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render an ASCII bar sketch, one line per non-empty bin. *)

@@ -1,0 +1,1 @@
+lib/tcp/scoreboard.ml: Hashtbl List Stdlib

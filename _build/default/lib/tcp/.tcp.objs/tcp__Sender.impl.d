@@ -1,0 +1,1 @@
+lib/tcp/sender.ml: List Net Receiver Rto Scoreboard Sim Stats Stdlib Wire

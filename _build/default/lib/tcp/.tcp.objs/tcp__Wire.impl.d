@@ -1,0 +1,1 @@
+lib/tcp/wire.ml: Net Printf

@@ -1,0 +1,101 @@
+type t = {
+  net : Net.Network.t;
+  node : Net.Node.t;
+  flow : Net.Packet.flow;
+  peer : Net.Packet.addr;
+  ooo : (int, unit) Hashtbl.t;  (* received above [expected] *)
+  mutable recent : int list;  (* representatives of recent ooo blocks *)
+  mutable expected : int;
+  mutable received_total : int;
+  mutable duplicates : int;
+}
+
+let expected t = t.expected
+
+let received_total t = t.received_total
+
+let duplicates t = t.duplicates
+
+let out_of_order_pending t = Hashtbl.length t.ooo
+
+(* The contiguous SACK block containing [seq] in the out-of-order set. *)
+let block_around t seq =
+  let lo = ref seq in
+  while Hashtbl.mem t.ooo (!lo - 1) do
+    decr lo
+  done;
+  let hi = ref (seq + 1) in
+  while Hashtbl.mem t.ooo !hi do
+    incr hi
+  done;
+  { Wire.block_lo = !lo; block_hi = !hi }
+
+let sack_blocks t =
+  let rec build acc seen = function
+    | [] -> List.rev acc
+    | _ when List.length acc >= Wire.max_sack_blocks -> List.rev acc
+    | rep :: rest ->
+        if rep < t.expected || not (Hashtbl.mem t.ooo rep) then
+          build acc seen rest
+        else begin
+          let block = block_around t rep in
+          if List.mem block.Wire.block_lo seen then build acc seen rest
+          else build (block :: acc) (block.Wire.block_lo :: seen) rest
+        end
+  in
+  build [] [] t.recent
+
+let send_ack t ~echo ~ece =
+  let blocks = sack_blocks t in
+  let pkt =
+    Net.Network.make_packet t.net ~flow:t.flow
+      ~src:(Net.Node.id t.node) ~dst:(Net.Packet.Unicast t.peer)
+      ~size:Wire.ack_size
+      ~payload:(Wire.Tcp_ack { cum_ack = t.expected; blocks; echo; ece })
+  in
+  Net.Network.send t.net pkt
+
+let on_data t ~seq ~sent_at ~ecn =
+  t.received_total <- t.received_total + 1;
+  if seq < t.expected || Hashtbl.mem t.ooo seq then
+    t.duplicates <- t.duplicates + 1
+  else if seq = t.expected then begin
+    t.expected <- t.expected + 1;
+    (* Absorb any buffered continuation. *)
+    while Hashtbl.mem t.ooo t.expected do
+      Hashtbl.remove t.ooo t.expected;
+      t.expected <- t.expected + 1
+    done;
+    t.recent <- List.filter (fun r -> r >= t.expected) t.recent
+  end
+  else begin
+    Hashtbl.replace t.ooo seq ();
+    t.recent <- seq :: List.filter (fun r -> r <> seq) t.recent;
+    (* Bound the representative list: one per possible block is enough. *)
+    if List.length t.recent > 4 * Wire.max_sack_blocks then
+      t.recent <-
+        List.filteri (fun i _ -> i < 4 * Wire.max_sack_blocks) t.recent
+  end;
+  send_ack t ~echo:sent_at ~ece:ecn
+
+let create ~net ~node ~flow ~peer =
+  let node = Net.Network.node net node in
+  let t =
+    {
+      net;
+      node;
+      flow;
+      peer;
+      ooo = Hashtbl.create 64;
+      recent = [];
+      expected = 0;
+      received_total = 0;
+      duplicates = 0;
+    }
+  in
+  Net.Node.attach node ~flow (fun pkt ->
+      match pkt.Net.Packet.payload with
+      | Wire.Tcp_data { seq; sent_at } ->
+          on_data t ~seq ~sent_at ~ecn:pkt.Net.Packet.ecn
+      | _ -> ());
+  t

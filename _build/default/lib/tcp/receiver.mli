@@ -1,0 +1,22 @@
+(** TCP SACK receiver endpoint.
+
+    Consumes data packets, delivers them in order (conceptually — the
+    application is an infinite sink) and acknowledges every packet with
+    the cumulative ack plus up to three SACK blocks, most recently
+    changed first, echoing the data packet's timestamp. *)
+
+type t
+
+val create : net:Net.Network.t -> node:Net.Packet.addr -> flow:Net.Packet.flow -> peer:Net.Packet.addr -> t
+(** Attach a receiver for [flow] at [node], acknowledging to [peer]. *)
+
+val expected : t -> int
+(** Next in-order packet expected. *)
+
+val received_total : t -> int
+(** Data packets that arrived (including duplicates). *)
+
+val duplicates : t -> int
+
+val out_of_order_pending : t -> int
+(** Packets buffered above the in-order point. *)

@@ -1,0 +1,41 @@
+type t = {
+  min_rto : float;
+  max_rto : float;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable shift : int;  (* exponential backoff: timeout is scaled by 2^shift *)
+  mutable samples : int;
+}
+
+let create ?(min_rto = 1.0) ?(max_rto = 60.0) () =
+  { min_rto; max_rto; srtt = 0.0; rttvar = 0.0; shift = 0; samples = 0 }
+
+let sample t m =
+  if m < 0.0 then invalid_arg "Rto.sample: negative RTT";
+  if t.samples = 0 then begin
+    t.srtt <- m;
+    t.rttvar <- m /. 2.0
+  end
+  else begin
+    let err = m -. t.srtt in
+    t.srtt <- t.srtt +. (err /. 8.0);
+    t.rttvar <- t.rttvar +. ((abs_float err -. t.rttvar) /. 4.0)
+  end;
+  t.samples <- t.samples + 1;
+  t.shift <- 0
+
+let srtt t = t.srtt
+
+let rttvar t = t.rttvar
+
+let base_timeout t =
+  if t.samples = 0 then 3.0 (* conservative default before any sample *)
+  else Stdlib.max t.min_rto (t.srtt +. (4.0 *. t.rttvar))
+
+let timeout t =
+  let v = base_timeout t *. (2.0 ** float_of_int t.shift) in
+  Stdlib.min v t.max_rto
+
+let backoff t = if timeout t < t.max_rto then t.shift <- t.shift + 1
+
+let has_sample t = t.samples > 0

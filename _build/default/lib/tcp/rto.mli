@@ -1,0 +1,26 @@
+(** Jacobson/Karels round-trip estimation and retransmit timeout.
+
+    srtt and rttvar follow RFC 6298 (gains 1/8 and 1/4); the timeout is
+    [srtt + 4 * rttvar], clamped to [\[min_rto, max_rto\]] and doubled on
+    each backoff. *)
+
+type t
+
+val create : ?min_rto:float -> ?max_rto:float -> unit -> t
+(** Defaults: [min_rto] 1.0 s, [max_rto] 60 s — NS2's values. *)
+
+val sample : t -> float -> unit
+(** Feed a fresh RTT measurement (seconds); resets any backoff. *)
+
+val srtt : t -> float
+(** Smoothed RTT; 0 before the first sample. *)
+
+val rttvar : t -> float
+
+val timeout : t -> float
+(** Current retransmission timeout (includes backoff). *)
+
+val backoff : t -> unit
+(** Double the timeout (up to [max_rto]), as after a timer expiry. *)
+
+val has_sample : t -> bool

@@ -1,0 +1,223 @@
+type entry = {
+  mutable sacked : bool;
+  mutable lost : bool;
+  mutable rexmitted : bool;
+  mutable rexmit_time : float;
+}
+
+type t = {
+  entries : (int, entry) Hashtbl.t;
+  mutable high_ack : int;
+  mutable next_seq : int;
+  mutable highest_sacked : int;
+  mutable sacked_cnt : int;
+  mutable lost_cnt : int;  (* lost and not sacked *)
+  mutable rexmit_out : int;  (* retransmitted, not yet sacked/acked *)
+  mutable loss_floor : int;  (* below this, loss detection already ran *)
+}
+
+let create () =
+  {
+    entries = Hashtbl.create 256;
+    high_ack = 0;
+    next_seq = 0;
+    highest_sacked = -1;
+    sacked_cnt = 0;
+    lost_cnt = 0;
+    rexmit_out = 0;
+    loss_floor = 0;
+  }
+
+let high_ack t = t.high_ack
+
+let next_seq t = t.next_seq
+
+let highest_sacked t = t.highest_sacked
+
+let register_send t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let entry t seq =
+  match Hashtbl.find_opt t.entries seq with
+  | Some e -> e
+  | None ->
+      let e =
+        { sacked = false; lost = false; rexmitted = false; rexmit_time = 0.0 }
+      in
+      Hashtbl.replace t.entries seq e;
+      e
+
+let is_sacked t seq =
+  match Hashtbl.find_opt t.entries seq with
+  | Some e -> e.sacked
+  | None -> false
+
+let is_lost t seq =
+  match Hashtbl.find_opt t.entries seq with Some e -> e.lost | None -> false
+
+let is_rexmitted t seq =
+  match Hashtbl.find_opt t.entries seq with
+  | Some e -> e.rexmitted
+  | None -> false
+
+let sack_one t seq =
+  if seq >= t.high_ack && seq < t.next_seq then begin
+    let e = entry t seq in
+    if e.sacked then false
+    else begin
+      if e.lost then t.lost_cnt <- t.lost_cnt - 1;
+      if e.rexmitted then begin
+        t.rexmit_out <- t.rexmit_out - 1;
+        e.rexmitted <- false
+      end;
+      e.lost <- false;
+      e.sacked <- true;
+      t.sacked_cnt <- t.sacked_cnt + 1;
+      if seq > t.highest_sacked then t.highest_sacked <- seq;
+      true
+    end
+  end
+  else false
+
+let mark_sacked t ~lo ~hi =
+  let newly = ref 0 in
+  for seq = lo to hi - 1 do
+    if sack_one t seq then incr newly
+  done;
+  !newly
+
+let mark_sacked_seqs t ~lo ~hi =
+  let newly = ref [] in
+  for seq = lo to hi - 1 do
+    if sack_one t seq then newly := seq :: !newly
+  done;
+  List.rev !newly
+
+let advance_cum_seqs t ack =
+  if ack <= t.high_ack then []
+  else begin
+    let ack = Stdlib.min ack t.next_seq in
+    let fresh = ref [] in
+    for seq = t.high_ack to ack - 1 do
+      (match Hashtbl.find_opt t.entries seq with
+      | None -> fresh := seq :: !fresh
+      | Some e ->
+          if e.sacked then t.sacked_cnt <- t.sacked_cnt - 1
+          else begin
+            fresh := seq :: !fresh;
+            if e.lost then t.lost_cnt <- t.lost_cnt - 1;
+            if e.rexmitted then t.rexmit_out <- t.rexmit_out - 1
+          end);
+      Hashtbl.remove t.entries seq
+    done;
+    t.high_ack <- ack;
+    if t.loss_floor < ack then t.loss_floor <- ack;
+    List.rev !fresh
+  end
+
+let advance_cum t ack =
+  let before = t.high_ack in
+  ignore (advance_cum_seqs t ack);
+  Stdlib.max 0 (t.high_ack - before)
+
+let mark_lost t seq =
+  if seq < t.high_ack || seq >= t.next_seq then false
+  else begin
+    let e = entry t seq in
+    if e.sacked || e.lost then false
+    else begin
+      e.lost <- true;
+      t.lost_cnt <- t.lost_cnt + 1;
+      true
+    end
+  end
+
+let detect_losses t ~dupthresh =
+  (* A packet is lost once a packet >= seq + dupthresh has been SACKed;
+     only the range [loss_floor, highest_sacked - dupthresh] can contain
+     fresh losses. *)
+  let upper = t.highest_sacked - dupthresh in
+  let result = ref [] in
+  if upper >= t.loss_floor then begin
+    for seq = t.loss_floor to upper do
+      if mark_lost t seq then result := seq :: !result
+    done;
+    t.loss_floor <- upper + 1
+  end;
+  List.rev !result
+
+let mark_all_lost t =
+  let marked = ref 0 in
+  for seq = t.high_ack to t.next_seq - 1 do
+    let e = entry t seq in
+    if e.rexmitted then begin
+      (* The retransmission is presumed lost as well; allow resending. *)
+      e.rexmitted <- false;
+      t.rexmit_out <- t.rexmit_out - 1
+    end;
+    if (not e.sacked) && not e.lost then begin
+      e.lost <- true;
+      t.lost_cnt <- t.lost_cnt + 1;
+      incr marked
+    end
+  done;
+  !marked
+
+let next_retransmit t =
+  (* Lost packets are rare and near high_ack; a scan bounded by the
+     first candidate keeps this cheap. *)
+  let rec scan seq =
+    if seq >= t.next_seq then None
+    else
+      match Hashtbl.find_opt t.entries seq with
+      | Some e when e.lost && not e.rexmitted -> Some seq
+      | _ -> scan (seq + 1)
+  in
+  if t.lost_cnt - t.rexmit_out <= 0 then None else scan t.high_ack
+
+let mark_retransmitted ?(at = 0.0) t seq =
+  let e = entry t seq in
+  if not e.lost then invalid_arg "Scoreboard.mark_retransmitted: not lost";
+  if e.rexmitted then
+    invalid_arg "Scoreboard.mark_retransmitted: already retransmitted";
+  e.rexmitted <- true;
+  e.rexmit_time <- at;
+  t.rexmit_out <- t.rexmit_out + 1
+
+let expire_rexmits t ~before =
+  (* A retransmission older than [before] is presumed lost itself: the
+     packet becomes eligible for another retransmission without waiting
+     for the (much costlier) global timeout. *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun seq e ->
+      if e.rexmitted && e.rexmit_time < before then stale := (seq, e) :: !stale)
+    t.entries;
+  List.iter
+    (fun (_, e) ->
+      e.rexmitted <- false;
+      t.rexmit_out <- t.rexmit_out - 1)
+    !stale;
+  List.sort compare (List.map fst !stale)
+
+let in_flight_window t = t.next_seq - t.high_ack
+
+let pipe t = in_flight_window t - t.sacked_cnt - t.lost_cnt + t.rexmit_out
+
+let check_invariants t =
+  let sacked = ref 0 and lost = ref 0 and rexmit = ref 0 in
+  Hashtbl.iter
+    (fun seq e ->
+      assert (seq >= t.high_ack && seq < t.next_seq);
+      assert (not (e.sacked && e.lost));
+      if e.rexmitted then assert e.lost;
+      if e.sacked then incr sacked;
+      if e.lost then incr lost;
+      if e.rexmitted then incr rexmit)
+    t.entries;
+  assert (!sacked = t.sacked_cnt);
+  assert (!lost = t.lost_cnt);
+  assert (!rexmit = t.rexmit_out);
+  assert (pipe t >= 0)

@@ -1,0 +1,90 @@
+(** Sender-side SACK scoreboard (RFC 2018 / RFC 3517 style).
+
+    Tracks, for every outstanding packet, whether it has been
+    selectively acknowledged, declared lost, or retransmitted, and
+    maintains the [pipe] estimate (packets believed in flight) in
+    O(1) amortised time per event.
+
+    Invariants on per-packet flags: [sacked] excludes [lost];
+    [rexmitted] implies [lost].  The loss rule is the paper's: a packet
+    P is lost once some packet with sequence number >= P + dupthresh
+    has been SACKed. *)
+
+type t
+
+val create : unit -> t
+
+val high_ack : t -> int
+(** Next packet the receiver expects cumulatively. *)
+
+val next_seq : t -> int
+(** Next new sequence number to allocate. *)
+
+val register_send : t -> int
+(** Allocate and return the next new sequence number. *)
+
+val advance_cum : t -> int -> int
+(** [advance_cum t ack] processes a cumulative ack ([ack] = next
+    expected).  Returns how many packets were newly acknowledged.
+    Acks below the current point return 0. *)
+
+val mark_sacked : t -> lo:int -> hi:int -> int
+(** SACK the half-open range; returns the number of newly SACKed
+    packets.  Ranges at or below [high_ack] are ignored. *)
+
+val mark_sacked_seqs : t -> lo:int -> hi:int -> int list
+(** Like {!mark_sacked} but returns the newly SACKed sequence numbers
+    (ascending).  The RLA sender needs them to maintain its
+    acked-by-all coverage counts without double counting. *)
+
+val advance_cum_seqs : t -> int -> int list
+(** Like {!advance_cum} but returns the sequence numbers in the newly
+    acknowledged range that had {e not} been SACKed before (ascending);
+    previously SACKed packets were already reported by
+    {!mark_sacked_seqs}. *)
+
+val detect_losses : t -> dupthresh:int -> int list
+(** Newly lost packets (ascending), marking them lost as a side
+    effect. *)
+
+val mark_lost : t -> int -> bool
+(** Force-mark one packet lost (used on timeout); [false] if it was
+    already lost or SACKed. *)
+
+val mark_all_lost : t -> int
+(** Timeout handling: every outstanding unSACKed packet is marked lost
+    and pending retransmissions are forgotten.  Returns the number
+    marked. *)
+
+val next_retransmit : t -> int option
+(** Lowest lost packet not yet retransmitted. *)
+
+val mark_retransmitted : ?at:float -> t -> int -> unit
+(** Record that the packet was retransmitted (at time [at], default 0);
+    raises [Invalid_argument] unless it is currently lost and not
+    already retransmitted. *)
+
+val expire_rexmits : t -> before:float -> int list
+(** Presume retransmissions sent strictly before [before] lost: clear
+    their retransmitted flags (making them eligible again) and return
+    their sequence numbers, ascending.  Converts a lost retransmission
+    into a quick re-request instead of a full timeout. *)
+
+val pipe : t -> int
+(** Estimate of packets currently in flight. *)
+
+val in_flight_window : t -> int
+(** [next_seq - high_ack]: outstanding window including holes. *)
+
+val highest_sacked : t -> int
+(** Highest packet ever SACKed, or -1. *)
+
+val is_sacked : t -> int -> bool
+
+val is_lost : t -> int -> bool
+
+val is_rexmitted : t -> int -> bool
+
+val check_invariants : t -> unit
+(** Recompute counters from scratch and raise [Assert_failure] on
+    mismatch (test support). *)

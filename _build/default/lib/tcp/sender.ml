@@ -1,0 +1,290 @@
+type params = {
+  init_cwnd : float;
+  init_ssthresh : float;
+  dupthresh : int;
+  max_burst : int;
+  max_cwnd : float;
+  data_size : int;
+  min_rto : float;
+  limit : int option;
+}
+
+let default_params =
+  {
+    init_cwnd = 1.0;
+    init_ssthresh = 64.0;
+    dupthresh = 3;
+    max_burst = 4;
+    max_cwnd = 128.0;
+    data_size = Wire.data_size;
+    min_rto = 1.0;
+    limit = None;
+  }
+
+type t = {
+  net : Net.Network.t;
+  params : params;
+  src : Net.Packet.addr;
+  dst : Net.Packet.addr;
+  flow : Net.Packet.flow;
+  sb : Scoreboard.t;
+  rto : Rto.t;
+  receiver : Receiver.t;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable in_recovery : bool;
+  mutable recover_point : int;
+  mutable timer : Sim.Scheduler.event_id option;
+  (* statistics *)
+  cwnd_avg : Stats.Time_avg.t;
+  rtt : Stats.Welford.t ref;
+  mutable sent_new : int;
+  mutable retransmits : int;
+  mutable window_cuts : int;
+  mutable timeouts : int;
+  (* measurement baseline (reset_measurement) *)
+  mutable meas_time : float;
+  mutable meas_delivered : int;
+  mutable meas_sent_new : int;
+  mutable meas_retransmits : int;
+  mutable meas_window_cuts : int;
+  mutable meas_timeouts : int;
+  mutable completed_at : float option;
+}
+
+let flow t = t.flow
+
+let cwnd t = t.cwnd
+
+let ssthresh t = t.ssthresh
+
+let in_recovery t = t.in_recovery
+
+let delivered t = Scoreboard.high_ack t.sb
+
+let window_cuts t = t.window_cuts
+
+let timeouts t = t.timeouts
+
+let retransmits t = t.retransmits
+
+let sent_new t = t.sent_new
+
+let rtt_stats t = !(t.rtt)
+
+let receiver t = t.receiver
+
+let now t = Net.Network.now t.net
+
+let set_cwnd t value =
+  let value = Stdlib.max 1.0 (Stdlib.min value t.params.max_cwnd) in
+  t.cwnd <- value;
+  Stats.Time_avg.update t.cwnd_avg ~time:(now t) ~value
+
+let avg_cwnd t = Stats.Time_avg.average t.cwnd_avg ~upto:(now t)
+
+let reset_measurement t =
+  Stats.Time_avg.reset t.cwnd_avg ~start:(now t) ~value:t.cwnd;
+  t.rtt := Stats.Welford.create ();
+  t.meas_time <- now t;
+  t.meas_delivered <- delivered t;
+  t.meas_sent_new <- t.sent_new;
+  t.meas_retransmits <- t.retransmits;
+  t.meas_window_cuts <- t.window_cuts;
+  t.meas_timeouts <- t.timeouts
+
+type snapshot = {
+  time : float;
+  delivered : int;
+  sent_new : int;
+  retransmits : int;
+  window_cuts : int;
+  timeouts : int;
+  cwnd_now : float;
+  cwnd_avg : float;
+  rtt_avg : float;
+  throughput : float;
+  send_rate : float;
+}
+
+let snapshot t =
+  let span = now t -. t.meas_time in
+  let delivered_span = delivered t - t.meas_delivered in
+  let sent_span =
+    t.sent_new - t.meas_sent_new + t.retransmits - t.meas_retransmits
+  in
+  let rate n = if span <= 0.0 then 0.0 else float_of_int n /. span in
+  {
+    time = now t;
+    delivered = delivered_span;
+    sent_new = t.sent_new - t.meas_sent_new;
+    retransmits = t.retransmits - t.meas_retransmits;
+    window_cuts = t.window_cuts - t.meas_window_cuts;
+    timeouts = t.timeouts - t.meas_timeouts;
+    cwnd_now = t.cwnd;
+    cwnd_avg = avg_cwnd t;
+    rtt_avg = Stats.Welford.mean !(t.rtt);
+    throughput = rate delivered_span;
+    send_rate = rate sent_span;
+  }
+
+let cancel_timer t =
+  match t.timer with
+  | None -> ()
+  | Some id ->
+      Sim.Scheduler.cancel (Net.Network.scheduler t.net) id;
+      t.timer <- None
+
+let send_data t ~seq ~rexmit =
+  let pkt =
+    Net.Network.make_packet t.net ~flow:t.flow ~src:t.src
+      ~dst:(Net.Packet.Unicast t.dst) ~size:t.params.data_size
+      ~payload:(Wire.Tcp_data { seq; sent_at = now t })
+  in
+  if rexmit then t.retransmits <- t.retransmits + 1
+  else t.sent_new <- t.sent_new + 1;
+  Net.Network.send t.net pkt
+
+let rec arm_timer t =
+  if t.timer = None then begin
+    let sched = Net.Network.scheduler t.net in
+    let id =
+      Sim.Scheduler.schedule_after sched (Rto.timeout t.rto) (fun () ->
+          t.timer <- None;
+          on_timeout t)
+    in
+    t.timer <- Some id
+  end
+
+and restart_timer t =
+  cancel_timer t;
+  if Scoreboard.in_flight_window t.sb > 0 then arm_timer t
+
+and try_send t =
+  let can_send_new () =
+    match t.params.limit with
+    | None -> true
+    | Some limit -> Scoreboard.next_seq t.sb < limit
+  in
+  let budget = ref t.params.max_burst in
+  let blocked = ref false in
+  while
+    (not !blocked) && !budget > 0 && Scoreboard.pipe t.sb < int_of_float t.cwnd
+  do
+    (match Scoreboard.next_retransmit t.sb with
+    | Some seq ->
+        Scoreboard.mark_retransmitted t.sb seq;
+        send_data t ~seq ~rexmit:true
+    | None ->
+        if can_send_new () then begin
+          let seq = Scoreboard.register_send t.sb in
+          send_data t ~seq ~rexmit:false
+        end
+        else blocked := true);
+    decr budget
+  done;
+  if Scoreboard.in_flight_window t.sb > 0 then arm_timer t
+
+and on_timeout t =
+  (* Timeout: halve ssthresh, collapse to one packet, resend from the
+     cumulative ack point. *)
+  if Scoreboard.in_flight_window t.sb > 0 then begin
+    t.timeouts <- t.timeouts + 1;
+    t.window_cuts <- t.window_cuts + 1;
+    t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
+    set_cwnd t 1.0;
+    Rto.backoff t.rto;
+    ignore (Scoreboard.mark_all_lost t.sb);
+    t.in_recovery <- false;
+    t.recover_point <- Scoreboard.next_seq t.sb
+  end;
+  try_send t
+
+let enter_recovery t =
+  t.in_recovery <- true;
+  t.recover_point <- Scoreboard.next_seq t.sb;
+  t.window_cuts <- t.window_cuts + 1;
+  t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
+  set_cwnd t t.ssthresh
+
+let grow_window t newly =
+  for _ = 1 to newly do
+    if t.cwnd < t.ssthresh then set_cwnd t (t.cwnd +. 1.0)
+    else set_cwnd t (t.cwnd +. (1.0 /. t.cwnd))
+  done
+
+let check_completion t =
+  match (t.params.limit, t.completed_at) with
+  | Some limit, None when Scoreboard.high_ack t.sb >= limit ->
+      t.completed_at <- Some (now t);
+      cancel_timer t
+  | _ -> ()
+
+let on_ack t ~cum_ack ~blocks ~echo ~ece =
+  Rto.sample t.rto (now t -. echo);
+  let newly = Scoreboard.advance_cum t.sb cum_ack in
+  List.iter
+    (fun { Wire.block_lo; block_hi } ->
+      ignore (Scoreboard.mark_sacked t.sb ~lo:block_lo ~hi:block_hi))
+    blocks;
+  let losses = Scoreboard.detect_losses t.sb ~dupthresh:t.params.dupthresh in
+  if newly > 0 then begin
+    restart_timer t;
+    if t.in_recovery && Scoreboard.high_ack t.sb >= t.recover_point then
+      t.in_recovery <- false;
+    if not t.in_recovery then grow_window t newly
+  end;
+  if (losses <> [] || ece) && not t.in_recovery then enter_recovery t;
+  check_completion t;
+  if t.completed_at = None then try_send t
+
+let completed_at t = t.completed_at
+
+let is_complete t = t.completed_at <> None
+
+let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
+  let flow = Net.Network.fresh_flow net in
+  let receiver = Receiver.create ~net ~node:dst ~flow ~peer:src in
+  let start = Net.Network.now net +. start_at in
+  let t =
+    {
+      net;
+      params;
+      src;
+      dst;
+      flow;
+      sb = Scoreboard.create ();
+      rto = Rto.create ~min_rto:params.min_rto ();
+      receiver;
+      cwnd = Stdlib.max 1.0 params.init_cwnd;
+      ssthresh = params.init_ssthresh;
+      in_recovery = false;
+      recover_point = 0;
+      timer = None;
+      cwnd_avg = Stats.Time_avg.create ~start ~value:params.init_cwnd;
+      rtt = ref (Stats.Welford.create ());
+      sent_new = 0;
+      retransmits = 0;
+      window_cuts = 0;
+      timeouts = 0;
+      meas_time = start;
+      meas_delivered = 0;
+      meas_sent_new = 0;
+      meas_retransmits = 0;
+      meas_window_cuts = 0;
+      meas_timeouts = 0;
+      completed_at = None;
+    }
+  in
+  Net.Node.attach (Net.Network.node net src) ~flow (fun pkt ->
+      match pkt.Net.Packet.payload with
+      | Wire.Tcp_ack { cum_ack; blocks; echo; ece } ->
+          Stats.Welford.add !(t.rtt) (now t -. echo);
+          on_ack t ~cum_ack ~blocks ~echo ~ece
+      | _ -> ());
+  (* Random sub-RTT stagger avoids artificial start synchronisation. *)
+  let stagger = Sim.Rng.float (Net.Network.fork_rng net) 0.1 in
+  ignore
+    (Sim.Scheduler.schedule_at (Net.Network.scheduler net)
+       (start +. stagger) (fun () -> try_send t));
+  t

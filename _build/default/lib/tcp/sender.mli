@@ -1,0 +1,100 @@
+(** TCP SACK sender with an infinite data source.
+
+    Implements the congestion control the paper models: slow start,
+    congestion avoidance (+1/cwnd per new ack), one window halving per
+    recovery episode regardless of how many packets that window lost,
+    SACK-driven retransmission, and timeout with exponential backoff.
+
+    All stochastic inputs come through the network's RNG streams, so a
+    run is reproducible from the network seed. *)
+
+type params = {
+  init_cwnd : float;
+  init_ssthresh : float;
+  dupthresh : int;  (** Paper: 3. *)
+  max_burst : int;  (** Packets releasable per ack event (NS2: 4). *)
+  max_cwnd : float;  (** Receiver-window cap, in packets. *)
+  data_size : int;  (** Bytes per data packet. *)
+  min_rto : float;
+  limit : int option;
+      (** [Some n] makes this a finite flow of [n] packets (for
+          short-flow experiments); [None] sends forever. *)
+}
+
+val default_params : params
+(** cwnd 1, ssthresh 64, dupthresh 3, max_burst 4, max_cwnd 128 (a
+    1998-vintage 128 KB receiver window), 1000-byte packets, min RTO
+    1.0 s, infinite data. *)
+
+type t
+
+val create :
+  net:Net.Network.t ->
+  src:Net.Packet.addr ->
+  dst:Net.Packet.addr ->
+  ?params:params ->
+  ?start_at:float ->
+  unit ->
+  t
+(** Build sender + receiver pair on a fresh flow; transmission starts
+    at [start_at] (default 0, plus a sub-RTT random stagger drawn from
+    the network RNG to avoid synchronised starts). *)
+
+val flow : t -> Net.Packet.flow
+
+val cwnd : t -> float
+
+val ssthresh : t -> float
+
+val in_recovery : t -> bool
+
+val delivered : t -> int
+(** Packets cumulatively acknowledged so far. *)
+
+val window_cuts : t -> int
+(** Total halvings (fast recovery entries + timeouts). *)
+
+val timeouts : t -> int
+
+val retransmits : t -> int
+
+val sent_new : t -> int
+
+val rtt_stats : t -> Stats.Welford.t
+(** RTT samples since the last {!reset_measurement}. *)
+
+val avg_cwnd : t -> float
+(** Time-weighted average of cwnd since the last {!reset_measurement}. *)
+
+val reset_measurement : t -> unit
+(** Restart the measurement window: cwnd time-average, RTT stats and
+    the snapshot baseline all restart at the current instant (the paper
+    discards the first 100 s of each run). *)
+
+type snapshot = {
+  time : float;
+  delivered : int;
+  sent_new : int;
+  retransmits : int;
+  window_cuts : int;
+  timeouts : int;
+  cwnd_now : float;
+  cwnd_avg : float;
+  rtt_avg : float;
+  throughput : float;  (** Delivered (goodput) pkt/s since the reset. *)
+  send_rate : float;
+      (** Packets put on the wire per second (new + retransmissions) —
+          the flow's bandwidth share of its bottleneck, which is the
+          quantity the paper's tables report (~ cwnd / RTT). *)
+}
+
+val snapshot : t -> snapshot
+(** Counters are measured from the last {!reset_measurement}. *)
+
+val receiver : t -> Receiver.t
+
+val completed_at : t -> float option
+(** For finite flows: when the last packet was cumulatively
+    acknowledged; [None] while incomplete or for infinite flows. *)
+
+val is_complete : t -> bool

@@ -1,0 +1,18 @@
+type sack_block = { block_lo : int; block_hi : int }
+
+type Net.Packet.payload +=
+  | Tcp_data of { seq : int; sent_at : float }
+  | Tcp_ack of {
+      cum_ack : int;
+      blocks : sack_block list;
+      echo : float;
+      ece : bool;
+    }
+
+let max_sack_blocks = 3
+
+let data_size = 1000
+
+let ack_size = 40
+
+let block_to_string b = Printf.sprintf "[%d,%d)" b.block_lo b.block_hi

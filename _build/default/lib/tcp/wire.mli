@@ -1,0 +1,34 @@
+(** TCP packet payloads.
+
+    Sequence numbers count whole packets (as the paper's analysis
+    does), not bytes.  Data packets carry their send timestamp, echoed
+    back in acknowledgments, giving RTT samples that are immune to
+    retransmission ambiguity (Karn's problem). *)
+
+type sack_block = { block_lo : int; block_hi : int }
+(** Half-open range [\[block_lo, block_hi)] of packets received
+    out of order. *)
+
+type Net.Packet.payload +=
+  | Tcp_data of { seq : int; sent_at : float }
+  | Tcp_ack of {
+      cum_ack : int;
+      blocks : sack_block list;
+      echo : float;
+      ece : bool;
+    }
+        (** [cum_ack] is the next packet the receiver expects;
+            [blocks] holds at most {!max_sack_blocks} ranges, most
+            recently changed first; [ece] echoes a congestion mark set
+            by an ECN-enabled gateway on the acknowledged data. *)
+
+val max_sack_blocks : int
+(** 3, as in RFC 2018 with timestamps in use. *)
+
+val data_size : int
+(** Bytes on the wire for a data packet (1000, as in the paper). *)
+
+val ack_size : int
+(** Bytes on the wire for a pure ack (40). *)
+
+val block_to_string : sack_block -> string

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Analysis Array Buffer Experiments Format List Net Option Printf Rla Sim String Tcp

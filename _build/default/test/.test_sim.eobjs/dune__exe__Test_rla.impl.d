@@ -1,0 +1,1 @@
+test/test_rla.ml: Alcotest List Net Option Printf Rla

@@ -1,0 +1,1 @@
+test/test_scoreboard_model.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Stdlib Tcp

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Gen List Net Printf QCheck QCheck_alcotest Sim Stats Tcp

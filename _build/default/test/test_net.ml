@@ -1,0 +1,599 @@
+(* Tests for the network substrate: packets, RED, queue disciplines,
+   links, nodes, network/routing/multicast. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let droptail_config ?(capacity = 20) ?(bw = 8_000_000.0) ?(delay = 0.01) () =
+  {
+    Net.Link.bandwidth_bps = bw;
+    prop_delay = delay;
+    queue = Net.Queue_disc.Droptail;
+    capacity;
+    phase_jitter = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Packet                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_packet_dest_strings () =
+  Alcotest.(check string) "unicast" "node:3"
+    (Net.Packet.dest_to_string (Net.Packet.Unicast 3));
+  Alcotest.(check string) "multicast" "group:1"
+    (Net.Packet.dest_to_string (Net.Packet.Multicast 1))
+
+let test_packet_pp () =
+  let pkt =
+    {
+      Net.Packet.uid = 1;
+      flow = 2;
+      src = 0;
+      dst = Net.Packet.Unicast 5;
+      size = 1000;
+      payload = Net.Packet.Raw;
+      born = 0.0;
+      ecn = false;
+    }
+  in
+  let s = Format.asprintf "%a" Net.Packet.pp pkt in
+  Alcotest.(check bool) "mentions flow" true
+    (String.length s > 0 && String.contains s '2')
+
+(* ------------------------------------------------------------------ *)
+(* RED                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let red_params = Net.Red.default_params ~mean_pkt_time:0.001
+
+let test_red_admits_when_small () =
+  let red = Net.Red.create red_params ~rng:(Sim.Rng.create 1) in
+  (* Average starts at 0 and moves slowly; small queues always admit. *)
+  for i = 0 to 99 do
+    match Net.Red.decide red ~now:(float_of_int i *. 0.001) ~qlen:2 with
+    | `Admit -> ()
+    | `Drop | `Mark -> Alcotest.fail "dropped below min threshold"
+  done
+
+let test_red_avg_tracks_queue () =
+  let red = Net.Red.create red_params ~rng:(Sim.Rng.create 1) in
+  for _ = 1 to 5_000 do
+    ignore (Net.Red.decide red ~now:0.0 ~qlen:10)
+  done;
+  Alcotest.(check bool) "avg converged toward 10" true
+    (abs_float (Net.Red.avg_queue red -. 10.0) < 0.5)
+
+let test_red_drops_above_max () =
+  let red = Net.Red.create red_params ~rng:(Sim.Rng.create 1) in
+  for _ = 1 to 10_000 do
+    ignore (Net.Red.decide red ~now:0.0 ~qlen:18)
+  done;
+  (* avg is now ~18, above max_th=15: every arrival must drop. *)
+  (match Net.Red.decide red ~now:0.0 ~qlen:18 with
+  | `Drop -> ()
+  | `Admit | `Mark -> Alcotest.fail "must drop above max threshold");
+  Alcotest.(check bool) "drop counter advanced" true (Net.Red.drops red > 0)
+
+let test_red_probabilistic_between_thresholds () =
+  let red = Net.Red.create red_params ~rng:(Sim.Rng.create 42) in
+  (* Drive the average to ~10 (between min 5 and max 15). *)
+  for _ = 1 to 5_000 do
+    ignore (Net.Red.decide red ~now:0.0 ~qlen:10)
+  done;
+  let drops = ref 0 and n = 2_000 in
+  for _ = 1 to n do
+    match Net.Red.decide red ~now:0.0 ~qlen:10 with
+    | `Drop -> incr drops
+    | `Admit | `Mark -> ()
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  (* p_b = 0.1*(10-5)/10 = 0.05; the count mechanism spreads drops so
+     the effective rate is close to p_b. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "drop rate %.3f in (0.01, 0.15)" rate)
+    true
+    (rate > 0.01 && rate < 0.15)
+
+let test_red_ecn_marks_in_band () =
+  let params = { red_params with Net.Red.ecn = true } in
+  let red = Net.Red.create params ~rng:(Sim.Rng.create 42) in
+  for _ = 1 to 5_000 do
+    ignore (Net.Red.decide red ~now:0.0 ~qlen:10)
+  done;
+  let marks = ref 0 and drops = ref 0 in
+  for _ = 1 to 2_000 do
+    match Net.Red.decide red ~now:0.0 ~qlen:10 with
+    | `Mark -> incr marks
+    | `Drop -> incr drops
+    | `Admit -> ()
+  done;
+  Alcotest.(check bool) "marks happened" true (!marks > 10);
+  Alcotest.(check int) "no drops in band with ecn" 0 !drops;
+  Alcotest.(check bool) "mark counter" true (Net.Red.marks red > 0)
+
+let test_red_ecn_still_drops_above_max () =
+  let params = { red_params with Net.Red.ecn = true } in
+  let red = Net.Red.create params ~rng:(Sim.Rng.create 1) in
+  for _ = 1 to 10_000 do
+    ignore (Net.Red.decide red ~now:0.0 ~qlen:18)
+  done;
+  match Net.Red.decide red ~now:0.0 ~qlen:18 with
+  | `Drop -> ()
+  | `Admit | `Mark -> Alcotest.fail "over max_th must still drop"
+
+let test_red_idle_decay () =
+  let red = Net.Red.create red_params ~rng:(Sim.Rng.create 1) in
+  for _ = 1 to 5_000 do
+    ignore (Net.Red.decide red ~now:0.0 ~qlen:12)
+  done;
+  let before = Net.Red.avg_queue red in
+  Net.Red.note_empty red ~now:1.0;
+  (* After a long idle period the average decays substantially. *)
+  ignore (Net.Red.decide red ~now:10.0 ~qlen:0);
+  Alcotest.(check bool) "idle decayed the average" true
+    (Net.Red.avg_queue red < before /. 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Queue_disc                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_disc_droptail_capacity () =
+  let d =
+    Net.Queue_disc.create Net.Queue_disc.Droptail ~capacity:5
+      ~rng:(Sim.Rng.create 1)
+  in
+  (match Net.Queue_disc.on_arrival d ~now:0.0 ~qlen:4 with
+  | `Admit -> ()
+  | `Drop | `Mark -> Alcotest.fail "should admit under capacity");
+  match Net.Queue_disc.on_arrival d ~now:0.0 ~qlen:5 with
+  | `Drop -> ()
+  | `Admit | `Mark -> Alcotest.fail "should drop at capacity"
+
+let test_disc_bernoulli () =
+  let d =
+    Net.Queue_disc.create (Net.Queue_disc.Bernoulli_loss 0.5) ~capacity:100
+      ~rng:(Sim.Rng.create 3)
+  in
+  let drops = ref 0 and n = 10_000 in
+  for _ = 1 to n do
+    match Net.Queue_disc.on_arrival d ~now:0.0 ~qlen:0 with
+    | `Drop -> incr drops
+    | `Admit | `Mark -> ()
+  done;
+  let rate = float_of_int !drops /. float_of_int n in
+  Alcotest.(check bool) "about half dropped" true (abs_float (rate -. 0.5) < 0.03)
+
+let test_disc_bernoulli_invalid () =
+  Alcotest.(check bool) "p = 1 rejected" true
+    (try
+       ignore
+         (Net.Queue_disc.create (Net.Queue_disc.Bernoulli_loss 1.0) ~capacity:1
+            ~rng:(Sim.Rng.create 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_disc_capacity_invalid () =
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore
+         (Net.Queue_disc.create Net.Queue_disc.Droptail ~capacity:0
+            ~rng:(Sim.Rng.create 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_disc_avg_queue_nan_for_droptail () =
+  let d =
+    Net.Queue_disc.create Net.Queue_disc.Droptail ~capacity:5
+      ~rng:(Sim.Rng.create 1)
+  in
+  Alcotest.(check bool) "nan" true (Float.is_nan (Net.Queue_disc.avg_queue d))
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_packet ?(uid = 0) ?(size = 1000) () =
+  {
+    Net.Packet.uid;
+    flow = 0;
+    src = 0;
+    dst = Net.Packet.Unicast 1;
+    size;
+    payload = Net.Packet.Raw;
+    born = 0.0;
+    ecn = false;
+  }
+
+let test_link_ecn_marks_packet () =
+  let sched = Sim.Scheduler.create () in
+  let got_ecn = ref [] in
+  let config =
+    {
+      Net.Link.bandwidth_bps = 8_000_000.0;
+      prop_delay = 0.001;
+      queue =
+        Net.Queue_disc.Red_gateway
+          {
+            (Net.Red.default_params ~mean_pkt_time:0.001) with
+            Net.Red.ecn = true;
+            min_th = 0.0;
+            max_th = 10.0;
+            max_p = 1.0;
+            w_q = 1.0;
+          };
+      capacity = 100;
+      phase_jitter = false;
+    }
+  in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l" config
+      ~deliver:(fun pkt -> got_ecn := pkt.Net.Packet.ecn :: !got_ecn)
+  in
+  (* With w_q = 1 and max_p = 1 the average jumps straight to the queue
+     length, so packets arriving at a non-empty queue are marked. *)
+  for i = 1 to 10 do
+    Net.Link.send link (make_packet ~uid:i ())
+  done;
+  Sim.Scheduler.run_until sched 1.0;
+  Alcotest.(check bool) "some packets marked" true (List.mem true !got_ecn);
+  Alcotest.(check bool) "mark counted" true ((Net.Link.stats link).Net.Link.marked > 0)
+
+let test_link_delivery_timing () =
+  let sched = Sim.Scheduler.create () in
+  let arrivals = ref [] in
+  (* 8 Mbps -> a 1000-byte packet serializes in 1 ms; +10 ms propagation. *)
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ())
+      ~deliver:(fun _ -> arrivals := Sim.Scheduler.now sched :: !arrivals)
+  in
+  Net.Link.send link (make_packet ());
+  Sim.Scheduler.run_until sched 1.0;
+  (match !arrivals with
+  | [ t ] -> check_float "tx + prop" 0.011 t
+  | _ -> Alcotest.fail "expected one delivery");
+  check_float "service time" 0.001 (Net.Link.service_time link 1000)
+
+let test_link_serializes () =
+  let sched = Sim.Scheduler.create () in
+  let arrivals = ref [] in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ())
+      ~deliver:(fun pkt -> arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
+  in
+  Net.Link.send link (make_packet ~uid:1 ());
+  Net.Link.send link (make_packet ~uid:2 ());
+  Sim.Scheduler.run_until sched 1.0;
+  match List.rev !arrivals with
+  | [ (1, t1); (2, t2) ] ->
+      check_float "first" 0.011 t1;
+      (* Second waits one service time behind the first. *)
+      check_float "second" 0.012 t2
+  | _ -> Alcotest.fail "expected two deliveries in order"
+
+let test_link_droptail_overflow () =
+  let sched = Sim.Scheduler.create () in
+  let delivered = ref 0 in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ~capacity:5 ())
+      ~deliver:(fun _ -> incr delivered)
+  in
+  (* Burst of 10: 1 in service + 5 buffered; 4 dropped. *)
+  for i = 1 to 10 do
+    Net.Link.send link (make_packet ~uid:i ())
+  done;
+  Sim.Scheduler.run_until sched 1.0;
+  let stats = Net.Link.stats link in
+  Alcotest.(check int) "offered" 10 stats.Net.Link.offered;
+  Alcotest.(check int) "dropped" 4 stats.Net.Link.dropped;
+  Alcotest.(check int) "delivered" 6 stats.Net.Link.delivered;
+  Alcotest.(check int) "callback count" 6 !delivered
+
+let test_link_drop_hook () =
+  let sched = Sim.Scheduler.create () in
+  let dropped_uids = ref [] in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ~capacity:1 ())
+      ~deliver:(fun _ -> ())
+  in
+  Net.Link.set_drop_hook link (fun pkt ->
+      dropped_uids := pkt.Net.Packet.uid :: !dropped_uids);
+  for i = 1 to 4 do
+    Net.Link.send link (make_packet ~uid:i ())
+  done;
+  Sim.Scheduler.run_until sched 1.0;
+  Alcotest.(check (list int)) "hook saw the overflow" [ 3; 4 ]
+    (List.rev !dropped_uids)
+
+let test_link_phase_jitter_bounded () =
+  let sched = Sim.Scheduler.create () in
+  let arrivals = ref [] in
+  let config = { (droptail_config ()) with Net.Link.phase_jitter = true } in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 5) ~id:"l" config
+      ~deliver:(fun _ -> arrivals := Sim.Scheduler.now sched :: !arrivals)
+  in
+  Net.Link.send link (make_packet ());
+  Sim.Scheduler.run_until sched 1.0;
+  match !arrivals with
+  | [ t ] ->
+      (* Base latency 11 ms plus jitter within one service time (1 ms). *)
+      Alcotest.(check bool) "within jitter window" true (t >= 0.011 && t < 0.012)
+  | _ -> Alcotest.fail "expected one delivery"
+
+let test_link_stats_reset () =
+  let sched = Sim.Scheduler.create () in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ()) ~deliver:(fun _ -> ())
+  in
+  Net.Link.send link (make_packet ());
+  Sim.Scheduler.run_until sched 1.0;
+  Net.Link.reset_stats link;
+  let stats = Net.Link.stats link in
+  Alcotest.(check int) "offered reset" 0 stats.Net.Link.offered;
+  Alcotest.(check int) "delivered reset" 0 stats.Net.Link.delivered
+
+let test_link_invalid_config () =
+  let sched = Sim.Scheduler.create () in
+  Alcotest.(check bool) "zero bandwidth rejected" true
+    (try
+       ignore
+         (Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+            { (droptail_config ()) with Net.Link.bandwidth_bps = 0.0 }
+            ~deliver:(fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Node                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_node_local_dispatch () =
+  let node = Net.Node.create 7 in
+  let got = ref [] in
+  Net.Node.attach node ~flow:1 (fun pkt -> got := pkt.Net.Packet.uid :: !got);
+  Net.Node.receive node
+    { (make_packet ~uid:9 ()) with Net.Packet.dst = Net.Packet.Unicast 7; flow = 1 };
+  Alcotest.(check (list int)) "delivered to handler" [ 9 ] !got
+
+let test_node_undeliverable () =
+  let node = Net.Node.create 7 in
+  Net.Node.receive node
+    { (make_packet ()) with Net.Packet.dst = Net.Packet.Unicast 7; flow = 99 };
+  Net.Node.receive node
+    { (make_packet ()) with Net.Packet.dst = Net.Packet.Unicast 8 };
+  Alcotest.(check int) "no handler, no route" 2 (Net.Node.undeliverable node)
+
+let test_node_detach () =
+  let node = Net.Node.create 0 in
+  let got = ref 0 in
+  Net.Node.attach node ~flow:1 (fun _ -> incr got);
+  Net.Node.detach node ~flow:1;
+  Net.Node.receive node
+    { (make_packet ()) with Net.Packet.dst = Net.Packet.Unicast 0; flow = 1 };
+  Alcotest.(check int) "detached" 0 !got
+
+let test_node_multicast_membership () =
+  let node = Net.Node.create 3 in
+  Alcotest.(check bool) "not joined" false (Net.Node.joined node ~group:1);
+  Net.Node.join node ~group:1;
+  Alcotest.(check bool) "joined" true (Net.Node.joined node ~group:1);
+  let got = ref 0 in
+  Net.Node.attach node ~flow:5 (fun _ -> incr got);
+  Net.Node.receive node
+    { (make_packet ()) with Net.Packet.dst = Net.Packet.Multicast 1; flow = 5 };
+  Alcotest.(check int) "multicast delivered locally" 1 !got
+
+let test_node_mcast_route_dedup () =
+  let sched = Sim.Scheduler.create () in
+  let node = Net.Node.create 0 in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"x" (droptail_config ())
+      ~deliver:(fun _ -> ())
+  in
+  Net.Node.add_mcast_route node ~group:1 link;
+  Net.Node.add_mcast_route node ~group:1 link;
+  Alcotest.(check int) "dedup" 1 (List.length (Net.Node.mcast_routes node ~group:1))
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let build_line () =
+  (* 0 -- 1 -- 2 *)
+  let net = Net.Network.create ~seed:1 () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  let b = Net.Node.id (Net.Network.add_node net) in
+  let c = Net.Node.id (Net.Network.add_node net) in
+  ignore (Net.Network.duplex net a b (droptail_config ()));
+  ignore (Net.Network.duplex net b c (droptail_config ()));
+  Net.Network.install_routes net;
+  (net, a, b, c)
+
+let test_network_routing_line () =
+  let net, a, _, c = build_line () in
+  let got = ref [] in
+  Net.Node.attach (Net.Network.node net c) ~flow:0 (fun pkt ->
+      got := pkt.Net.Packet.uid :: !got);
+  let pkt =
+    Net.Network.make_packet net ~flow:0 ~src:a ~dst:(Net.Packet.Unicast c)
+      ~size:1000 ~payload:Net.Packet.Raw
+  in
+  Net.Network.send net pkt;
+  Net.Network.run_until net 1.0;
+  Alcotest.(check int) "delivered across two hops" 1 (List.length !got)
+
+let test_network_path () =
+  let net, a, _, c = build_line () in
+  Alcotest.(check int) "two links" 2 (List.length (Net.Network.path net a c));
+  Alcotest.(check int) "self path empty" 0 (List.length (Net.Network.path net a a))
+
+let test_network_local_delivery () =
+  let net, a, _, _ = build_line () in
+  let got = ref 0 in
+  Net.Node.attach (Net.Network.node net a) ~flow:0 (fun _ -> incr got);
+  let pkt =
+    Net.Network.make_packet net ~flow:0 ~src:a ~dst:(Net.Packet.Unicast a)
+      ~size:100 ~payload:Net.Packet.Raw
+  in
+  Net.Network.send net pkt;
+  Alcotest.(check int) "self send is immediate" 1 !got
+
+let test_network_multicast_tree () =
+  (* Star: 0 is source, 1 is hub, 2-4 receivers. *)
+  let net = Net.Network.create ~seed:1 () in
+  let s = Net.Node.id (Net.Network.add_node net) in
+  let hub = Net.Node.id (Net.Network.add_node net) in
+  let rs = List.init 3 (fun _ -> Net.Node.id (Net.Network.add_node net)) in
+  ignore (Net.Network.duplex net s hub (droptail_config ()));
+  List.iter (fun r -> ignore (Net.Network.duplex net hub r (droptail_config ()))) rs;
+  Net.Network.install_routes net;
+  let group = Net.Network.fresh_group net in
+  Net.Network.install_multicast net ~group ~src:s ~members:rs;
+  let got = ref 0 in
+  List.iter
+    (fun r -> Net.Node.attach (Net.Network.node net r) ~flow:0 (fun _ -> incr got))
+    rs;
+  let pkt =
+    Net.Network.make_packet net ~flow:0 ~src:s ~dst:(Net.Packet.Multicast group)
+      ~size:1000 ~payload:Net.Packet.Raw
+  in
+  Net.Network.send net pkt;
+  Net.Network.run_until net 1.0;
+  Alcotest.(check int) "all members got a copy" 3 !got;
+  (* The shared first hop must carry the packet exactly once. *)
+  let first_hop = Option.get (Net.Network.link_between net s hub) in
+  Alcotest.(check int) "no duplicate on shared hop" 1
+    (Net.Link.stats first_hop).Net.Link.delivered
+
+let test_network_multicast_requires_routes () =
+  let net = Net.Network.create ~seed:1 () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  let b = Net.Node.id (Net.Network.add_node net) in
+  ignore (Net.Network.duplex net a b (droptail_config ()));
+  Alcotest.(check bool) "raises without routes" true
+    (try
+       Net.Network.install_multicast net ~group:0 ~src:a ~members:[ b ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_network_fresh_ids () =
+  let net = Net.Network.create ~seed:1 () in
+  Alcotest.(check int) "flow 0" 0 (Net.Network.fresh_flow net);
+  Alcotest.(check int) "flow 1" 1 (Net.Network.fresh_flow net);
+  Alcotest.(check int) "group 0" 0 (Net.Network.fresh_group net)
+
+let test_network_duplex_self_loop () =
+  let net = Net.Network.create ~seed:1 () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  Alcotest.(check bool) "self loop rejected" true
+    (try
+       ignore (Net.Network.duplex net a a (droptail_config ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_network_determinism () =
+  (* Same seed, same construction -> identical delivery count trace. *)
+  let run seed =
+    let net = Net.Network.create ~seed () in
+    let a = Net.Node.id (Net.Network.add_node net) in
+    let b = Net.Node.id (Net.Network.add_node net) in
+    ignore
+      (Net.Network.duplex net a b
+         { (droptail_config ~capacity:3 ()) with Net.Link.phase_jitter = true });
+    Net.Network.install_routes net;
+    let got = ref [] in
+    Net.Node.attach (Net.Network.node net b) ~flow:0 (fun pkt ->
+        got := (pkt.Net.Packet.uid, Net.Network.now net) :: !got);
+    for i = 0 to 19 do
+      ignore
+        (Sim.Scheduler.schedule_at (Net.Network.scheduler net)
+           (0.0005 *. float_of_int i)
+           (fun () ->
+             let pkt =
+               Net.Network.make_packet net ~flow:0 ~src:a
+                 ~dst:(Net.Packet.Unicast b) ~size:1000 ~payload:Net.Packet.Raw
+             in
+             Net.Network.send net pkt))
+    done;
+    Net.Network.run_until net 1.0;
+    List.rev !got
+  in
+  Alcotest.(check bool) "replay equal" true (run 77 = run 77);
+  Alcotest.(check bool) "different seed differs" true (run 77 <> run 78)
+
+let test_network_node_lookup () =
+  let net = Net.Network.create ~seed:1 () in
+  let a = Net.Network.add_node net in
+  Alcotest.(check int) "lookup" (Net.Node.id a)
+    (Net.Node.id (Net.Network.node net (Net.Node.id a)));
+  Alcotest.(check bool) "unknown raises" true
+    (try ignore (Net.Network.node net 99); false with Not_found -> true)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "dest strings" `Quick test_packet_dest_strings;
+          Alcotest.test_case "pp" `Quick test_packet_pp;
+        ] );
+      ( "red",
+        [
+          Alcotest.test_case "admits when small" `Quick test_red_admits_when_small;
+          Alcotest.test_case "avg tracks queue" `Quick test_red_avg_tracks_queue;
+          Alcotest.test_case "drops above max" `Quick test_red_drops_above_max;
+          Alcotest.test_case "probabilistic zone" `Quick
+            test_red_probabilistic_between_thresholds;
+          Alcotest.test_case "idle decay" `Quick test_red_idle_decay;
+          Alcotest.test_case "ecn marks in band" `Quick test_red_ecn_marks_in_band;
+          Alcotest.test_case "ecn drops above max" `Quick
+            test_red_ecn_still_drops_above_max;
+        ] );
+      ( "queue_disc",
+        [
+          Alcotest.test_case "droptail capacity" `Quick test_disc_droptail_capacity;
+          Alcotest.test_case "bernoulli rate" `Quick test_disc_bernoulli;
+          Alcotest.test_case "bernoulli invalid" `Quick test_disc_bernoulli_invalid;
+          Alcotest.test_case "capacity invalid" `Quick test_disc_capacity_invalid;
+          Alcotest.test_case "droptail avg is nan" `Quick
+            test_disc_avg_queue_nan_for_droptail;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery timing" `Quick test_link_delivery_timing;
+          Alcotest.test_case "ecn marks packet" `Quick test_link_ecn_marks_packet;
+          Alcotest.test_case "serialization" `Quick test_link_serializes;
+          Alcotest.test_case "droptail overflow" `Quick test_link_droptail_overflow;
+          Alcotest.test_case "drop hook" `Quick test_link_drop_hook;
+          Alcotest.test_case "phase jitter bounded" `Quick
+            test_link_phase_jitter_bounded;
+          Alcotest.test_case "stats reset" `Quick test_link_stats_reset;
+          Alcotest.test_case "invalid config" `Quick test_link_invalid_config;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "local dispatch" `Quick test_node_local_dispatch;
+          Alcotest.test_case "undeliverable" `Quick test_node_undeliverable;
+          Alcotest.test_case "detach" `Quick test_node_detach;
+          Alcotest.test_case "multicast membership" `Quick
+            test_node_multicast_membership;
+          Alcotest.test_case "mcast route dedup" `Quick test_node_mcast_route_dedup;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "routing line" `Quick test_network_routing_line;
+          Alcotest.test_case "path" `Quick test_network_path;
+          Alcotest.test_case "local delivery" `Quick test_network_local_delivery;
+          Alcotest.test_case "multicast tree" `Quick test_network_multicast_tree;
+          Alcotest.test_case "multicast needs routes" `Quick
+            test_network_multicast_requires_routes;
+          Alcotest.test_case "fresh ids" `Quick test_network_fresh_ids;
+          Alcotest.test_case "self loop" `Quick test_network_duplex_self_loop;
+          Alcotest.test_case "determinism" `Quick test_network_determinism;
+          Alcotest.test_case "node lookup" `Quick test_network_node_lookup;
+        ] );
+    ]

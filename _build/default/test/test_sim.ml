@@ -1,0 +1,421 @@
+(* Tests for the simulation substrate: heap, rng, scheduler, trace. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Sim.Heap.length h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop" None (Sim.Heap.pop h);
+  Alcotest.(check (option (float 0.0))) "min_prio" None (Sim.Heap.min_prio h)
+
+let test_heap_single () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.add h ~prio:3.5 "x";
+  Alcotest.(check int) "length" 1 (Sim.Heap.length h);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "peek" (Some (3.5, "x")) (Sim.Heap.peek h);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "pop" (Some (3.5, "x")) (Sim.Heap.pop h);
+  Alcotest.(check bool) "empty after" true (Sim.Heap.is_empty h)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create () in
+  List.iter (fun p -> Sim.Heap.add h ~prio:p p)
+    [ 5.0; 1.0; 3.0; 2.0; 4.0; 0.5 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (p, _) -> drain (p :: acc)
+  in
+  Alcotest.(check (list (float 0.0)))
+    "ascending" [ 0.5; 1.0; 2.0; 3.0; 4.0; 5.0 ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.add h ~prio:1.0 v) [ "a"; "b"; "c" ];
+  Sim.Heap.add h ~prio:0.5 "first";
+  let order = ref [] in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "insertion order on ties" [ "first"; "a"; "b"; "c" ] (List.rev !order)
+
+let test_heap_clear () =
+  let h = Sim.Heap.create () in
+  for i = 1 to 10 do
+    Sim.Heap.add h ~prio:(float_of_int i) i
+  done;
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h);
+  Sim.Heap.add h ~prio:1.0 7;
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "usable after clear" (Some (1.0, 7)) (Sim.Heap.pop h)
+
+let test_heap_iter () =
+  let h = Sim.Heap.create () in
+  List.iter (fun p -> Sim.Heap.add h ~prio:p (int_of_float p)) [ 3.0; 1.0; 2.0 ];
+  let sum = ref 0 in
+  Sim.Heap.iter h ~f:(fun _ v -> sum := !sum + v);
+  Alcotest.(check int) "iter visits all" 6 !sum
+
+let test_heap_interleaved () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.add h ~prio:2.0 2;
+  Sim.Heap.add h ~prio:1.0 1;
+  Alcotest.(check (option (pair (float 0.0) int))) "pop 1" (Some (1.0, 1))
+    (Sim.Heap.pop h);
+  Sim.Heap.add h ~prio:0.5 0;
+  Alcotest.(check (option (pair (float 0.0) int))) "pop 0" (Some (0.5, 0))
+    (Sim.Heap.pop h);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop 2" (Some (2.0, 2))
+    (Sim.Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun prios ->
+      let h = Sim.Heap.create () in
+      List.iter (fun p -> Sim.Heap.add h ~prio:p ()) prios;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, ()) -> drain (p :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare prios)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap length tracks adds and pops" ~count:200
+    QCheck.(list (float_bound_exclusive 100.0))
+    (fun prios ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i p -> Sim.Heap.add h ~prio:p i) prios;
+      let n = List.length prios in
+      let ok = ref (Sim.Heap.length h = n) in
+      for remaining = n downto 1 do
+        ok := !ok && Sim.Heap.length h = remaining;
+        ignore (Sim.Heap.pop h)
+      done;
+      !ok && Sim.Heap.is_empty h)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 1234 and b = Sim.Rng.create 1234 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Sim.Rng.uniform a) (Sim.Rng.uniform b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Sim.Rng.bits64 a = Sim.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_rng_uniform_range () =
+  let rng = Sim.Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let u = Sim.Rng.uniform rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.fail "uniform out of [0,1)"
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Sim.Rng.create 99 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.uniform rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_rng_int_bounds () =
+  let rng = Sim.Rng.create 5 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of range";
+    seen.(v) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_int_invalid () =
+  let rng = Sim.Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int rng 0))
+
+let test_rng_bernoulli () =
+  let rng = Sim.Rng.create 11 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Sim.Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli(0.3)" true (abs_float (freq -. 0.3) < 0.01)
+
+let test_rng_exponential_mean () =
+  let rng = Sim.Rng.create 13 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Sim.Rng.exponential rng 2.0 in
+    if x < 0.0 then Alcotest.fail "exponential negative";
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 2" true (abs_float (mean -. 2.0) < 0.05)
+
+let test_rng_split_independent () =
+  let root = Sim.Rng.create 21 in
+  let a = Sim.Rng.split root in
+  let b = Sim.Rng.split root in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Sim.Rng.bits64 a = Sim.Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_rng_copy () =
+  let a = Sim.Rng.create 31 in
+  ignore (Sim.Rng.bits64 a);
+  let b = Sim.Rng.copy a in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "copy replays" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_range () =
+  let rng = Sim.Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.range rng 3.0 7.0 in
+    if v < 3.0 || v >= 7.0 then Alcotest.fail "range out of bounds"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sched_ordering () =
+  let s = Sim.Scheduler.create () in
+  let log = ref [] in
+  ignore (Sim.Scheduler.schedule_at s 2.0 (fun () -> log := 2 :: !log));
+  ignore (Sim.Scheduler.schedule_at s 1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.Scheduler.schedule_at s 3.0 (fun () -> log := 3 :: !log));
+  Sim.Scheduler.run_until s 10.0;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sched_same_time_fifo () =
+  let s = Sim.Scheduler.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Scheduler.schedule_at s 1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.Scheduler.run_until s 2.0;
+  Alcotest.(check (list int)) "fifo at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_sched_clock_advances () =
+  let s = Sim.Scheduler.create () in
+  let seen = ref 0.0 in
+  ignore (Sim.Scheduler.schedule_at s 1.5 (fun () -> seen := Sim.Scheduler.now s));
+  Sim.Scheduler.run_until s 10.0;
+  check_float "clock at event time" 1.5 !seen;
+  check_float "clock at horizon" 10.0 (Sim.Scheduler.now s)
+
+let test_sched_horizon_excludes_future () =
+  let s = Sim.Scheduler.create () in
+  let fired = ref false in
+  ignore (Sim.Scheduler.schedule_at s 5.0 (fun () -> fired := true));
+  Sim.Scheduler.run_until s 4.0;
+  Alcotest.(check bool) "not fired" false !fired;
+  Sim.Scheduler.run_until s 6.0;
+  Alcotest.(check bool) "fired later" true !fired
+
+let test_sched_past_rejected () =
+  let s = Sim.Scheduler.create () in
+  ignore (Sim.Scheduler.schedule_at s 2.0 (fun () -> ()));
+  Sim.Scheduler.run_until s 3.0;
+  Alcotest.(check bool) "raises on past" true
+    (try
+       ignore (Sim.Scheduler.schedule_at s 1.0 (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sched_cancel () =
+  let s = Sim.Scheduler.create () in
+  let fired = ref false in
+  let id = Sim.Scheduler.schedule_at s 1.0 (fun () -> fired := true) in
+  Sim.Scheduler.cancel s id;
+  Sim.Scheduler.run_until s 2.0;
+  Alcotest.(check bool) "cancelled event silent" false !fired
+
+let test_sched_cancel_idempotent () =
+  let s = Sim.Scheduler.create () in
+  let id = Sim.Scheduler.schedule_at s 1.0 (fun () -> ()) in
+  Sim.Scheduler.cancel s id;
+  Sim.Scheduler.cancel s id;
+  Alcotest.(check int) "pending went to zero once" 0 (Sim.Scheduler.pending s)
+
+let test_sched_schedule_during_event () =
+  let s = Sim.Scheduler.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Scheduler.schedule_at s 1.0 (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.Scheduler.schedule_after s 0.5 (fun () ->
+                log := "inner" :: !log))));
+  Sim.Scheduler.run_until s 2.0;
+  Alcotest.(check (list string)) "nested events" [ "outer"; "inner" ]
+    (List.rev !log)
+
+let test_sched_zero_delay_event () =
+  let s = Sim.Scheduler.create () in
+  let count = ref 0 in
+  ignore
+    (Sim.Scheduler.schedule_at s 1.0 (fun () ->
+         ignore (Sim.Scheduler.schedule_after s 0.0 (fun () -> incr count))));
+  Sim.Scheduler.run_until s 1.0;
+  Alcotest.(check int) "zero-delay fires within horizon" 1 !count
+
+let test_sched_counters () =
+  let s = Sim.Scheduler.create () in
+  for i = 1 to 5 do
+    ignore (Sim.Scheduler.schedule_at s (float_of_int i) (fun () -> ()))
+  done;
+  Alcotest.(check int) "pending" 5 (Sim.Scheduler.pending s);
+  Sim.Scheduler.run_until s 3.0;
+  Alcotest.(check int) "fired" 3 (Sim.Scheduler.events_fired s);
+  Alcotest.(check int) "pending remaining" 2 (Sim.Scheduler.pending s)
+
+let test_sched_run_until_empty () =
+  let s = Sim.Scheduler.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      ignore
+        (Sim.Scheduler.schedule_after s 1.0 (fun () ->
+             incr count;
+             chain (n - 1)))
+  in
+  chain 5;
+  Sim.Scheduler.run_until_empty s ~max_events:100;
+  Alcotest.(check int) "all chained events" 5 !count
+
+let test_sched_run_until_empty_bounded () =
+  let s = Sim.Scheduler.create () in
+  let count = ref 0 in
+  let rec forever () =
+    ignore
+      (Sim.Scheduler.schedule_after s 1.0 (fun () ->
+           incr count;
+           forever ()))
+  in
+  forever ();
+  Sim.Scheduler.run_until_empty s ~max_events:50;
+  Alcotest.(check int) "bounded by max_events" 50 !count
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_by_default () =
+  let t = Sim.Trace.create () in
+  Alcotest.(check bool) "disabled" false (Sim.Trace.enabled t);
+  (* Emitting without a sink is a no-op, not an error. *)
+  Sim.Trace.emit t ~time:0.0 ~level:Sim.Trace.Info ~component:"x" "hello"
+
+let test_trace_memory_sink () =
+  let t = Sim.Trace.create () in
+  let sink, records = Sim.Trace.memory_sink () in
+  Sim.Trace.set_sink t sink;
+  Sim.Trace.emit t ~time:1.0 ~level:Sim.Trace.Warn ~component:"link" "drop";
+  Sim.Trace.emitf t ~time:2.0 ~level:Sim.Trace.Debug ~component:"tcp" "cwnd=%d" 5;
+  let rs = records () in
+  Alcotest.(check int) "two records" 2 (List.length rs);
+  let r1 = List.nth rs 0 and r2 = List.nth rs 1 in
+  Alcotest.(check string) "message" "drop" r1.Sim.Trace.message;
+  Alcotest.(check string) "formatted" "cwnd=5" r2.Sim.Trace.message;
+  check_float "time" 1.0 r1.Sim.Trace.time
+
+let test_trace_clear_sink () =
+  let t = Sim.Trace.create () in
+  let sink, records = Sim.Trace.memory_sink () in
+  Sim.Trace.set_sink t sink;
+  Sim.Trace.clear_sink t;
+  Sim.Trace.emit t ~time:0.0 ~level:Sim.Trace.Info ~component:"x" "gone";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (records ()))
+
+let test_trace_level_names () =
+  Alcotest.(check string) "debug" "debug" (Sim.Trace.level_to_string Sim.Trace.Debug);
+  Alcotest.(check string) "info" "info" (Sim.Trace.level_to_string Sim.Trace.Info);
+  Alcotest.(check string) "warn" "warn" (Sim.Trace.level_to_string Sim.Trace.Warn)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "single" `Quick test_heap_single;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "iter" `Quick test_heap_iter;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_length;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "range" `Quick test_rng_range;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "ordering" `Quick test_sched_ordering;
+          Alcotest.test_case "fifo same time" `Quick test_sched_same_time_fifo;
+          Alcotest.test_case "clock advances" `Quick test_sched_clock_advances;
+          Alcotest.test_case "horizon" `Quick test_sched_horizon_excludes_future;
+          Alcotest.test_case "past rejected" `Quick test_sched_past_rejected;
+          Alcotest.test_case "cancel" `Quick test_sched_cancel;
+          Alcotest.test_case "cancel idempotent" `Quick test_sched_cancel_idempotent;
+          Alcotest.test_case "nested scheduling" `Quick test_sched_schedule_during_event;
+          Alcotest.test_case "zero delay" `Quick test_sched_zero_delay_event;
+          Alcotest.test_case "counters" `Quick test_sched_counters;
+          Alcotest.test_case "run_until_empty" `Quick test_sched_run_until_empty;
+          Alcotest.test_case "run_until_empty bounded" `Quick
+            test_sched_run_until_empty_bounded;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "memory sink" `Quick test_trace_memory_sink;
+          Alcotest.test_case "clear sink" `Quick test_trace_clear_sink;
+          Alcotest.test_case "level names" `Quick test_trace_level_names;
+        ] );
+    ]

@@ -1,0 +1,531 @@
+(* Tests for the TCP SACK implementation: RTO estimator, scoreboard,
+   receiver SACK generation, and sender behaviour on small networks. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rto                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rto_before_samples () =
+  let r = Tcp.Rto.create () in
+  Alcotest.(check bool) "no sample" false (Tcp.Rto.has_sample r);
+  check_float "conservative initial" 3.0 (Tcp.Rto.timeout r)
+
+let test_rto_first_sample () =
+  let r = Tcp.Rto.create ~min_rto:0.0 () in
+  Tcp.Rto.sample r 0.5;
+  check_float "srtt = first" 0.5 (Tcp.Rto.srtt r);
+  check_float "rttvar = half" 0.25 (Tcp.Rto.rttvar r);
+  check_float "timeout" 1.5 (Tcp.Rto.timeout r)
+
+let test_rto_smoothing () =
+  let r = Tcp.Rto.create ~min_rto:0.0 () in
+  Tcp.Rto.sample r 1.0;
+  Tcp.Rto.sample r 1.0;
+  Tcp.Rto.sample r 1.0;
+  check_float "stable srtt" 1.0 (Tcp.Rto.srtt r);
+  Alcotest.(check bool) "rttvar shrinks" true (Tcp.Rto.rttvar r < 0.5)
+
+let test_rto_min_clamp () =
+  let r = Tcp.Rto.create ~min_rto:1.0 () in
+  for _ = 1 to 50 do
+    Tcp.Rto.sample r 0.01
+  done;
+  check_float "clamped to min" 1.0 (Tcp.Rto.timeout r)
+
+let test_rto_backoff () =
+  let r = Tcp.Rto.create ~min_rto:1.0 () in
+  Tcp.Rto.sample r 0.1;
+  Tcp.Rto.backoff r;
+  check_float "doubled" 2.0 (Tcp.Rto.timeout r);
+  Tcp.Rto.backoff r;
+  check_float "doubled again" 4.0 (Tcp.Rto.timeout r);
+  Tcp.Rto.sample r 0.1;
+  check_float "sample resets backoff" 1.0 (Tcp.Rto.timeout r)
+
+let test_rto_max_clamp () =
+  let r = Tcp.Rto.create ~min_rto:1.0 ~max_rto:8.0 () in
+  Tcp.Rto.sample r 0.1;
+  for _ = 1 to 10 do
+    Tcp.Rto.backoff r
+  done;
+  check_float "capped at max" 8.0 (Tcp.Rto.timeout r)
+
+let test_rto_negative_sample () =
+  let r = Tcp.Rto.create () in
+  Alcotest.(check bool) "negative rejected" true
+    (try Tcp.Rto.sample r (-1.0); false with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Scoreboard                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sb_with_sends n =
+  let sb = Tcp.Scoreboard.create () in
+  for _ = 1 to n do
+    ignore (Tcp.Scoreboard.register_send sb)
+  done;
+  sb
+
+let test_sb_register () =
+  let sb = Tcp.Scoreboard.create () in
+  Alcotest.(check int) "seq 0" 0 (Tcp.Scoreboard.register_send sb);
+  Alcotest.(check int) "seq 1" 1 (Tcp.Scoreboard.register_send sb);
+  Alcotest.(check int) "next_seq" 2 (Tcp.Scoreboard.next_seq sb);
+  Alcotest.(check int) "pipe counts flight" 2 (Tcp.Scoreboard.pipe sb)
+
+let test_sb_advance_cum () =
+  let sb = sb_with_sends 5 in
+  Alcotest.(check int) "newly acked" 3 (Tcp.Scoreboard.advance_cum sb 3);
+  Alcotest.(check int) "high_ack" 3 (Tcp.Scoreboard.high_ack sb);
+  Alcotest.(check int) "pipe" 2 (Tcp.Scoreboard.pipe sb);
+  Alcotest.(check int) "stale ack ignored" 0 (Tcp.Scoreboard.advance_cum sb 2)
+
+let test_sb_advance_beyond_sent () =
+  let sb = sb_with_sends 3 in
+  Alcotest.(check int) "clamped to next_seq" 3 (Tcp.Scoreboard.advance_cum sb 10);
+  Alcotest.(check int) "pipe zero" 0 (Tcp.Scoreboard.pipe sb)
+
+let test_sb_sack_reduces_pipe () =
+  let sb = sb_with_sends 10 in
+  Alcotest.(check int) "newly sacked" 3 (Tcp.Scoreboard.mark_sacked sb ~lo:4 ~hi:7);
+  Alcotest.(check int) "pipe" 7 (Tcp.Scoreboard.pipe sb);
+  Alcotest.(check int) "re-sack is idempotent" 0
+    (Tcp.Scoreboard.mark_sacked sb ~lo:4 ~hi:7);
+  Alcotest.(check bool) "is_sacked" true (Tcp.Scoreboard.is_sacked sb 5);
+  Alcotest.(check int) "highest_sacked" 6 (Tcp.Scoreboard.highest_sacked sb)
+
+let test_sb_sack_below_high_ack_ignored () =
+  let sb = sb_with_sends 5 in
+  ignore (Tcp.Scoreboard.advance_cum sb 3);
+  Alcotest.(check int) "old range ignored" 0
+    (Tcp.Scoreboard.mark_sacked sb ~lo:0 ~hi:3)
+
+let test_sb_loss_detection () =
+  let sb = sb_with_sends 10 in
+  (* SACK 4,5,6: packets 0..3 have seq+3 <= 6 -> 0,1,2,3 lost. *)
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:4 ~hi:7);
+  let lost = Tcp.Scoreboard.detect_losses sb ~dupthresh:3 in
+  Alcotest.(check (list int)) "lost prefix" [ 0; 1; 2; 3 ] lost;
+  Alcotest.(check (list int)) "no re-detection" []
+    (Tcp.Scoreboard.detect_losses sb ~dupthresh:3)
+
+let test_sb_loss_needs_dupthresh () =
+  let sb = sb_with_sends 10 in
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:2 ~hi:3);
+  (* highest_sacked = 2; 0 is lost only if 0+3 <= 2 — not yet. *)
+  Alcotest.(check (list int)) "below dupthresh" []
+    (Tcp.Scoreboard.detect_losses sb ~dupthresh:3);
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:3 ~hi:4);
+  Alcotest.(check (list int)) "at dupthresh" [ 0 ]
+    (Tcp.Scoreboard.detect_losses sb ~dupthresh:3)
+
+let test_sb_retransmit_cycle () =
+  let sb = sb_with_sends 8 in
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:3 ~hi:6);
+  let lost = Tcp.Scoreboard.detect_losses sb ~dupthresh:3 in
+  Alcotest.(check (list int)) "lost" [ 0; 1; 2 ] lost;
+  let pipe_before = Tcp.Scoreboard.pipe sb in
+  (match Tcp.Scoreboard.next_retransmit sb with
+  | Some 0 -> Tcp.Scoreboard.mark_retransmitted sb 0
+  | _ -> Alcotest.fail "expected seq 0 first");
+  Alcotest.(check int) "pipe grows with rexmit" (pipe_before + 1)
+    (Tcp.Scoreboard.pipe sb);
+  (match Tcp.Scoreboard.next_retransmit sb with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "next is 1");
+  (* Cumulative ack past 0 clears its state. *)
+  ignore (Tcp.Scoreboard.advance_cum sb 1);
+  Tcp.Scoreboard.check_invariants sb
+
+let test_sb_rexmit_guards () =
+  let sb = sb_with_sends 4 in
+  Alcotest.(check bool) "not lost -> invalid" true
+    (try Tcp.Scoreboard.mark_retransmitted sb 0; false
+     with Invalid_argument _ -> true);
+  ignore (Tcp.Scoreboard.mark_lost sb 0);
+  Tcp.Scoreboard.mark_retransmitted sb 0;
+  Alcotest.(check bool) "double rexmit -> invalid" true
+    (try Tcp.Scoreboard.mark_retransmitted sb 0; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "is_rexmitted" true (Tcp.Scoreboard.is_rexmitted sb 0)
+
+let test_sb_sack_clears_lost () =
+  let sb = sb_with_sends 6 in
+  ignore (Tcp.Scoreboard.mark_lost sb 0);
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:0 ~hi:1);
+  Alcotest.(check bool) "no longer lost" false (Tcp.Scoreboard.is_lost sb 0);
+  Alcotest.(check bool) "sacked" true (Tcp.Scoreboard.is_sacked sb 0);
+  Alcotest.(check (option int)) "nothing to retransmit" None
+    (Tcp.Scoreboard.next_retransmit sb);
+  Tcp.Scoreboard.check_invariants sb
+
+let test_sb_mark_all_lost () =
+  let sb = sb_with_sends 6 in
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:2 ~hi:3);
+  ignore (Tcp.Scoreboard.mark_lost sb 0);
+  Tcp.Scoreboard.mark_retransmitted sb 0;
+  let marked = Tcp.Scoreboard.mark_all_lost sb in
+  (* 0 was already lost, 2 is sacked: 1, 3, 4, 5 newly marked. *)
+  Alcotest.(check int) "newly marked" 4 marked;
+  Alcotest.(check bool) "rexmit flag cleared" false (Tcp.Scoreboard.is_rexmitted sb 0);
+  Alcotest.(check (option int)) "rexmit restarts from 0" (Some 0)
+    (Tcp.Scoreboard.next_retransmit sb);
+  Tcp.Scoreboard.check_invariants sb
+
+let test_sb_advance_cum_seqs_fresh_only () =
+  let sb = sb_with_sends 5 in
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:1 ~hi:2);
+  let fresh = Tcp.Scoreboard.advance_cum_seqs sb 3 in
+  Alcotest.(check (list int)) "skips previously sacked" [ 0; 2 ] fresh
+
+let test_sb_mark_sacked_seqs () =
+  let sb = sb_with_sends 5 in
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:2 ~hi:3);
+  let fresh = Tcp.Scoreboard.mark_sacked_seqs sb ~lo:1 ~hi:4 in
+  Alcotest.(check (list int)) "only new seqs" [ 1; 3 ] fresh
+
+let test_sb_expire_rexmits () =
+  let sb = sb_with_sends 8 in
+  ignore (Tcp.Scoreboard.mark_sacked sb ~lo:3 ~hi:7);
+  let lost = Tcp.Scoreboard.detect_losses sb ~dupthresh:3 in
+  Alcotest.(check (list int)) "lost" [ 0; 1; 2 ] lost;
+  Tcp.Scoreboard.mark_retransmitted ~at:10.0 sb 0;
+  Tcp.Scoreboard.mark_retransmitted ~at:20.0 sb 1;
+  (* Only the rexmit from t=10 is stale at cutoff 15. *)
+  Alcotest.(check (list int)) "stale rexmits" [ 0 ]
+    (Tcp.Scoreboard.expire_rexmits sb ~before:15.0);
+  Alcotest.(check bool) "flag cleared" false (Tcp.Scoreboard.is_rexmitted sb 0);
+  Alcotest.(check bool) "fresh one kept" true (Tcp.Scoreboard.is_rexmitted sb 1);
+  (* The expired packet is eligible again. *)
+  Alcotest.(check (option int)) "re-eligible" (Some 0)
+    (Tcp.Scoreboard.next_retransmit sb);
+  Tcp.Scoreboard.check_invariants sb
+
+let test_sb_expire_rexmits_empty () =
+  let sb = sb_with_sends 4 in
+  Alcotest.(check (list int)) "nothing to expire" []
+    (Tcp.Scoreboard.expire_rexmits sb ~before:100.0)
+
+let prop_sb_random_ops =
+  (* Random sequences of operations never break the counter invariants
+     and pipe stays non-negative. *)
+  QCheck.Test.make ~name:"scoreboard invariants under random ops" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 200) (int_bound 5))
+    (fun ops ->
+      let sb = Tcp.Scoreboard.create () in
+      let rng = Sim.Rng.create 9 in
+      List.iter
+        (fun op ->
+          let span = Tcp.Scoreboard.next_seq sb - Tcp.Scoreboard.high_ack sb in
+          match op with
+          | 0 | 1 -> ignore (Tcp.Scoreboard.register_send sb)
+          | 2 ->
+              if span > 0 then
+                ignore
+                  (Tcp.Scoreboard.advance_cum sb
+                     (Tcp.Scoreboard.high_ack sb + 1 + Sim.Rng.int rng span))
+          | 3 ->
+              if span > 0 then begin
+                let lo = Tcp.Scoreboard.high_ack sb + Sim.Rng.int rng span in
+                ignore (Tcp.Scoreboard.mark_sacked sb ~lo ~hi:(lo + 1 + Sim.Rng.int rng 3))
+              end
+          | 4 -> ignore (Tcp.Scoreboard.detect_losses sb ~dupthresh:3)
+          | _ -> (
+              match Tcp.Scoreboard.next_retransmit sb with
+              | Some seq -> Tcp.Scoreboard.mark_retransmitted sb seq
+              | None -> ()))
+        ops;
+      Tcp.Scoreboard.check_invariants sb;
+      Tcp.Scoreboard.pipe sb >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Receiver + sender end-to-end on small networks                     *)
+(* ------------------------------------------------------------------ *)
+
+let droptail ~capacity ~mu_pkts ~delay =
+  {
+    Net.Link.bandwidth_bps = mu_pkts *. 8000.0;
+    prop_delay = delay;
+    queue = Net.Queue_disc.Droptail;
+    capacity;
+    phase_jitter = false;
+  }
+
+let build_pair ?(capacity = 20) ?(mu_pkts = 1000.0) ?(delay = 0.01) ?(seed = 1) () =
+  let net = Net.Network.create ~seed () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  let b = Net.Node.id (Net.Network.add_node net) in
+  ignore (Net.Network.duplex net a b (droptail ~capacity ~mu_pkts ~delay));
+  Net.Network.install_routes net;
+  (net, a, b)
+
+let test_sender_delivers_in_order () =
+  let net, a, b = build_pair () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 10.0;
+  let rcv = Tcp.Sender.receiver tcp in
+  Alcotest.(check bool) "progress" true (Tcp.Receiver.expected rcv > 100);
+  Alcotest.(check int) "no gaps pending" 0 (Tcp.Receiver.out_of_order_pending rcv);
+  (* The sender's view lags by the acks still in flight at the cut-off. *)
+  let lag = Tcp.Receiver.expected rcv - Tcp.Sender.delivered tcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivered lags by in-flight acks only (%d)" lag)
+    true
+    (lag >= 0 && lag < 64)
+
+let test_sender_slow_start_growth () =
+  (* Buffer large enough that the slow-start overshoot does not drop. *)
+  let net, a, b = build_pair ~mu_pkts:10_000.0 ~capacity:200 () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  (* After a few RTTs with no loss, cwnd should have grown well past 1. *)
+  Net.Network.run_until net 0.5;
+  Alcotest.(check bool) "cwnd grew" true (Tcp.Sender.cwnd tcp > 8.0);
+  Alcotest.(check int) "no cuts yet" 0 (Tcp.Sender.window_cuts tcp)
+
+let test_sender_recovers_from_loss () =
+  (* Tiny buffer forces drops; the flow must keep making progress and
+     retransmit rather than deadlock. *)
+  let net, a, b = build_pair ~capacity:5 ~mu_pkts:200.0 () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 60.0;
+  Alcotest.(check bool) "cuts happened" true (Tcp.Sender.window_cuts tcp > 0);
+  Alcotest.(check bool) "retransmitted" true (Tcp.Sender.retransmits tcp > 0);
+  Alcotest.(check bool) "still delivering" true (Tcp.Sender.delivered tcp > 5000);
+  let rcv = Tcp.Sender.receiver tcp in
+  let lag = Tcp.Receiver.expected rcv - Tcp.Sender.delivered tcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "receiver within in-flight window (%d)" lag)
+    true
+    (lag >= 0 && lag < 64)
+
+let test_sender_throughput_tracks_bottleneck () =
+  let net, a, b = build_pair ~mu_pkts:100.0 () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 20.0;
+  Tcp.Sender.reset_measurement tcp;
+  Net.Network.run_until net 120.0;
+  let snap = Tcp.Sender.snapshot tcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.1f near 100" snap.Tcp.Sender.throughput)
+    true
+    (snap.Tcp.Sender.throughput > 80.0 && snap.Tcp.Sender.throughput <= 101.0)
+
+let test_sender_two_flows_share_fairly () =
+  let net, a, b = build_pair ~mu_pkts:200.0 ~capacity:20 () in
+  let t1 = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let t2 = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 20.0;
+  Tcp.Sender.reset_measurement t1;
+  Tcp.Sender.reset_measurement t2;
+  Net.Network.run_until net 220.0;
+  let s1 = (Tcp.Sender.snapshot t1).Tcp.Sender.throughput in
+  let s2 = (Tcp.Sender.snapshot t2).Tcp.Sender.throughput in
+  let ratio = s1 /. s2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f within 30%%" ratio)
+    true
+    (ratio > 0.7 && ratio < 1.43);
+  Alcotest.(check bool) "combined uses the link" true (s1 +. s2 > 160.0)
+
+let test_sender_rtt_measured () =
+  let net, a, b = build_pair ~mu_pkts:10_000.0 ~delay:0.05 () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 10.0;
+  let rtt = Stats.Welford.mean (Tcp.Sender.rtt_stats tcp) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rtt %.3f close to 2x prop delay" rtt)
+    true
+    (rtt >= 0.1 && rtt < 0.13)
+
+let test_sender_timeout_on_dead_path () =
+  (* All data packets die: the sender must back off through timeouts,
+     not spin. *)
+  let net = Net.Network.create ~seed:1 () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  let b = Net.Node.id (Net.Network.add_node net) in
+  ignore
+    (Net.Network.duplex net a b
+       {
+         Net.Link.bandwidth_bps = 8e6;
+         prop_delay = 0.01;
+         queue = Net.Queue_disc.Bernoulli_loss 0.999;
+         capacity = 100;
+         phase_jitter = false;
+       });
+  Net.Network.install_routes net;
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 120.0;
+  Alcotest.(check bool) "timeouts occurred" true (Tcp.Sender.timeouts tcp > 2);
+  Alcotest.(check bool) "cwnd collapsed" true (Tcp.Sender.cwnd tcp <= 2.0);
+  Alcotest.(check bool) "bounded send volume" true (Tcp.Sender.sent_new tcp < 1000)
+
+let test_finite_flow_completes () =
+  let net, a, b = build_pair ~mu_pkts:1000.0 () in
+  let params = { Tcp.Sender.default_params with Tcp.Sender.limit = Some 50 } in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b ~params () in
+  Alcotest.(check bool) "not complete initially" false (Tcp.Sender.is_complete tcp);
+  Net.Network.run_until net 30.0;
+  Alcotest.(check bool) "complete" true (Tcp.Sender.is_complete tcp);
+  Alcotest.(check int) "delivered exactly the limit" 50 (Tcp.Sender.delivered tcp);
+  Alcotest.(check int) "sent exactly the limit" 50 (Tcp.Sender.sent_new tcp);
+  match Tcp.Sender.completed_at tcp with
+  | Some finish -> Alcotest.(check bool) "finished quickly" true (finish < 5.0)
+  | None -> Alcotest.fail "no completion time"
+
+let test_finite_flow_completes_under_loss () =
+  let net, a, b = build_pair ~mu_pkts:100.0 ~capacity:4 ~seed:5 () in
+  (* Competing persistent flow to force drops onto the short one. *)
+  let _bg = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let params = { Tcp.Sender.default_params with Tcp.Sender.limit = Some 30 } in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b ~params ~start_at:5.0 () in
+  Net.Network.run_until net 120.0;
+  Alcotest.(check bool) "completes despite drops" true
+    (Tcp.Sender.is_complete tcp);
+  Alcotest.(check int) "all packets delivered" 30 (Tcp.Sender.delivered tcp)
+
+
+let test_sender_ecn_cuts_without_loss () =
+  (* ECN-enabled RED bottleneck: marks throttle the flow, so it stays
+     near the link rate with almost no retransmissions. *)
+  let net = Net.Network.create ~seed:4 () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  let b = Net.Node.id (Net.Network.add_node net) in
+  ignore
+    (Net.Network.duplex net a b
+       {
+         Net.Link.bandwidth_bps = 100.0 *. 8000.0;
+         prop_delay = 0.05;
+         queue =
+           Net.Queue_disc.Red_gateway
+             {
+               (Net.Red.default_params ~mean_pkt_time:0.01) with
+               Net.Red.ecn = true;
+             };
+         capacity = 20;
+         phase_jitter = false;
+       });
+  Net.Network.install_routes net;
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  Net.Network.run_until net 120.0;
+  Alcotest.(check bool) "cuts happened" true (Tcp.Sender.window_cuts tcp > 5);
+  let sent = Tcp.Sender.sent_new tcp in
+  let rexmit = Tcp.Sender.retransmits tcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "retransmissions rare (%d / %d)" rexmit sent)
+    true
+    (rexmit * 50 < sent);
+  Alcotest.(check bool) "throughput near link rate" true
+    (Tcp.Sender.delivered tcp > 80 * 120 * 8 / 10)
+
+let test_receiver_sack_blocks () =
+  (* Feed a receiver out-of-order data directly and inspect the acks it
+     generates. *)
+  let net, a, b = build_pair ~mu_pkts:10_000.0 () in
+  let flow = Net.Network.fresh_flow net in
+  let acks = ref [] in
+  Net.Node.attach (Net.Network.node net a) ~flow (fun pkt ->
+      match pkt.Net.Packet.payload with
+      | Tcp.Wire.Tcp_ack { cum_ack; blocks; _ } ->
+          acks := (cum_ack, blocks) :: !acks
+      | _ -> ());
+  let _rcv = Tcp.Receiver.create ~net ~node:b ~flow ~peer:a in
+  let send seq =
+    let pkt =
+      Net.Network.make_packet net ~flow ~src:a ~dst:(Net.Packet.Unicast b)
+        ~size:1000
+        ~payload:(Tcp.Wire.Tcp_data { seq; sent_at = Net.Network.now net })
+    in
+    Net.Network.send net pkt
+  in
+  (* Send 0, skip 1, send 2 and 3. *)
+  send 0; send 2; send 3;
+  Net.Network.run_until net 1.0;
+  (match !acks with
+  | (cum, blocks) :: _ ->
+      Alcotest.(check int) "cum stuck at 1" 1 cum;
+      (match blocks with
+      | [ { Tcp.Wire.block_lo = 2; block_hi = 4 } ] -> ()
+      | _ -> Alcotest.fail "expected SACK block [2,4)")
+  | [] -> Alcotest.fail "no acks seen");
+  (* Filling the hole advances cum and clears the block. *)
+  send 1;
+  Net.Network.run_until net 2.0;
+  match !acks with
+  | (cum, blocks) :: _ ->
+      Alcotest.(check int) "cum caught up" 4 cum;
+      Alcotest.(check int) "no blocks" 0 (List.length blocks)
+  | [] -> Alcotest.fail "no acks"
+
+let test_receiver_duplicate_counting () =
+  let net, a, b = build_pair () in
+  let flow = Net.Network.fresh_flow net in
+  let rcv = Tcp.Receiver.create ~net ~node:b ~flow ~peer:a in
+  let send seq =
+    Net.Network.send net
+      (Net.Network.make_packet net ~flow ~src:a ~dst:(Net.Packet.Unicast b)
+         ~size:1000
+         ~payload:(Tcp.Wire.Tcp_data { seq; sent_at = 0.0 }))
+  in
+  send 0; send 0; send 2; send 2;
+  Net.Network.run_until net 1.0;
+  Alcotest.(check int) "two duplicates" 2 (Tcp.Receiver.duplicates rcv);
+  Alcotest.(check int) "received total" 4 (Tcp.Receiver.received_total rcv)
+
+let () =
+  Alcotest.run "tcp"
+    [
+      ( "rto",
+        [
+          Alcotest.test_case "before samples" `Quick test_rto_before_samples;
+          Alcotest.test_case "first sample" `Quick test_rto_first_sample;
+          Alcotest.test_case "smoothing" `Quick test_rto_smoothing;
+          Alcotest.test_case "min clamp" `Quick test_rto_min_clamp;
+          Alcotest.test_case "backoff" `Quick test_rto_backoff;
+          Alcotest.test_case "max clamp" `Quick test_rto_max_clamp;
+          Alcotest.test_case "negative sample" `Quick test_rto_negative_sample;
+        ] );
+      ( "scoreboard",
+        [
+          Alcotest.test_case "register" `Quick test_sb_register;
+          Alcotest.test_case "advance cum" `Quick test_sb_advance_cum;
+          Alcotest.test_case "advance beyond sent" `Quick test_sb_advance_beyond_sent;
+          Alcotest.test_case "sack reduces pipe" `Quick test_sb_sack_reduces_pipe;
+          Alcotest.test_case "old sack ignored" `Quick
+            test_sb_sack_below_high_ack_ignored;
+          Alcotest.test_case "loss detection" `Quick test_sb_loss_detection;
+          Alcotest.test_case "dupthresh boundary" `Quick test_sb_loss_needs_dupthresh;
+          Alcotest.test_case "retransmit cycle" `Quick test_sb_retransmit_cycle;
+          Alcotest.test_case "rexmit guards" `Quick test_sb_rexmit_guards;
+          Alcotest.test_case "sack clears lost" `Quick test_sb_sack_clears_lost;
+          Alcotest.test_case "mark all lost" `Quick test_sb_mark_all_lost;
+          Alcotest.test_case "advance_cum_seqs fresh only" `Quick
+            test_sb_advance_cum_seqs_fresh_only;
+          Alcotest.test_case "mark_sacked_seqs" `Quick test_sb_mark_sacked_seqs;
+          Alcotest.test_case "expire rexmits" `Quick test_sb_expire_rexmits;
+          Alcotest.test_case "expire rexmits empty" `Quick
+            test_sb_expire_rexmits_empty;
+          QCheck_alcotest.to_alcotest prop_sb_random_ops;
+        ] );
+      ( "endpoints",
+        [
+          Alcotest.test_case "delivers in order" `Quick test_sender_delivers_in_order;
+          Alcotest.test_case "slow start growth" `Quick test_sender_slow_start_growth;
+          Alcotest.test_case "recovers from loss" `Quick test_sender_recovers_from_loss;
+          Alcotest.test_case "tracks bottleneck" `Slow
+            test_sender_throughput_tracks_bottleneck;
+          Alcotest.test_case "two flows share" `Slow test_sender_two_flows_share_fairly;
+          Alcotest.test_case "rtt measured" `Quick test_sender_rtt_measured;
+          Alcotest.test_case "timeout on dead path" `Quick
+            test_sender_timeout_on_dead_path;
+          Alcotest.test_case "finite flow" `Quick test_finite_flow_completes;
+          Alcotest.test_case "finite flow under loss" `Quick
+            test_finite_flow_completes_under_loss;
+          Alcotest.test_case "ecn cuts without loss" `Quick
+            test_sender_ecn_cuts_without_loss;
+          Alcotest.test_case "receiver sack blocks" `Quick test_receiver_sack_blocks;
+          Alcotest.test_case "receiver duplicates" `Quick
+            test_receiver_duplicate_counting;
+        ] );
+    ]
