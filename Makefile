@@ -1,0 +1,27 @@
+# Tier-1 verification is `make check`: full build, the test suites,
+# and a short 2-case smoke sweep of the parallel runner.
+
+SMOKE_JSON ?= /tmp/rla_sweep_smoke.json
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+smoke: build
+	dune exec bin/rla_sweep.exe -- --cases 1,2 --duration 120 --warmup 40 \
+	  --jobs 2 --json $(SMOKE_JSON)
+	@grep -q '"runs_total":2' $(SMOKE_JSON) && echo "smoke sweep OK ($(SMOKE_JSON))"
+
+check: build test smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -10,10 +10,34 @@
 
 let ppf = Format.std_formatter
 
+(* Any positive duration is accepted; only unparsable or non-positive
+   values fall back to the 150 s default, with a warning on stderr. *)
 let duration =
   match Sys.getenv_opt "RLA_BENCH_DURATION" with
-  | Some s -> ( match float_of_string_opt s with Some f when f > 50.0 -> f | _ -> 150.0)
   | None -> 150.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> f
+      | _ ->
+          Printf.eprintf
+            "rla-bench: RLA_BENCH_DURATION=%S is not a positive duration; \
+             falling back to 150 s\n\
+             %!"
+            s;
+          150.0)
+
+(* Experiments discard a warm-up prefix (usually 100 s); for short
+   custom durations shrink it so runs stay valid. *)
+let warmup_for default_warmup =
+  if default_warmup < duration then default_warmup else 0.4 *. duration
+
+let jobs =
+  match Sys.getenv_opt "RLA_BENCH_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | _ -> Runner.Pool.default_jobs ())
+  | None -> Runner.Pool.default_jobs ()
 
 let seed = 1
 
@@ -38,59 +62,82 @@ let fig5 () =
   Experiments.Report.print_particle_run ppf
     (Analysis.Particle.simulate ~rng:(Sim.Rng.create seed) pipes ~steps:100_000 ())
 
-let sharing_cases gateway =
-  List.map
-    (fun i ->
-      Experiments.Sharing.run_case ~gateway ~case_index:i ~duration ~seed ())
-    [ 1; 2; 3; 4; 5 ]
+let sharing_sweep gateway =
+  Experiments.Sharing.sweep ~gateway ~case_indices:[ 1; 2; 3; 4; 5 ] ~duration
+    ~warmup:(warmup_for 100.0) ~seeds:[ seed ] ~jobs ()
 
 let fig7_and_8 () =
   section
-    (Printf.sprintf "FIG7: RLA vs TCP, drop-tail gateways (%.0f s runs)" duration);
-  let results = sharing_cases Experiments.Scenario.Droptail in
+    (Printf.sprintf "FIG7: RLA vs TCP, drop-tail gateways (%.0f s runs, %d jobs)"
+       duration jobs);
+  let t0 = Unix.gettimeofday () in
+  let outcomes = sharing_sweep Experiments.Scenario.Droptail in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let results = Runner.Pool.values outcomes in
   Experiments.Report.print_sharing_table ppf
     ~title:"Figure 7 — drop-tail gateways" results;
+  Runner.Report.pp_metrics_table ppf outcomes;
+  let json =
+    Runner.Report.sweep_json ~name:"fig7_droptail_sweep" ~jobs ~wall_s
+      (fun o ->
+        let r = o.Runner.Pool.value in
+        [
+          ("ratio", Runner.Json.Float r.Experiments.Sharing.ratio);
+          ( "rla_send_rate",
+            Runner.Json.Float
+              r.Experiments.Sharing.rla.Rla.Sender.send_rate );
+          ( "wtcp_send_rate",
+            Runner.Json.Float
+              r.Experiments.Sharing.wtcp.Tcp.Sender.send_rate );
+          ( "essentially_fair",
+            Runner.Json.Bool r.Experiments.Sharing.essentially_fair );
+        ])
+      outcomes
+  in
+  Runner.Report.write_file ~path:"BENCH_sweep.json" json;
+  Format.fprintf ppf "wrote BENCH_sweep.json (%d runs, %.1f s wall)@."
+    (List.length outcomes) wall_s;
   section "FIG8: congestion-signal statistics per branch";
   Experiments.Report.print_signal_table ppf results
 
 let fig9 () =
-  section (Printf.sprintf "FIG9: RLA vs TCP, RED gateways (%.0f s runs)" duration);
+  section
+    (Printf.sprintf "FIG9: RLA vs TCP, RED gateways (%.0f s runs, %d jobs)"
+       duration jobs);
   Experiments.Report.print_sharing_table ppf ~title:"Figure 9 — RED gateways"
-    (sharing_cases Experiments.Scenario.Red)
+    (Runner.Pool.values (sharing_sweep Experiments.Scenario.Red))
 
 let fig10 () =
   section "FIG10: generalized RLA, heterogeneous RTTs";
-  let results =
-    List.map
-      (fun i ->
-        let config = Experiments.Diff_rtt.default_config ~case_index:i in
-        Experiments.Diff_rtt.run
-          { config with Experiments.Diff_rtt.duration; seed })
-      [ 1; 2 ]
-  in
-  Experiments.Report.print_diff_rtt_table ppf results
+  Experiments.Report.print_diff_rtt_table ppf
+    (Runner.Pool.values
+       (Experiments.Diff_rtt.sweep ~case_indices:[ 1; 2 ] ~duration
+          ~warmup:(warmup_for 100.0) ~seed ~jobs ()))
 
 let sec52 () =
   section "SEC5.2: two overlapping multicast sessions";
-  let config =
-    Experiments.Multi_session.default_config
-      ~gateway:Experiments.Scenario.Droptail
-  in
-  Experiments.Report.print_multi_session ppf
-    (Experiments.Multi_session.run
-       { config with Experiments.Multi_session.duration; seed })
+  match
+    Runner.Pool.values
+      (Experiments.Multi_session.run_seeds
+         ~gateway:Experiments.Scenario.Droptail ~seeds:[ seed ] ~duration
+         ~warmup:(warmup_for 100.0) ~jobs ())
+  with
+  | [ result ] -> Experiments.Report.print_multi_session ppf result
+  | _ -> assert false
 
 let sec31 () =
   section "SEC3.1: drop-tail buffer periods under TCP";
   let results =
     List.map
       (fun n_tcp ->
+        let base = Experiments.Buffer_dynamics.default_config in
         Experiments.Buffer_dynamics.run
           {
-            Experiments.Buffer_dynamics.default_config with
+            base with
             Experiments.Buffer_dynamics.n_tcp;
             mu_pkts = 100.0 *. float_of_int n_tcp;
             duration;
+            warmup = warmup_for base.Experiments.Buffer_dynamics.warmup;
             seed;
           })
       [ 1; 2; 4; 8 ]
@@ -99,19 +146,27 @@ let sec31 () =
 
 let scaling () =
   section "SCALING: RLA throughput vs receiver count";
+  let base = Experiments.Scaling.default_config in
   Experiments.Scaling.print ppf
     (Experiments.Scaling.run
-       { Experiments.Scaling.default_config with duration; seed })
+       {
+         base with
+         duration;
+         warmup = warmup_for base.Experiments.Scaling.warmup;
+         seed;
+       })
 
 let shortflows () =
   section "SHORTFLOWS: short TCP flows vs long-lived backgrounds";
   let results =
     List.map
       (fun bg ->
+        let base = Experiments.Short_flows.default_config bg in
         Experiments.Short_flows.run
           {
-            (Experiments.Short_flows.default_config bg) with
+            base with
             Experiments.Short_flows.duration;
+            warmup = warmup_for base.Experiments.Short_flows.warmup;
             seed;
           })
       [
@@ -133,8 +188,14 @@ let ecn () =
 
 let eq1 () =
   section "EQ1: analytical TCP window vs simulation";
+  let base = Experiments.Validation.default_config in
   let config =
-    { Experiments.Validation.default_config with duration; seed }
+    {
+      base with
+      duration;
+      warmup = warmup_for base.Experiments.Validation.warmup;
+      seed;
+    }
   in
   Experiments.Report.print_validation ppf (Experiments.Validation.run config)
 

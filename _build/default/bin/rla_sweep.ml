@@ -1,0 +1,157 @@
+(* Multicore sweep driver for the paper's sharing experiment
+   (figures 7/9): cases x seeds on a fixed-size domain pool.
+
+     rla_sweep --cases 1,2,3,4,5 --seeds 3 --gateway droptail --jobs 4
+     rla_sweep --cases 1,2 --duration 120 --warmup 40 --json sweep.json
+
+   Per-run results are bit-identical for any --jobs value (each run
+   builds its own network and RNG streams from its seed); only the
+   wall clock changes.  The JSON report records per-job wall-clock,
+   events-fired and allocation metrics alongside the fairness
+   numbers. *)
+
+let ppf = Format.std_formatter
+
+let parse_cases s =
+  let parse_one part =
+    match int_of_string_opt (String.trim part) with
+    | Some i when i >= 1 && i <= 5 -> i
+    | _ ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf
+                "--cases: %S is not a case index in 1..5 (expected e.g. \
+                 \"1,2,3,4,5\")"
+                part))
+  in
+  match String.split_on_char ',' s |> List.map parse_one with
+  | [] -> raise (Invalid_argument "--cases: empty list")
+  | cases -> cases
+
+let payload (o : Experiments.Sharing.result Runner.Pool.outcome) =
+  let r = o.Runner.Pool.value in
+  let a, b = r.Experiments.Sharing.bounds in
+  [
+    ( "case",
+      Runner.Json.String
+        (Experiments.Tree.case_name r.Experiments.Sharing.config.Experiments.Sharing.case)
+    );
+    ("seed", Runner.Json.Int r.Experiments.Sharing.config.Experiments.Sharing.seed);
+    ( "rla_send_rate",
+      Runner.Json.Float r.Experiments.Sharing.rla.Rla.Sender.send_rate );
+    ( "rla_goodput",
+      Runner.Json.Float r.Experiments.Sharing.rla.Rla.Sender.throughput );
+    ( "wtcp_send_rate",
+      Runner.Json.Float r.Experiments.Sharing.wtcp.Tcp.Sender.send_rate );
+    ( "btcp_send_rate",
+      Runner.Json.Float r.Experiments.Sharing.btcp.Tcp.Sender.send_rate );
+    ("ratio", Runner.Json.Float r.Experiments.Sharing.ratio);
+    ("bound_a", Runner.Json.Float a);
+    ("bound_b", Runner.Json.Float b);
+    ( "essentially_fair",
+      Runner.Json.Bool r.Experiments.Sharing.essentially_fair );
+  ]
+
+let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~json_path =
+  let case_indices = parse_cases cases in
+  if seeds < 1 then raise (Invalid_argument "--seeds: must be >= 1");
+  if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
+  if duration <= 0.0 then raise (Invalid_argument "--duration: must be > 0");
+  if warmup < 0.0 || warmup >= duration then
+    raise (Invalid_argument "--warmup: must be in [0, duration)");
+  let gateway =
+    match Experiments.Scenario.gateway_of_string gateway with
+    | Some g -> g
+    | None ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf "--gateway: %S is not droptail or red" gateway))
+  in
+  let seed_list = List.init seeds (fun k -> seed + k) in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Experiments.Sharing.sweep ~gateway ~case_indices ~duration ~warmup
+      ~seeds:seed_list ~jobs ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Experiments.Report.print_sharing_table ppf
+    ~title:
+      (Printf.sprintf "Sharing sweep — %s gateways, %.0f s runs, %d job(s)"
+         (Experiments.Scenario.gateway_name gateway)
+         duration jobs)
+    (Runner.Pool.values outcomes);
+  Format.fprintf ppf "@.";
+  Runner.Report.pp_metrics_table ppf outcomes;
+  Format.fprintf ppf "total wall-clock: %.1f s@." wall_s;
+  let json =
+    Runner.Report.sweep_json ~name:"rla_sweep" ~jobs ~wall_s
+      ~extra:
+        [
+          ( "gateway",
+            Runner.Json.String (Experiments.Scenario.gateway_name gateway) );
+          ("duration_s", Runner.Json.Float duration);
+          ("warmup_s", Runner.Json.Float warmup);
+        ]
+      payload outcomes
+  in
+  Runner.Report.write_file ~path:json_path json;
+  Format.fprintf ppf "wrote %s@." json_path
+
+open Cmdliner
+
+let cases_arg =
+  let doc = "Comma-separated sharing case indices (paper numbering 1-5)." in
+  Arg.(value & opt string "1,2,3,4,5" & info [ "cases" ] ~docv:"LIST" ~doc)
+
+let seeds_arg =
+  let doc = "Number of seed replications per case (seeds $(b,--seed) ...)." in
+  Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "First seed of the replication range." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let gateway_arg =
+  let doc = "Gateway discipline: droptail or red." in
+  Arg.(value & opt string "droptail" & info [ "gateway"; "g" ] ~docv:"KIND" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domain-pool size.  Results are identical for any value; only \
+     wall-clock changes."
+  in
+  Arg.(
+    value
+    & opt int (Runner.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+
+let duration_arg =
+  let doc = "Simulated seconds per run (the paper uses 3000)." in
+  Arg.(value & opt float 300.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+
+let warmup_arg =
+  let doc = "Discarded measurement prefix, seconds (must be < duration)." in
+  Arg.(value & opt float 100.0 & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+
+let json_arg =
+  let doc = "Path of the JSON report." in
+  Arg.(value & opt string "rla_sweep.json" & info [ "json" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc =
+    "Parallel seed/case sweep of the RLA-vs-TCP sharing experiment \
+     (Wang & Schwartz, SIGCOMM 1998, figures 7/9)."
+  in
+  let term =
+    Term.(
+      const (fun cases seeds seed gateway jobs duration warmup json_path ->
+          try run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~json_path
+          with Invalid_argument msg ->
+            Format.eprintf "rla_sweep: %s@." msg;
+            Stdlib.exit 2)
+      $ cases_arg $ seeds_arg $ seed_arg $ gateway_arg $ jobs_arg
+      $ duration_arg $ warmup_arg $ json_arg)
+  in
+  Cmd.v (Cmd.info "rla_sweep" ~doc) term
+
+let () = exit (Cmd.eval cmd)

@@ -1,1 +1,1 @@
-lib/experiments/diff_rtt.ml: List Net Printf Rla Scenario Tcp Tree
+lib/experiments/diff_rtt.ml: List Net Option Printf Rla Runner Scenario Tcp Tree

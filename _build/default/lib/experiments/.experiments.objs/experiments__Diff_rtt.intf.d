@@ -1,1 +1,1 @@
-lib/experiments/diff_rtt.mli: Rla Scenario Tcp Tree
+lib/experiments/diff_rtt.mli: Rla Runner Scenario Tcp Tree

@@ -1,1 +1,1 @@
-lib/experiments/multi_session.ml: Array List Net Rla Scenario Tcp Tree
+lib/experiments/multi_session.ml: Array List Net Option Printf Rla Runner Scenario Tcp Tree

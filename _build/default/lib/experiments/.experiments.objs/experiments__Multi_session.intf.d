@@ -1,1 +1,1 @@
-lib/experiments/multi_session.mli: Rla Scenario Tcp Tree
+lib/experiments/multi_session.mli: Rla Runner Scenario Tcp Tree

@@ -1,1 +1,1 @@
-lib/experiments/sharing.ml: Array List Net Option Rla Scenario Stdlib Tcp Tree
+lib/experiments/sharing.ml: Array List Net Option Printf Rla Runner Scenario Stdlib Tcp Tree

@@ -1,1 +1,1 @@
-lib/experiments/sharing.mli: Net Rla Scenario Tcp Tree
+lib/experiments/sharing.mli: Net Rla Runner Scenario Tcp Tree

@@ -38,7 +38,7 @@ type result = {
   ratio : float;
 }
 
-let run config =
+let run_with_net config =
   if config.duration <= config.warmup then
     invalid_arg "Diff_rtt.run: duration must exceed warmup";
   let tree =
@@ -73,14 +73,37 @@ let run config =
     | lo :: _, hi :: _ -> (lo, hi)
     | _ -> invalid_arg "Diff_rtt.run: no TCP flows"
   in
-  {
-    config;
-    rla = rla_snap;
-    wtcp;
-    btcp;
-    n_receivers = List.length receivers;
-    ratio =
-      Rla.Fairness.measured_ratio
-        ~rla_throughput:rla_snap.Rla.Sender.send_rate
-        ~tcp_throughput:wtcp.Tcp.Sender.send_rate;
-  }
+  ( net,
+    {
+      config;
+      rla = rla_snap;
+      wtcp;
+      btcp;
+      n_receivers = List.length receivers;
+      ratio =
+        Rla.Fairness.measured_ratio
+          ~rla_throughput:rla_snap.Rla.Sender.send_rate
+          ~tcp_throughput:wtcp.Tcp.Sender.send_rate;
+    } )
+
+let run config = snd (run_with_net config)
+
+let sweep ~case_indices ?duration ?warmup ?seed ?jobs () =
+  let jobs_list =
+    List.map
+      (fun case_index ->
+        let base = default_config ~case_index in
+        let config =
+          {
+            base with
+            duration = Option.value duration ~default:base.duration;
+            warmup = Option.value warmup ~default:base.warmup;
+            seed = Option.value seed ~default:base.seed;
+          }
+        in
+        Runner.Job.create
+          ~label:(Printf.sprintf "diff_rtt/case%d/seed%d" case_index config.seed)
+          (fun () -> run_with_net config))
+      case_indices
+  in
+  Runner.Pool.run ?jobs jobs_list

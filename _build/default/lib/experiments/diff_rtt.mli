@@ -33,3 +33,14 @@ type result = {
 }
 
 val run : config -> result
+
+val sweep :
+  case_indices:int list ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?seed:int ->
+  ?jobs:int ->
+  unit ->
+  result Runner.Pool.outcome list
+(** Run the figure-10 cases on a domain pool; outcomes in submission
+    order, bit-identical for any [jobs] count. *)

@@ -30,7 +30,7 @@ type result = {
   cwnd_ratio : float;
 }
 
-let run config =
+let run_with_net config =
   if config.duration <= config.warmup then
     invalid_arg "Multi_session.run: duration must exceed warmup";
   let tree =
@@ -70,13 +70,36 @@ let run config =
     | _ -> invalid_arg "Multi_session.run: no TCP flows"
   in
   let safe_div a b = if b <= 0.0 then infinity else a /. b in
-  {
-    config;
-    session1 = s1;
-    session2 = s2;
-    wtcp;
-    btcp;
-    throughput_ratio =
-      safe_div s1.Rla.Sender.send_rate s2.Rla.Sender.send_rate;
-    cwnd_ratio = safe_div s1.Rla.Sender.cwnd_avg s2.Rla.Sender.cwnd_avg;
-  }
+  ( net,
+    {
+      config;
+      session1 = s1;
+      session2 = s2;
+      wtcp;
+      btcp;
+      throughput_ratio =
+        safe_div s1.Rla.Sender.send_rate s2.Rla.Sender.send_rate;
+      cwnd_ratio = safe_div s1.Rla.Sender.cwnd_avg s2.Rla.Sender.cwnd_avg;
+    } )
+
+let run config = snd (run_with_net config)
+
+let run_seeds ~gateway ~seeds ?duration ?warmup ?jobs () =
+  let base = default_config ~gateway in
+  let jobs_list =
+    List.map
+      (fun seed ->
+        let config =
+          {
+            base with
+            duration = Option.value duration ~default:base.duration;
+            warmup = Option.value warmup ~default:base.warmup;
+            seed;
+          }
+        in
+        Runner.Job.create
+          ~label:(Printf.sprintf "multi_session/seed%d" seed)
+          (fun () -> run_with_net config))
+      seeds
+  in
+  Runner.Pool.run ?jobs jobs_list

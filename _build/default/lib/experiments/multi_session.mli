@@ -27,3 +27,14 @@ type result = {
 }
 
 val run : config -> result
+
+val run_seeds :
+  gateway:Scenario.gateway ->
+  seeds:int list ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?jobs:int ->
+  unit ->
+  result Runner.Pool.outcome list
+(** Replicate the experiment over independent seeds on a domain pool;
+    outcomes in [seeds] order, bit-identical for any [jobs] count. *)

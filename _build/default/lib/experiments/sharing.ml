@@ -68,7 +68,7 @@ let split_by_congestion ~congested pairs =
   in
   (List.map snd in_group, List.map snd rest)
 
-let run config =
+let run_with_net config =
   if config.duration <= config.warmup then
     invalid_arg "Sharing.run: duration must exceed warmup";
   let tree =
@@ -130,29 +130,51 @@ let run config =
     split_by_congestion ~congested
       (List.map (fun f -> (f.leaf, f.snap.Tcp.Sender.window_cuts)) tcp_flows)
   in
+  ( net,
+    {
+      config;
+      rla = rla_snap;
+      tcps = tcp_flows;
+      wtcp;
+      btcp;
+      n_receivers = n;
+      ratio;
+      bounds;
+      essentially_fair;
+      rla_signals_congested = group_stat rla_cong;
+      rla_signals_rest =
+        (if rla_rest = [] then None else Some (group_stat rla_rest));
+      tcp_cuts_congested = group_stat tcp_cong;
+      tcp_cuts_rest =
+        (if tcp_rest = [] then None else Some (group_stat tcp_rest));
+    } )
+
+let run config = snd (run_with_net config)
+
+let case_config ~gateway ~case_index ?duration ?warmup ?seed () =
+  let base = default_config ~gateway ~case:(Tree.case_of_index case_index) in
   {
-    config;
-    rla = rla_snap;
-    tcps = tcp_flows;
-    wtcp;
-    btcp;
-    n_receivers = n;
-    ratio;
-    bounds;
-    essentially_fair;
-    rla_signals_congested = group_stat rla_cong;
-    rla_signals_rest = (if rla_rest = [] then None else Some (group_stat rla_rest));
-    tcp_cuts_congested = group_stat tcp_cong;
-    tcp_cuts_rest = (if tcp_rest = [] then None else Some (group_stat tcp_rest));
+    base with
+    duration = Option.value duration ~default:base.duration;
+    warmup = Option.value warmup ~default:base.warmup;
+    seed = Option.value seed ~default:base.seed;
   }
 
-let run_case ~gateway ~case_index ?duration ?seed () =
-  let base = default_config ~gateway ~case:(Tree.case_of_index case_index) in
-  let config =
-    {
-      base with
-      duration = Option.value duration ~default:base.duration;
-      seed = Option.value seed ~default:base.seed;
-    }
+let run_case ~gateway ~case_index ?duration ?warmup ?seed () =
+  run (case_config ~gateway ~case_index ?duration ?warmup ?seed ())
+
+let job ~label config = Runner.Job.create ~label (fun () -> run_with_net config)
+
+let sweep ~gateway ~case_indices ?duration ?warmup ?(seeds = [ 1 ]) ?jobs () =
+  let jobs_list =
+    List.concat_map
+      (fun case_index ->
+        List.map
+          (fun seed ->
+            job
+              ~label:(Printf.sprintf "case%d/seed%d" case_index seed)
+              (case_config ~gateway ~case_index ?duration ?warmup ~seed ()))
+          seeds)
+      case_indices
   in
-  run config
+  Runner.Pool.run ?jobs jobs_list

@@ -58,7 +58,26 @@ val run_case :
   gateway:Scenario.gateway ->
   case_index:int ->
   ?duration:float ->
+  ?warmup:float ->
   ?seed:int ->
   unit ->
   result
 (** Convenience wrapper using the paper's case numbering 1-5. *)
+
+val job : label:string -> config -> result Runner.Job.t
+(** Package one run as a sweep job (a fresh network is built inside
+    the job closure, so it is safe to execute on any domain). *)
+
+val sweep :
+  gateway:Scenario.gateway ->
+  case_indices:int list ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?seeds:int list ->
+  ?jobs:int ->
+  unit ->
+  result Runner.Pool.outcome list
+(** Run every [case x seed] combination on a domain pool ([seeds]
+    defaults to [[1]]; [jobs] to {!Runner.Pool.default_jobs}).
+    Outcomes come back in submission order — cases outermost — and the
+    per-run results are bit-identical for any [jobs] count. *)

@@ -1,1 +1,1 @@
-lib/net/link.ml: Packet Queue Queue_disc Sim
+lib/net/link.ml: Packet Queue Queue_disc Sim Stdlib

@@ -23,6 +23,7 @@ type t = {
   buffer : Packet.t Queue.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
+  mutable last_delivery : float;
   mutable offered : int;
   mutable dropped : int;
   mutable delivered : int;
@@ -45,6 +46,7 @@ let create ~sched ~rng ~id config ~deliver =
     buffer = Queue.create ();
     deliver;
     busy = false;
+    last_delivery = 0.0;
     offered = 0;
     dropped = 0;
     delivered = 0;
@@ -84,17 +86,24 @@ let set_drop_hook t hook = t.drop_hook <- Some hook
 let avg_queue t = Queue_disc.avg_queue t.disc
 
 (* Deliver after propagation (+ optional phase jitter of up to one
-   service time, section 3.1 of the paper). *)
+   service time, section 3.1 of the paper).  The jitter is drawn
+   independently per packet, so a small packet chasing a large one
+   could otherwise overtake it; clamping each delivery to the link's
+   last scheduled delivery keeps the link FIFO (ties fire in
+   scheduling order, preserving arrival order). *)
 let propagate t pkt =
   let jitter =
     if t.config.phase_jitter then
       Sim.Rng.float t.rng (service_time t pkt.Packet.size)
     else 0.0
   in
-  ignore
-    (Sim.Scheduler.schedule_after t.sched
-       (t.config.prop_delay +. jitter)
-       (fun () -> t.deliver pkt))
+  let at =
+    Stdlib.max
+      (Sim.Scheduler.now t.sched +. t.config.prop_delay +. jitter)
+      t.last_delivery
+  in
+  t.last_delivery <- at;
+  ignore (Sim.Scheduler.schedule_at t.sched at (fun () -> t.deliver pkt))
 
 let rec start_transmission t =
   match Queue.take_opt t.buffer with

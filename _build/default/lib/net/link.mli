@@ -8,7 +8,10 @@
     When [phase_jitter] is on, a uniform random processing delay of up
     to one packet service time is added before delivery, implementing
     the paper's phase-effect elimination for drop-tail gateways
-    (section 3.1). *)
+    (section 3.1).  Delivery stays FIFO regardless of jitter: a
+    packet's delivery time is clamped to be no earlier than the
+    previously scheduled delivery on the same link, so mixed packet
+    sizes (e.g. 40 B ACKs behind 1000 B data) cannot be reordered. *)
 
 type t
 

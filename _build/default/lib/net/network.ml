@@ -6,7 +6,11 @@ type t = {
   mutable n_nodes : int;
   directed : (Packet.addr * Packet.addr, Link.t) Hashtbl.t;
   mutable link_list : Link.t list;  (* reverse creation order *)
+  (* Per-node neighbor lists in reverse insertion order; [edges] gives
+     O(1) duplicate detection so topology build stays O(E) instead of
+     O(deg^2) per node. *)
   adjacency : (Packet.addr, Packet.addr list ref) Hashtbl.t;
+  edges : (Packet.addr * Packet.addr, unit) Hashtbl.t;
   mutable next_flow : int;
   mutable next_group : int;
   mutable next_uid : int;
@@ -23,6 +27,7 @@ let create ?(seed = 1) () =
     directed = Hashtbl.create 64;
     link_list = [];
     adjacency = Hashtbl.create 64;
+    edges = Hashtbl.create 64;
     next_flow = 0;
     next_group = 0;
     next_uid = 0;
@@ -58,9 +63,12 @@ let node t addr =
 let node_count t = t.n_nodes
 
 let add_neighbor t a b =
-  match Hashtbl.find_opt t.adjacency a with
-  | None -> Hashtbl.replace t.adjacency a (ref [ b ])
-  | Some l -> if not (List.mem b !l) then l := !l @ [ b ]
+  if not (Hashtbl.mem t.edges (a, b)) then begin
+    Hashtbl.replace t.edges (a, b) ();
+    match Hashtbl.find_opt t.adjacency a with
+    | None -> Hashtbl.replace t.adjacency a (ref [ b ])
+    | Some l -> l := b :: !l
+  end
 
 let one_way t a b config =
   let dst_node = node t b in
@@ -86,8 +94,13 @@ let link_between t a b = Hashtbl.find_opt t.directed (a, b)
 
 let links t = List.rev t.link_list
 
+(* Reversing restores insertion order, keeping BFS routing (and thus
+   route selection) deterministic and identical to the append-based
+   construction this replaces. *)
 let neighbors t a =
-  match Hashtbl.find_opt t.adjacency a with None -> [] | Some l -> !l
+  match Hashtbl.find_opt t.adjacency a with
+  | None -> []
+  | Some l -> List.rev !l
 
 (* BFS from [dest]; parent.(v) is the next node on v's shortest path
    towards [dest]. *)

@@ -40,6 +40,10 @@ val link_between : t -> Packet.addr -> Packet.addr -> Link.t option
 val links : t -> Link.t list
 (** All links, in creation order. *)
 
+val neighbors : t -> Packet.addr -> Packet.addr list
+(** Nodes with a directed link from the given address, in link
+    creation order (stable, duplicate-free). *)
+
 val install_routes : t -> unit
 (** Fill every node's unicast table with shortest (hop-count) paths.
     Call after the topology is complete; idempotent. *)

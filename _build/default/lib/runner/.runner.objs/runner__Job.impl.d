@@ -1,0 +1,1 @@
+lib/runner/job.ml: Net

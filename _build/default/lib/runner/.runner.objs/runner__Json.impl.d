@@ -1,0 +1,1 @@
+lib/runner/json.ml: Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/runner/json.mli: Format

@@ -1,0 +1,1 @@
+lib/runner/pool.ml: Array Atomic Domain Gc Job List Metrics Net Sim Stdlib Sys Unix

@@ -1,0 +1,1 @@
+lib/runner/pool.mli: Job Metrics

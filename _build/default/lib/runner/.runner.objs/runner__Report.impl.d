@@ -1,0 +1,1 @@
+lib/runner/report.ml: Format Fun Json List Metrics Pool

@@ -1,0 +1,1 @@
+lib/runner/report.mli: Format Json Pool

@@ -1,0 +1,16 @@
+type 'a t = { label : string; body : unit -> Net.Network.t option * 'a }
+
+let create ~label f =
+  {
+    label;
+    body =
+      (fun () ->
+        let net, v = f () in
+        (Some net, v));
+  }
+
+let pure ~label f = { label; body = (fun () -> (None, f ())) }
+
+let label t = t.label
+
+let run t = t.body ()

@@ -1,0 +1,18 @@
+(** Minimal JSON document builder (no external dependency).
+
+    Floats are printed with the shortest decimal representation that
+    round-trips, so two runs producing bit-identical numbers produce
+    byte-identical JSON; non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+exception Job_failed of string * exn
+
+type 'a outcome = { label : string; value : 'a; metrics : Metrics.t }
+
+let default_jobs () =
+  Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+
+let bytes_per_word = float_of_int (Sys.word_size / 8)
+
+let mb = 1024.0 *. 1024.0
+
+let run_one job =
+  let t0 = Unix.gettimeofday () in
+  let a0 = Gc.allocated_bytes () in
+  let net, value = Job.run job in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let allocated_mb = (Gc.allocated_bytes () -. a0) /. mb in
+  let peak_heap_mb =
+    float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. bytes_per_word /. mb
+  in
+  let events_fired =
+    match net with
+    | None -> 0
+    | Some n -> Sim.Scheduler.events_fired (Net.Network.scheduler n)
+  in
+  {
+    label = Job.label job;
+    value;
+    metrics = { Metrics.wall_s; events_fired; allocated_mb; peak_heap_mb };
+  }
+
+let run ?jobs job_list =
+  let jobs =
+    match jobs with None -> default_jobs () | Some j -> Stdlib.max 1 j
+  in
+  let arr = Array.of_list job_list in
+  let n = Array.length arr in
+  (* Slots are written at distinct indices by at most one domain each;
+     Domain.join publishes them to the submitter. *)
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      let job = arr.(i) in
+      out.(i) <-
+        Some
+          (try Ok (run_one job) with e -> Error (Job_failed (Job.label job, e)));
+      worker ()
+    end
+  in
+  let n_domains = Stdlib.min jobs (Stdlib.max 1 n) in
+  if n_domains <= 1 then worker ()
+  else begin
+    let helpers = List.init (n_domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok o) -> o
+         | Some (Error e) -> raise e
+         | None -> assert false)
+       out)
+
+let values outcomes = List.map (fun o -> o.value) outcomes

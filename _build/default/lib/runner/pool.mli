@@ -1,0 +1,29 @@
+(** Fixed-size domain pool executing {!Job.t}s in parallel.
+
+    Jobs are pulled from a shared queue by [jobs] OCaml 5 domains;
+    results are returned in deterministic submission order regardless
+    of execution interleaving.  Because every job is self-contained
+    (own network, own RNG streams), the values are bit-identical for
+    any [jobs] count — only wall-clock changes. *)
+
+exception Job_failed of string * exn
+(** Raised by {!run} (after all domains have joined) when a job's
+    closure raised; carries the job label and the original
+    exception.  Jobs submitted earlier take precedence. *)
+
+type 'a outcome = {
+  label : string;
+  value : 'a;
+  metrics : Metrics.t;
+}
+
+val default_jobs : unit -> int
+(** [recommended_domain_count], clamped to [1, 8]. *)
+
+val run : ?jobs:int -> 'a Job.t list -> 'a outcome list
+(** [run ~jobs js] executes every job and returns one outcome per job,
+    in submission order.  [jobs] defaults to {!default_jobs}; values
+    below 1 mean 1 (fully sequential, in the calling domain). *)
+
+val values : 'a outcome list -> 'a list
+(** Project the job results, dropping labels and metrics. *)

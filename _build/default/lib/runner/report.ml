@@ -1,0 +1,40 @@
+let run_json payload (o : _ Pool.outcome) =
+  let m = o.Pool.metrics in
+  Json.Obj
+    ([
+       ("label", Json.String o.Pool.label);
+       ("wall_s", Json.Float m.Metrics.wall_s);
+       ("events_fired", Json.Int m.Metrics.events_fired);
+       ("allocated_mb", Json.Float m.Metrics.allocated_mb);
+       ("peak_heap_mb", Json.Float m.Metrics.peak_heap_mb);
+     ]
+    @ payload o)
+
+let sweep_json ~name ~jobs ~wall_s ?(extra = []) payload outcomes =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("jobs", Json.Int jobs);
+       ("runs_total", Json.Int (List.length outcomes));
+       ("wall_s", Json.Float wall_s);
+       ("runs", Json.List (List.map (run_json payload) outcomes));
+     ]
+    @ extra)
+
+let write_file ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string json);
+      output_char oc '\n')
+
+let pp_metrics_table ppf outcomes =
+  Format.fprintf ppf "%-24s %10s %14s %12s@." "job" "wall (s)" "events"
+    "alloc (MB)";
+  List.iter
+    (fun (o : _ Pool.outcome) ->
+      let m = o.Pool.metrics in
+      Format.fprintf ppf "%-24s %10.3f %14d %12.1f@." o.Pool.label
+        m.Metrics.wall_s m.Metrics.events_fired m.Metrics.allocated_mb)
+    outcomes

@@ -1,0 +1,44 @@
+(** Structured export of a sweep's outcomes: a [BENCH_sweep.json]-style
+    document with per-job timing, events-fired and memory metrics, plus
+    caller-supplied payload fields (fairness numbers, case ids, ...).
+
+    Schema:
+    {[
+      {
+        "name": "<sweep name>",
+        "jobs": <domain count>,
+        "runs_total": <job count>,
+        "wall_s": <whole-sweep wall clock>,
+        "runs": [
+          {
+            "label": "<job label>",
+            "wall_s": <per-job wall clock>,
+            "events_fired": <scheduler events>,
+            "allocated_mb": <MB allocated>,
+            "peak_heap_mb": <heap high-water mark>,
+            ...payload fields...
+          }, ...
+        ],
+        ...extra fields...
+      }
+    ]} *)
+
+val sweep_json :
+  name:string ->
+  jobs:int ->
+  wall_s:float ->
+  ?extra:(string * Json.t) list ->
+  ('a Pool.outcome -> (string * Json.t) list) ->
+  'a Pool.outcome list ->
+  Json.t
+(** [sweep_json ~name ~jobs ~wall_s payload outcomes] builds the
+    document above; [payload] contributes per-run fields appended after
+    the metrics. *)
+
+val write_file : path:string -> Json.t -> unit
+(** Write the document to [path] followed by a newline. *)
+
+val pp_metrics_table :
+  Format.formatter -> 'a Pool.outcome list -> unit
+(** Human-readable per-job metrics table (label, wall s, events,
+    allocation). *)

@@ -2,23 +2,26 @@ type event = { id : int; action : unit -> unit }
 
 type event_id = int
 
+(* [pending_ids] holds exactly the ids that are scheduled and neither
+   fired nor cancelled; it is the single source of truth for both
+   [cancel] and [pending], so cancelling a fired, unknown or
+   already-cancelled id cannot drift the pending count or leak table
+   entries. *)
 type t = {
   queue : event Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
+  pending_ids : (int, unit) Hashtbl.t;
   mutable clock : float;
   mutable next_id : int;
   mutable fired : int;
-  mutable live : int;
 }
 
 let create () =
   {
     queue = Heap.create ();
-    cancelled = Hashtbl.create 64;
+    pending_ids = Hashtbl.create 64;
     clock = 0.0;
     next_id = 0;
     fired = 0;
-    live = 0;
   }
 
 let now t = t.clock
@@ -31,19 +34,16 @@ let schedule_at t time action =
   let id = t.next_id in
   t.next_id <- id + 1;
   Heap.add t.queue ~prio:time { id; action };
-  t.live <- t.live + 1;
+  Hashtbl.replace t.pending_ids id ();
   id
 
 let schedule_after t delay action = schedule_at t (t.clock +. delay) action
 
-let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
-    t.live <- t.live - 1
-  end
+let cancel t id = Hashtbl.remove t.pending_ids id
 
 (* Pop one event; returns false when the queue is exhausted or the next
-   event lies beyond [horizon]. *)
+   event lies beyond [horizon].  Cancelled events are skipped lazily on
+   pop. *)
 let step t horizon =
   match Heap.peek t.queue with
   | None -> false
@@ -52,17 +52,14 @@ let step t horizon =
       match Heap.pop t.queue with
       | None -> false
       | Some (time, ev) ->
-          if Hashtbl.mem t.cancelled ev.id then begin
-            Hashtbl.remove t.cancelled ev.id;
-            true
-          end
-          else begin
+          if Hashtbl.mem t.pending_ids ev.id then begin
+            Hashtbl.remove t.pending_ids ev.id;
             t.clock <- time;
-            t.live <- t.live - 1;
             t.fired <- t.fired + 1;
             ev.action ();
             true
-          end)
+          end
+          else true)
 
 let run_until t horizon =
   while step t horizon do
@@ -76,6 +73,6 @@ let run_until_empty t ~max_events =
     decr budget
   done
 
-let pending t = t.live
+let pending t = Hashtbl.length t.pending_ids
 
 let events_fired t = t.fired

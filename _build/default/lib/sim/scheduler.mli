@@ -23,8 +23,9 @@ val schedule_after : t -> float -> (unit -> unit) -> event_id
 (** [schedule_after t delay f] fires [f] [delay] seconds from now. *)
 
 val cancel : t -> event_id -> unit
-(** Cancel a pending event.  Cancelling a fired or already-cancelled
-    event is a no-op. *)
+(** Cancel a pending event.  Cancelling an event that already fired,
+    was already cancelled, or never existed is a strict no-op: it
+    neither perturbs {!pending} nor affects any other event. *)
 
 val run_until : t -> float -> unit
 (** Execute events in order until the queue is empty or the next event

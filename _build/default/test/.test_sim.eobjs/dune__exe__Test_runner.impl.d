@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Experiments Float List Net Printf Rla Runner Tcp

@@ -323,6 +323,42 @@ let test_link_phase_jitter_bounded () =
       Alcotest.(check bool) "within jitter window" true (t >= 0.011 && t < 0.012)
   | _ -> Alcotest.fail "expected one delivery"
 
+let test_link_fifo_under_jitter () =
+  (* Phase jitter draws an independent delay per packet; since jitter
+     is bounded by one service time of the *delivered* packet, a 40 B
+     ACK chasing a 1000 B data packet could overtake it without the
+     FIFO clamp.  Exercise many mixed-size back-to-back packets across
+     several seeds and require in-order, nondecreasing deliveries. *)
+  List.iter
+    (fun seed ->
+      let sched = Sim.Scheduler.create () in
+      let arrivals = ref [] in
+      let config = { (droptail_config ~capacity:100 ()) with Net.Link.phase_jitter = true } in
+      let link =
+        Net.Link.create ~sched ~rng:(Sim.Rng.create seed) ~id:"l" config
+          ~deliver:(fun pkt ->
+            arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
+      in
+      for i = 0 to 39 do
+        let size = if i mod 2 = 0 then 1000 else 40 in
+        Net.Link.send link (make_packet ~uid:i ~size ())
+      done;
+      Sim.Scheduler.run_until sched 10.0;
+      let arrivals = List.rev !arrivals in
+      Alcotest.(check int) "all delivered" 40 (List.length arrivals);
+      ignore
+        (List.fold_left
+           (fun (prev_uid, prev_t) (uid, t) ->
+             if uid <> prev_uid + 1 then
+               Alcotest.failf "seed %d: uid %d delivered after %d" seed uid
+                 prev_uid;
+             if t < prev_t then
+               Alcotest.failf "seed %d: delivery times regressed at uid %d"
+                 seed uid;
+             (uid, t))
+           (-1, 0.0) arrivals))
+    [ 1; 2; 3; 5; 8; 13 ]
+
 let test_link_stats_reset () =
   let sched = Sim.Scheduler.create () in
   let link =
@@ -525,6 +561,24 @@ let test_network_determinism () =
   Alcotest.(check bool) "replay equal" true (run 77 = run 77);
   Alcotest.(check bool) "different seed differs" true (run 77 <> run 78)
 
+let test_network_neighbors_order () =
+  (* Neighbor lists must come back in link creation order, without
+     duplicates, so BFS routing stays deterministic. *)
+  let net = Net.Network.create ~seed:1 () in
+  let hub = Net.Node.id (Net.Network.add_node net) in
+  let spokes = List.init 6 (fun _ -> Net.Node.id (Net.Network.add_node net)) in
+  List.iter
+    (fun s -> ignore (Net.Network.duplex net hub s (droptail_config ())))
+    spokes;
+  (* A second duplex on an existing pair must not duplicate entries. *)
+  ignore (Net.Network.duplex net hub (List.hd spokes) (droptail_config ()));
+  Alcotest.(check (list int)) "creation order, no duplicates" spokes
+    (Net.Network.neighbors net hub);
+  Alcotest.(check (list int)) "spoke sees hub" [ hub ]
+    (Net.Network.neighbors net (List.hd spokes));
+  Alcotest.(check (list int)) "unknown node empty" []
+    (Net.Network.neighbors net 999)
+
 let test_network_node_lookup () =
   let net = Net.Network.create ~seed:1 () in
   let a = Net.Network.add_node net in
@@ -571,6 +625,8 @@ let () =
           Alcotest.test_case "drop hook" `Quick test_link_drop_hook;
           Alcotest.test_case "phase jitter bounded" `Quick
             test_link_phase_jitter_bounded;
+          Alcotest.test_case "fifo under jitter" `Quick
+            test_link_fifo_under_jitter;
           Alcotest.test_case "stats reset" `Quick test_link_stats_reset;
           Alcotest.test_case "invalid config" `Quick test_link_invalid_config;
         ] );
@@ -594,6 +650,7 @@ let () =
           Alcotest.test_case "fresh ids" `Quick test_network_fresh_ids;
           Alcotest.test_case "self loop" `Quick test_network_duplex_self_loop;
           Alcotest.test_case "determinism" `Quick test_network_determinism;
+          Alcotest.test_case "neighbors order" `Quick test_network_neighbors_order;
           Alcotest.test_case "node lookup" `Quick test_network_node_lookup;
         ] );
     ]

@@ -1,0 +1,172 @@
+(* Tests for the multicore sweep engine: job/pool determinism,
+   submission-order results, metrics, and the JSON emitter. *)
+
+(* A small self-contained simulation: one TCP flow over a duplex link,
+   3 simulated seconds; returns enough state to detect any divergence
+   between runs. *)
+let tcp_job ~seed =
+  Runner.Job.create ~label:(Printf.sprintf "tcp/seed%d" seed) (fun () ->
+      let net = Net.Network.create ~seed () in
+      let a = Net.Node.id (Net.Network.add_node net) in
+      let b = Net.Node.id (Net.Network.add_node net) in
+      let ab, _ =
+        Net.Network.duplex net a b
+          {
+            Net.Link.bandwidth_bps = 800_000.0;
+            prop_delay = 0.01;
+            queue = Net.Queue_disc.Droptail;
+            capacity = 20;
+            phase_jitter = true;
+          }
+      in
+      Net.Network.install_routes net;
+      let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+      Net.Network.run_until net 3.0;
+      let snap = Tcp.Sender.snapshot tcp in
+      let stats = Net.Link.stats ab in
+      ( net,
+        ( snap.Tcp.Sender.send_rate,
+          snap.Tcp.Sender.cwnd_avg,
+          stats.Net.Link.delivered,
+          stats.Net.Link.dropped ) ))
+
+let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_pool_deterministic_across_jobs () =
+  let run jobs =
+    Runner.Pool.values
+      (Runner.Pool.run ~jobs (List.map (fun seed -> tcp_job ~seed) seeds))
+  in
+  let sequential = run 1 in
+  Alcotest.(check bool) "jobs=1 equals jobs=4" true (sequential = run 4);
+  Alcotest.(check bool) "jobs=1 equals jobs=8" true (sequential = run 8);
+  (* Different seeds must actually differ, or the comparison is vacuous. *)
+  match sequential with
+  | first :: rest ->
+      Alcotest.(check bool) "seeds diverge" true
+        (List.exists (fun r -> r <> first) rest)
+  | [] -> Alcotest.fail "no results"
+
+let test_pool_submission_order () =
+  let jobs_list =
+    List.init 20 (fun i ->
+        Runner.Job.pure ~label:(Printf.sprintf "job%d" i) (fun () -> i))
+  in
+  let outcomes = Runner.Pool.run ~jobs:4 jobs_list in
+  List.iteri
+    (fun i (o : int Runner.Pool.outcome) ->
+      Alcotest.(check int) "value in submission order" i o.Runner.Pool.value;
+      Alcotest.(check string) "label preserved"
+        (Printf.sprintf "job%d" i)
+        o.Runner.Pool.label)
+    outcomes
+
+let test_pool_metrics () =
+  match Runner.Pool.run ~jobs:1 [ tcp_job ~seed:1 ] with
+  | [ o ] ->
+      let m = o.Runner.Pool.metrics in
+      Alcotest.(check bool) "events fired" true (m.Runner.Metrics.events_fired > 100);
+      Alcotest.(check bool) "wall clock nonnegative" true
+        (m.Runner.Metrics.wall_s >= 0.0);
+      Alcotest.(check bool) "allocation tracked" true
+        (m.Runner.Metrics.allocated_mb > 0.0)
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_pool_pure_job_metrics () =
+  match Runner.Pool.run ~jobs:2 [ Runner.Job.pure ~label:"p" (fun () -> 42) ] with
+  | [ o ] ->
+      Alcotest.(check int) "value" 42 o.Runner.Pool.value;
+      Alcotest.(check int) "no network, no events" 0
+        o.Runner.Pool.metrics.Runner.Metrics.events_fired
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_pool_failure_reported () =
+  let jobs_list =
+    [
+      Runner.Job.pure ~label:"ok" (fun () -> 1);
+      Runner.Job.pure ~label:"boom" (fun () -> failwith "expected");
+    ]
+  in
+  match Runner.Pool.run ~jobs:2 jobs_list with
+  | _ -> Alcotest.fail "must raise"
+  | exception Runner.Pool.Job_failed (label, Failure msg) ->
+      Alcotest.(check string) "failing job label" "boom" label;
+      Alcotest.(check string) "original exception" "expected" msg
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let test_pool_empty_and_clamped () =
+  Alcotest.(check int) "empty job list" 0
+    (List.length (Runner.Pool.run ~jobs:4 ([] : unit Runner.Job.t list)));
+  (* jobs < 1 is clamped to sequential execution. *)
+  match Runner.Pool.run ~jobs:0 [ Runner.Job.pure ~label:"x" (fun () -> 7) ] with
+  | [ o ] -> Alcotest.(check int) "clamped to 1" 7 o.Runner.Pool.value
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_sharing_sweep_deterministic () =
+  (* End-to-end: the experiment-level sweep is bit-identical for any
+     jobs count (short run to keep the suite fast). *)
+  let run jobs =
+    List.map
+      (fun (r : Experiments.Sharing.result) ->
+        ( r.Experiments.Sharing.ratio,
+          r.Experiments.Sharing.rla.Rla.Sender.send_rate,
+          r.Experiments.Sharing.wtcp.Tcp.Sender.send_rate,
+          r.Experiments.Sharing.essentially_fair ))
+      (Runner.Pool.values
+         (Experiments.Sharing.sweep ~gateway:Experiments.Scenario.Droptail
+            ~case_indices:[ 1 ] ~duration:12.0 ~warmup:4.0 ~seeds:[ 1; 2 ]
+            ~jobs ()))
+  in
+  Alcotest.(check bool) "sweep jobs=1 equals jobs=4" true (run 1 = run 4)
+
+let test_json_emitter () =
+  let doc =
+    Runner.Json.Obj
+      [
+        ("name", Runner.Json.String "x\"y");
+        ("n", Runner.Json.Int 3);
+        ("f", Runner.Json.Float 0.25);
+        ("whole", Runner.Json.Float 54.0);
+        ("nan", Runner.Json.Float Float.nan);
+        ("ok", Runner.Json.Bool true);
+        ("xs", Runner.Json.List [ Runner.Json.Int 1; Runner.Json.Null ]);
+      ]
+  in
+  Alcotest.(check string) "rendering"
+    "{\"name\":\"x\\\"y\",\"n\":3,\"f\":0.25,\"whole\":54.0,\"nan\":null,\"ok\":true,\"xs\":[1,null]}"
+    (Runner.Json.to_string doc)
+
+let test_json_float_roundtrip () =
+  List.iter
+    (fun f ->
+      match Runner.Json.to_string (Runner.Json.Float f) with
+      | s ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "roundtrip %h" f)
+            f (float_of_string s))
+    [ 0.1; 1.0 /. 3.0; 2.492776886035313; 1e-9; 123456.789; 54.0 ]
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_pool_deterministic_across_jobs;
+          Alcotest.test_case "submission order" `Quick test_pool_submission_order;
+          Alcotest.test_case "metrics" `Quick test_pool_metrics;
+          Alcotest.test_case "pure job metrics" `Quick test_pool_pure_job_metrics;
+          Alcotest.test_case "failure reported" `Quick test_pool_failure_reported;
+          Alcotest.test_case "empty and clamped" `Quick test_pool_empty_and_clamped;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "sharing sweep deterministic" `Slow
+            test_sharing_sweep_deterministic;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "emitter" `Quick test_json_emitter;
+          Alcotest.test_case "float roundtrip" `Quick test_json_float_roundtrip;
+        ] );
+    ]

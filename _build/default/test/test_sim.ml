@@ -271,6 +271,62 @@ let test_sched_cancel_idempotent () =
   Sim.Scheduler.cancel s id;
   Alcotest.(check int) "pending went to zero once" 0 (Sim.Scheduler.pending s)
 
+let test_sched_cancel_after_fire () =
+  let s = Sim.Scheduler.create () in
+  let id = Sim.Scheduler.schedule_at s 1.0 (fun () -> ()) in
+  Sim.Scheduler.run_until s 2.0;
+  Alcotest.(check int) "fired" 1 (Sim.Scheduler.events_fired s);
+  Alcotest.(check int) "pending zero" 0 (Sim.Scheduler.pending s);
+  (* Cancelling a fired id must be a strict no-op: no negative drift,
+     no effect on later events. *)
+  Sim.Scheduler.cancel s id;
+  Alcotest.(check int) "pending still zero" 0 (Sim.Scheduler.pending s);
+  let fired = ref false in
+  ignore (Sim.Scheduler.schedule_at s 3.0 (fun () -> fired := true));
+  Alcotest.(check int) "new event pending" 1 (Sim.Scheduler.pending s);
+  Sim.Scheduler.run_until s 4.0;
+  Alcotest.(check bool) "new event fires" true !fired;
+  Alcotest.(check int) "pending back to zero" 0 (Sim.Scheduler.pending s)
+
+let test_sched_double_cancel_then_fire_others () =
+  let s = Sim.Scheduler.create () in
+  let hit = ref 0 in
+  let a = Sim.Scheduler.schedule_at s 1.0 (fun () -> incr hit) in
+  ignore (Sim.Scheduler.schedule_at s 2.0 (fun () -> incr hit));
+  Sim.Scheduler.cancel s a;
+  Sim.Scheduler.cancel s a;
+  Alcotest.(check int) "one pending after double cancel" 1
+    (Sim.Scheduler.pending s);
+  Sim.Scheduler.run_until s 3.0;
+  Alcotest.(check int) "only survivor fired" 1 !hit;
+  Alcotest.(check int) "fired counter" 1 (Sim.Scheduler.events_fired s);
+  Alcotest.(check int) "pending exhausted" 0 (Sim.Scheduler.pending s)
+
+let test_sched_cancel_storm_invariants () =
+  (* Interleave scheduling, firing, and redundant cancels; [pending]
+     must always equal the number of live events and never go
+     negative. *)
+  let s = Sim.Scheduler.create () in
+  let ids =
+    List.init 100 (fun i ->
+        Sim.Scheduler.schedule_at s (float_of_int (i + 1)) (fun () -> ()))
+  in
+  (* Cancel the even-indexed half, twice each. *)
+  List.iteri
+    (fun i id ->
+      if i mod 2 = 0 then begin
+        Sim.Scheduler.cancel s id;
+        Sim.Scheduler.cancel s id
+      end)
+    ids;
+  Alcotest.(check int) "half pending" 50 (Sim.Scheduler.pending s);
+  Sim.Scheduler.run_until s 1000.0;
+  Alcotest.(check int) "half fired" 50 (Sim.Scheduler.events_fired s);
+  Alcotest.(check int) "none pending" 0 (Sim.Scheduler.pending s);
+  (* Cancel everything again after the fact: still a no-op. *)
+  List.iter (fun id -> Sim.Scheduler.cancel s id) ids;
+  Alcotest.(check int) "still none pending" 0 (Sim.Scheduler.pending s)
+
 let test_sched_schedule_during_event () =
   let s = Sim.Scheduler.create () in
   let log = ref [] in
@@ -404,6 +460,11 @@ let () =
           Alcotest.test_case "past rejected" `Quick test_sched_past_rejected;
           Alcotest.test_case "cancel" `Quick test_sched_cancel;
           Alcotest.test_case "cancel idempotent" `Quick test_sched_cancel_idempotent;
+          Alcotest.test_case "cancel after fire" `Quick test_sched_cancel_after_fire;
+          Alcotest.test_case "double cancel, others fire" `Quick
+            test_sched_double_cancel_then_fire_others;
+          Alcotest.test_case "cancel storm invariants" `Quick
+            test_sched_cancel_storm_invariants;
           Alcotest.test_case "nested scheduling" `Quick test_sched_schedule_during_event;
           Alcotest.test_case "zero delay" `Quick test_sched_zero_delay_event;
           Alcotest.test_case "counters" `Quick test_sched_counters;

@@ -1,0 +1,25 @@
+(** One unit of sweep work: a closure that builds and runs a
+    self-contained simulation.
+
+    A job must be fully independent — it creates its own
+    {!Net.Network.t} (with its own seed / RNG streams) inside the
+    closure and shares no mutable state with other jobs, so the pool
+    can execute it on any domain.  The per-network {!Sim.Rng.split}
+    design guarantees the same closure produces bit-identical results
+    regardless of which domain runs it. *)
+
+type 'a t
+
+val create : label:string -> (unit -> Net.Network.t * 'a) -> 'a t
+(** [create ~label f] wraps a closure that builds and runs one
+    simulation, returning the finished network (for the events-fired
+    metric) together with the caller's result. *)
+
+val pure : label:string -> (unit -> 'a) -> 'a t
+(** A job with no network (e.g. an analytic model run); its
+    events-fired metric is 0. *)
+
+val label : 'a t -> string
+
+val run : 'a t -> Net.Network.t option * 'a
+(** Execute the job's closure (used by {!Pool}). *)
