@@ -1,9 +1,12 @@
 # Tier-1 verification is `make check`: full build, the test suites,
 # and a short 2-case smoke sweep of the parallel runner.
+# `make ci` is check plus a per-flow trace smoke (non-empty CSV from
+# an instrumented rla_trace run).
 
 SMOKE_JSON ?= /tmp/rla_sweep_smoke.json
+TRACE_CSV ?= /tmp/rla_trace_smoke.csv
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke trace-smoke check ci bench clean
 
 all: build
 
@@ -18,7 +21,16 @@ smoke: build
 	  --jobs 2 --json $(SMOKE_JSON)
 	@grep -q '"runs_total":2' $(SMOKE_JSON) && echo "smoke sweep OK ($(SMOKE_JSON))"
 
+trace-smoke: build
+	dune exec bin/rla_trace.exe -- --scenario sharing --gateway droptail \
+	  --duration 60 --warmup 20 --csv $(TRACE_CSV)
+	@test "$$(wc -l < $(TRACE_CSV))" -gt 1 \
+	  && head -1 $(TRACE_CSV) | grep -q '^time,flow,cwnd,bytes_acked$$' \
+	  && echo "trace smoke OK ($(TRACE_CSV))"
+
 check: build test smoke
+
+ci: check trace-smoke
 
 bench:
 	dune exec bench/main.exe

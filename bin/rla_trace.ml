@@ -1,14 +1,75 @@
-(* rla_trace — dump CSV time series from a tree-sharing run.
+(* rla_trace — per-flow time-series traces of a tree-sharing run.
 
-   Records the RLA congestion window, the worst-positioned TCP's
-   window, and the soft-bottleneck queue length, sampling every
-   100 ms (configurable).  Pipe to a file and plot:
+   Two scenarios:
 
-     dune exec bin/rla_trace.exe -- --case 3 --duration 200 > run.csv *)
+   - [sharing] (default): run the paper's main experiment with a
+     metrics registry installed and dump figure-7/8/9-style per-flow
+     window and goodput series, one CSV row per stored sample:
+
+       time,flow,cwnd,bytes_acked
+
+     Flows are the RLA session ("rla.flow0") and the 27 background
+     TCPs ("tcp.flow1".."tcp.flow27"); rows are grouped by flow,
+     time-ascending.  The same seed yields byte-identical output for
+     any [--jobs] value.
+
+       dune exec bin/rla_trace.exe -- --scenario sharing \
+         --gateway droptail --csv out.csv
+
+   - [probes]: the legacy fixed-interval sampler (RLA window, one TCP
+     window, bottleneck queue length) printed to stdout. *)
 
 open Cmdliner
 
-let run ~case_index ~gateway ~duration ~seed ~interval =
+type scenario = Sharing | Probes
+
+let with_csv_sink path f =
+  match path with
+  | "-" ->
+      f Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
+  | path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          f ppf;
+          Format.pp_print_flush ppf ())
+
+let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json =
+  let config =
+    let base =
+      Experiments.Sharing.default_config ~gateway
+        ~case:(Experiments.Tree.case_of_index case_index)
+    in
+    { base with Experiments.Sharing.duration; warmup; seed }
+  in
+  let label = Printf.sprintf "trace/case%d/seed%d" case_index seed in
+  let job =
+    Runner.Job.create ~label (fun () ->
+        let registry = Obs.Registry.create () in
+        let net, result =
+          Experiments.Sharing.run_with_net ~registry config
+        in
+        (net, (registry, result)))
+  in
+  let outcomes = Runner.Pool.run ~jobs [ job ] in
+  let registry, result = (List.hd outcomes).Runner.Pool.value in
+  with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
+  (match json with
+  | None -> ()
+  | Some path ->
+      Runner.Report.write_file ~path (Runner.Report.registry_json registry));
+  let a, b = result.Experiments.Sharing.bounds in
+  Format.eprintf
+    "%s: ratio %.2f, bounds (%.2f, %.2f), %s; %d series in registry@."
+    label result.Experiments.Sharing.ratio a b
+    (if result.Experiments.Sharing.essentially_fair then "essentially fair"
+     else "NOT essentially fair")
+    (List.length (Obs.Registry.all_series registry))
+
+let run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv =
   let case = Experiments.Tree.case_of_index case_index in
   let tree = Experiments.Tree.build ~seed ~gateway ~case () in
   let net = tree.Experiments.Tree.net in
@@ -52,7 +113,24 @@ let run ~case_index ~gateway ~duration ~seed ~interval =
         ]
   in
   Net.Network.run_until net duration;
-  Experiments.Timeseries.to_csv Format.std_formatter ts
+  with_csv_sink csv (fun ppf -> Experiments.Timeseries.to_csv ppf ts)
+
+let run scenario ~case_index ~gateway ~duration ~warmup ~seed ~interval ~jobs
+    ~csv ~json =
+  match scenario with
+  | Sharing ->
+      run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
+  | Probes -> run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv
+
+let scenario_arg =
+  let doc =
+    "Trace scenario: $(b,sharing) (per-flow registry series) or \
+     $(b,probes) (legacy fixed-interval sampler)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("sharing", Sharing); ("probes", Probes) ]) Sharing
+    & info [ "scenario" ] ~docv:"SCENARIO" ~doc)
 
 let case_arg =
   let doc = "Bottleneck case (1-5, figure 7 numbering)." in
@@ -74,23 +152,45 @@ let gateway_arg =
 
 let duration_arg =
   let doc = "Simulated seconds." in
-  Arg.(value & opt float 120.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  Arg.(value & opt float 150.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+
+let warmup_arg =
+  let doc = "Warm-up seconds discarded from fairness counters (sharing)." in
+  Arg.(value & opt float 50.0 & info [ "warmup"; "w" ] ~docv:"SECONDS" ~doc)
 
 let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc)
 
 let interval_arg =
-  let doc = "Sampling interval (seconds)." in
+  let doc = "Sampling interval (seconds, probes scenario only)." in
   Arg.(value & opt float 0.1 & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domain-pool size the trace job runs on; output is byte-identical \
+     for any value."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "CSV output path ($(b,-) for stdout)." in
+  Arg.(value & opt string "-" & info [ "csv" ] ~docv:"PATH" ~doc)
+
+let json_arg =
+  let doc = "Also dump the full metrics registry as JSON (sharing)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
 let cmd =
-  let doc = "Dump cwnd/queue time series of a tree-sharing run as CSV." in
+  let doc = "Dump per-flow cwnd/throughput time series of a tree-sharing run" in
   let term =
     Term.(
-      const (fun case_index gateway duration seed interval ->
-          run ~case_index ~gateway ~duration ~seed ~interval)
-      $ case_arg $ gateway_arg $ duration_arg $ seed_arg $ interval_arg)
+      const (fun scenario case_index gateway duration warmup seed interval jobs
+                 csv json ->
+          run scenario ~case_index ~gateway ~duration ~warmup ~seed ~interval
+            ~jobs ~csv ~json)
+      $ scenario_arg $ case_arg $ gateway_arg $ duration_arg $ warmup_arg
+      $ seed_arg $ interval_arg $ jobs_arg $ csv_arg $ json_arg)
   in
   Cmd.v (Cmd.info "rla_trace" ~doc) term
 

@@ -6,6 +6,18 @@ type coverage = {
 
 type rexmit_target = To_group | To_receivers of Net.Packet.addr list
 
+(* Cached observability handles; sampling happens inside ack/timeout
+   processing only (never from scheduled events or RNG draws), so
+   instrumented and bare runs are bit-identical. *)
+type taps = {
+  reg : Obs.Registry.t;
+  source : string;
+  cwnd_s : Obs.Series.t;
+  bytes_s : Obs.Series.t;
+  cuts_c : Obs.Registry.counter;
+  signals_c : Obs.Registry.counter;
+}
+
 type t = {
   net : Net.Network.t;
   params : Params.t;
@@ -52,6 +64,7 @@ type t = {
   mutable meas_rexmits : int;
   mutable meas_sent_new : int;
   mutable meas_signals_per : int array;
+  mutable taps : taps option;
 }
 
 let flow t = t.flow
@@ -101,6 +114,27 @@ let signals_per_receiver t =
 let set_cwnd t value =
   t.cwnd <- Stdlib.max 1.0 value;
   Stats.Time_avg.update t.cwnd_avg ~time:(now t) ~value:t.cwnd
+
+(* Aligned (cwnd, bytes_acked-by-all) probe — both series get a sample
+   at every call point, so their decimated sample times stay identical
+   and exporters can zip them row by row. *)
+let probe_flow t =
+  match t.taps with
+  | None -> ()
+  | Some taps ->
+      let time = now t in
+      Obs.Series.add taps.cwnd_s ~time t.cwnd;
+      Obs.Series.add taps.bytes_s ~time
+        (float_of_int (t.mra * t.params.Params.data_size))
+
+let probe_cut t ~forced =
+  match t.taps with
+  | None -> ()
+  | Some taps ->
+      Obs.Registry.incr taps.cuts_c;
+      Obs.Registry.emit taps.reg ~time:(now t) ~source:taps.source
+        ~event:(if forced then "forced_cut" else "window_cut")
+        ~value:t.cwnd
 
 (* --- troubled receivers and the cut probability ------------------- *)
 
@@ -257,6 +291,8 @@ and on_timeout t =
     t.window_cuts <- t.window_cuts + 1;
     t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
     set_cwnd t 1.0;
+    probe_cut t ~forced:false;
+    probe_flow t;
     t.last_window_cut <- now t;
     Tcp.Rto.backoff t.rto;
     (* Everything unacknowledged anywhere is presumed lost; rebuild the
@@ -365,6 +401,7 @@ let congestion_action t r =
       if forced then t.forced_cuts <- t.forced_cuts + 1;
       t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
       set_cwnd t t.ssthresh;
+      probe_cut t ~forced;
       t.last_window_cut <- now t
     in
     if now t -. t.last_window_cut > horizon then do_cut ~forced:true
@@ -413,8 +450,12 @@ let on_ack t r ~cum_ack ~blocks ~echo ~ece =
      loss: grouped per congestion period, then randomly listened to. *)
   if (losses <> [] || ece) && Rcv_state.register_losses r ~now:(now t) then begin
     t.signals <- t.signals + 1;
+    (match t.taps with
+    | None -> ()
+    | Some taps -> Obs.Registry.incr taps.signals_c);
     congestion_action t r
   end;
+  probe_flow t;
   try_send t
 
 (* Stop listening to one receiver — the slow-receiver option of
@@ -595,8 +636,24 @@ let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
       meas_rexmits = 0;
       meas_sent_new = 0;
       meas_signals_per = Array.make (List.length receivers) 0;
+      taps = None;
     }
   in
+  (match Net.Network.observer net with
+  | None -> ()
+  | Some reg ->
+      let source = Printf.sprintf "rla.flow%d" flow in
+      t.taps <-
+        Some
+          {
+            reg;
+            source;
+            cwnd_s = Obs.Registry.series reg (source ^ ".cwnd");
+            bytes_s = Obs.Registry.series reg (source ^ ".bytes_acked");
+            cuts_c = Obs.Registry.counter reg (source ^ ".window_cuts");
+            signals_c = Obs.Registry.counter reg (source ^ ".signals");
+          };
+      probe_flow t);
   Stats.Ewma.update t.awnd t.cwnd;
   Net.Node.attach (Net.Network.node net src) ~flow (fun pkt ->
       match pkt.Net.Packet.payload with

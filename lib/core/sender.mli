@@ -30,7 +30,15 @@ val create :
 (** Allocates a flow and a multicast group, installs the distribution
     tree (so {!Net.Network.install_routes} must already have run),
     creates one {!Receiver} endpoint per receiver node and starts
-    sending at [start_at] (default 0, plus a small random stagger). *)
+    sending at [start_at] (default 0, plus a small random stagger).
+
+    If the network has a metrics registry installed
+    ({!Net.Network.set_registry}) at creation time, the session
+    publishes ["rla.flow<N>.cwnd"] and ["rla.flow<N>.bytes_acked"]
+    series (aligned sample times, taken on ack/timeout processing),
+    ["rla.flow<N>.window_cuts"] / ["rla.flow<N>.signals"] counters, and
+    [window_cut] / [forced_cut] events.  Probing is passive: runs are
+    bit-identical with or without it. *)
 
 val flow : t -> Net.Packet.flow
 

@@ -41,3 +41,11 @@ let fast_link_config ~gateway ~delay ?(buffer = 20) ?phase_jitter () =
 let to_fairness_gateway = function
   | Droptail -> Rla.Fairness.Droptail
   | Red -> Rla.Fairness.Red
+
+(* The one-flag observability opt-in: call with the network right after
+   topology build and before senders are created, so links retrofit and
+   senders pick the registry up at creation time. *)
+let observe ?registry net =
+  match registry with
+  | None -> ()
+  | Some reg -> Net.Network.set_registry net (Some reg)

@@ -40,3 +40,11 @@ val fast_link_config :
     (the paper's "all receivers are troubled receivers"). *)
 
 val to_fairness_gateway : gateway -> Rla.Fairness.gateway
+
+val observe : ?registry:Obs.Registry.t -> Net.Network.t -> unit
+(** The scenario-level observability opt-in: with [?registry] present,
+    install it on the network ({!Net.Network.set_registry}); without
+    it, do nothing.  Scenario runners thread their own [?registry]
+    parameter through to this, so any experiment gains per-flow and
+    per-link probes with one flag.  Call between topology build and
+    sender creation. *)

@@ -68,7 +68,7 @@ let split_by_congestion ~congested pairs =
   in
   (List.map snd in_group, List.map snd rest)
 
-let run_with_net config =
+let run_with_net ?registry config =
   if config.duration <= config.warmup then
     invalid_arg "Sharing.run: duration must exceed warmup";
   let tree =
@@ -76,6 +76,7 @@ let run_with_net config =
       ~share:config.share ?phase_jitter:config.phase_jitter ~ecn:config.ecn ()
   in
   let net = tree.Tree.net in
+  Scenario.observe ?registry net;
   let leaves = Array.to_list tree.Tree.leaves in
   let rla =
     Rla.Sender.create ~net ~src:tree.Tree.root ~receivers:leaves
@@ -149,7 +150,7 @@ let run_with_net config =
         (if tcp_rest = [] then None else Some (group_stat tcp_rest));
     } )
 
-let run config = snd (run_with_net config)
+let run ?registry config = snd (run_with_net ?registry config)
 
 let case_config ~gateway ~case_index ?duration ?warmup ?seed () =
   let base = default_config ~gateway ~case:(Tree.case_of_index case_index) in

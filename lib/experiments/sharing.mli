@@ -52,7 +52,16 @@ type result = {
   tcp_cuts_rest : group_stat option;
 }
 
-val run : config -> result
+val run : ?registry:Obs.Registry.t -> config -> result
+(** Run one case.  With [?registry], the run is instrumented
+    ({!Scenario.observe}): per-flow cwnd/bytes-acked series, per-link
+    occupancy and drop counters, RED average-queue estimates, and
+    scheduler heartbeat all land in the registry.  Instrumentation is
+    passive — results are bit-identical with or without it. *)
+
+val run_with_net : ?registry:Obs.Registry.t -> config -> Net.Network.t * result
+(** Like {!run} but also returns the network (for event counts and
+    link stats). *)
 
 val run_case :
   gateway:Scenario.gateway ->

@@ -30,6 +30,15 @@ type t = {
   mutable bytes_delivered : int;
   mutable marked : int;
   mutable drop_hook : (Packet.t -> unit) option;
+  mutable taps : taps option;
+}
+
+and taps = {
+  reg : Obs.Registry.t;
+  qlen_s : Obs.Series.t;  (* occupancy sampled on every arrival *)
+  drops_c : Obs.Registry.counter;
+  marks_c : Obs.Registry.counter;
+  delivered_c : Obs.Registry.counter;
 }
 
 let create ~sched ~rng ~id config ~deliver =
@@ -53,7 +62,23 @@ let create ~sched ~rng ~id config ~deliver =
     bytes_delivered = 0;
     marked = 0;
     drop_hook = None;
+    taps = None;
   }
+
+let set_registry t reg =
+  t.taps <-
+    Option.map
+      (fun r ->
+        {
+          reg = r;
+          qlen_s = Obs.Registry.series r (Printf.sprintf "link.%s.qlen" t.id);
+          drops_c = Obs.Registry.counter r (Printf.sprintf "link.%s.drops" t.id);
+          marks_c = Obs.Registry.counter r (Printf.sprintf "link.%s.marks" t.id);
+          delivered_c =
+            Obs.Registry.counter r (Printf.sprintf "link.%s.delivered" t.id);
+        })
+      reg;
+  Queue_disc.set_registry t.disc reg ~id:t.id
 
 let id t = t.id
 
@@ -117,13 +142,36 @@ let rec start_transmission t =
         (Sim.Scheduler.schedule_after t.sched tx (fun () ->
              t.delivered <- t.delivered + 1;
              t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+             (match t.taps with
+             | None -> ()
+             | Some taps -> Obs.Registry.incr taps.delivered_c);
              propagate t pkt;
              start_transmission t))
 
 let send t pkt =
   t.offered <- t.offered + 1;
   let now = Sim.Scheduler.now t.sched in
-  match Queue_disc.on_arrival t.disc ~now ~qlen:(Queue.length t.buffer) with
+  let decision = Queue_disc.on_arrival t.disc ~now ~qlen:(Queue.length t.buffer) in
+  (match t.taps with
+  | None -> ()
+  | Some taps -> (
+      Obs.Series.add taps.qlen_s ~time:now
+        (float_of_int (Queue.length t.buffer));
+      match decision with
+      | `Drop ->
+          Obs.Registry.incr taps.drops_c;
+          Obs.Registry.emit taps.reg ~time:now
+            ~source:(Printf.sprintf "link.%s" t.id)
+            ~event:"drop"
+            ~value:(float_of_int (Queue.length t.buffer))
+      | `Mark ->
+          Obs.Registry.incr taps.marks_c;
+          Obs.Registry.emit taps.reg ~time:now
+            ~source:(Printf.sprintf "link.%s" t.id)
+            ~event:"mark"
+            ~value:(float_of_int (Queue.length t.buffer))
+      | `Admit -> ()));
+  match decision with
   | `Drop -> begin
       t.dropped <- t.dropped + 1;
       match t.drop_hook with None -> () | Some hook -> hook pkt

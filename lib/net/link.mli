@@ -62,5 +62,13 @@ val service_time : t -> int -> float
 val set_drop_hook : t -> (Packet.t -> unit) -> unit
 (** Called on every packet the link drops (for experiment probes). *)
 
+val set_registry : t -> Obs.Registry.t option -> unit
+(** Install (or remove) a metrics registry on this link and its queue
+    discipline.  Exposes a ["link.<id>.qlen"] occupancy series (sampled
+    on every arrival), ["link.<id>.drops"] / ["link.<id>.marks"] /
+    ["link.<id>.delivered"] counters, [drop]/[mark] events on the
+    registry's taps, and RED's ["red.<id>.avg_queue"] estimate.
+    Passive: behaviour and RNG use are unchanged. *)
+
 val avg_queue : t -> float
 (** RED average queue estimate ([nan] for drop-tail links). *)

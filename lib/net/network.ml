@@ -15,6 +15,7 @@ type t = {
   mutable next_group : int;
   mutable next_uid : int;
   mutable routed : bool;
+  mutable observer : Obs.Registry.t option;
 }
 
 let create ?(seed = 1) () =
@@ -32,6 +33,7 @@ let create ?(seed = 1) () =
     next_group = 0;
     next_uid = 0;
     routed = false;
+    observer = None;
   }
 
 let scheduler t = t.sched
@@ -41,6 +43,13 @@ let rng t = t.root_rng
 let fork_rng t = Sim.Rng.split t.root_rng
 
 let trace t = t.trace
+
+let observer t = t.observer
+
+let set_registry t reg =
+  t.observer <- reg;
+  Sim.Scheduler.set_registry t.sched reg;
+  List.iter (fun link -> Link.set_registry link reg) t.link_list
 
 let now t = Sim.Scheduler.now t.sched
 
@@ -80,6 +89,9 @@ let one_way t a b config =
   Hashtbl.replace t.directed (a, b) link;
   t.link_list <- link :: t.link_list;
   add_neighbor t a b;
+  (match t.observer with
+  | None -> ()
+  | Some _ -> Link.set_registry link t.observer);
   link
 
 let duplex t a b config =

@@ -20,6 +20,16 @@ val fork_rng : t -> Sim.Rng.t
 
 val trace : t -> Sim.Trace.t
 
+val set_registry : t -> Obs.Registry.t option -> unit
+(** Install (or remove) a metrics registry: the scheduler and every
+    link — existing and created later — pick it up, and components
+    built afterwards (TCP and RLA senders) read {!observer} at creation
+    time.  Instrumentation is passive (no scheduled events, no RNG
+    draws), so runs are bit-identical with or without a registry. *)
+
+val observer : t -> Obs.Registry.t option
+(** The currently installed registry, if any. *)
+
 val now : t -> float
 
 val add_node : t -> Node.t

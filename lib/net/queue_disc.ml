@@ -19,6 +19,11 @@ let create kind ~capacity ~rng =
 
 let kind t = t.kind
 
+let set_registry t reg ~id =
+  match t.state with
+  | Tail | Lossy _ -> ()
+  | Red_state red -> Red.set_registry red reg ~id
+
 let capacity t = t.capacity
 
 let on_arrival t ~now ~qlen =

@@ -19,6 +19,10 @@ val create : kind -> capacity:int -> rng:Sim.Rng.t -> t
 
 val kind : t -> kind
 
+val set_registry : t -> Obs.Registry.t option -> id:string -> unit
+(** Forward instrumentation to the underlying discipline (currently a
+    no-op except for RED gateways; see {!Red.set_registry}). *)
+
 val capacity : t -> int
 
 val on_arrival : t -> now:float -> qlen:int -> [ `Admit | `Drop | `Mark ]

@@ -17,6 +17,12 @@ let default_params ~mean_pkt_time =
     ecn = false;
   }
 
+type taps = {
+  avg_s : Obs.Series.t;
+  early_drops_c : Obs.Registry.counter;
+  marks_c : Obs.Registry.counter;
+}
+
 type t = {
   p : params;
   rng : Sim.Rng.t;
@@ -26,6 +32,7 @@ type t = {
   mutable idle : bool;
   mutable drops : int;
   mutable marks : int;
+  mutable taps : taps option;
 }
 
 let create p ~rng =
@@ -38,7 +45,20 @@ let create p ~rng =
     idle = true;
     drops = 0;
     marks = 0;
+    taps = None;
   }
+
+let set_registry t reg ~id =
+  t.taps <-
+    Option.map
+      (fun r ->
+        {
+          avg_s = Obs.Registry.series r (Printf.sprintf "red.%s.avg_queue" id);
+          early_drops_c =
+            Obs.Registry.counter r (Printf.sprintf "red.%s.early_drops" id);
+          marks_c = Obs.Registry.counter r (Printf.sprintf "red.%s.marks" id);
+        })
+      reg
 
 let avg_queue t = t.avg
 
@@ -56,8 +76,19 @@ let update_avg t ~now ~qlen =
   end
   else t.avg <- ((1.0 -. t.p.w_q) *. t.avg) +. (t.p.w_q *. float_of_int qlen)
 
+let record_drop t =
+  t.drops <- t.drops + 1;
+  match t.taps with None -> () | Some taps -> Obs.Registry.incr taps.early_drops_c
+
+let record_mark t =
+  t.marks <- t.marks + 1;
+  match t.taps with None -> () | Some taps -> Obs.Registry.incr taps.marks_c
+
 let decide t ~now ~qlen =
   update_avg t ~now ~qlen;
+  (match t.taps with
+  | None -> ()
+  | Some taps -> Obs.Series.add taps.avg_s ~time:now t.avg);
   t.idle <- false;
   if t.avg < t.p.min_th then begin
     t.count <- -1;
@@ -65,7 +96,7 @@ let decide t ~now ~qlen =
   end
   else if t.avg >= t.p.max_th then begin
     t.count <- 0;
-    t.drops <- t.drops + 1;
+    record_drop t;
     `Drop
   end
   else begin
@@ -78,11 +109,11 @@ let decide t ~now ~qlen =
     if Sim.Rng.bernoulli t.rng p_a then begin
       t.count <- 0;
       if t.p.ecn then begin
-        t.marks <- t.marks + 1;
+        record_mark t;
         `Mark
       end
       else begin
-        t.drops <- t.drops + 1;
+        record_drop t;
         `Drop
       end
     end

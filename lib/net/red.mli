@@ -28,6 +28,12 @@ type t
 
 val create : params -> rng:Sim.Rng.t -> t
 
+val set_registry : t -> Obs.Registry.t option -> id:string -> unit
+(** Install (or remove) instrumentation: a ["red.<id>.avg_queue"]
+    series sampled on every arrival decision, plus
+    ["red.<id>.early_drops"] and ["red.<id>.marks"] counters.  Probing
+    is passive — decisions and RNG draws are unaffected. *)
+
 val avg_queue : t -> float
 (** Current average queue estimate (packets). *)
 

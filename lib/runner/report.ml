@@ -29,6 +29,76 @@ let write_file ~path json =
       output_string oc (Json.to_string json);
       output_char oc '\n')
 
+(* --- observability exports ------------------------------------------ *)
+
+let series_json s =
+  Json.Obj
+    [
+      ("name", Json.String (Obs.Series.name s));
+      ("samples", Json.Int (Obs.Series.length s));
+      ("offered", Json.Int (Obs.Series.offered s));
+      ("stride", Json.Int (Obs.Series.stride s));
+      ( "times",
+        Json.List
+          (Array.to_list (Array.map (fun x -> Json.Float x) (Obs.Series.times s)))
+      );
+      ( "values",
+        Json.List
+          (Array.to_list
+             (Array.map (fun x -> Json.Float x) (Obs.Series.values s))) );
+    ]
+
+let registry_json reg =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, c) -> (n, Json.Int c)) (Obs.Registry.counters reg))
+      );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Float v)) (Obs.Registry.gauges reg))
+      );
+      ("series", Json.List (List.map series_json (Obs.Registry.all_series reg)));
+    ]
+
+let series_csv ppf series_list =
+  Format.fprintf ppf "series,time,value@.";
+  List.iter
+    (fun s ->
+      let name = Obs.Series.name s in
+      Obs.Series.iter s ~f:(fun ~time v ->
+          Format.fprintf ppf "%s,%.6f,%.6f@." name time v))
+    series_list
+
+(* Per-flow trace export: every series named "<flow>.cwnd" is joined
+   with its "<flow>.bytes_acked" sibling.  The two series are sampled
+   at the same call points with the same decimation limit, so their
+   sample times coincide (see [Obs.Series]); zipping by index is exact.
+   Flows appear in registry creation order and samples in time order,
+   both deterministic, so the same seed yields byte-identical output. *)
+let flow_series_csv ppf reg =
+  Format.fprintf ppf "time,flow,cwnd,bytes_acked@.";
+  List.iter
+    (fun s ->
+      let name = Obs.Series.name s in
+      match Filename.check_suffix name ".cwnd" with
+      | false -> ()
+      | true -> (
+          let flow = Filename.chop_suffix name ".cwnd" in
+          match Obs.Registry.find_series reg (flow ^ ".bytes_acked") with
+          | None -> ()
+          | Some bytes ->
+              let ts = Obs.Series.times s
+              and cwnds = Obs.Series.values s
+              and bs = Obs.Series.values bytes in
+              let n = Stdlib.min (Array.length ts) (Array.length bs) in
+              for i = 0 to n - 1 do
+                Format.fprintf ppf "%.6f,%s,%.6f,%.0f@." ts.(i) flow cwnds.(i)
+                  bs.(i)
+              done))
+    (Obs.Registry.all_series reg)
+
 let pp_metrics_table ppf outcomes =
   Format.fprintf ppf "%-24s %10s %14s %12s@." "job" "wall (s)" "events"
     "alloc (MB)";

@@ -42,3 +42,22 @@ val pp_metrics_table :
   Format.formatter -> 'a Pool.outcome list -> unit
 (** Human-readable per-job metrics table (label, wall s, events,
     allocation). *)
+
+(** {2 Observability exports} *)
+
+val registry_json : Obs.Registry.t -> Json.t
+(** Full registry dump: [{"counters": {...}, "gauges": {...},
+    "series": [{"name", "samples", "offered", "stride", "times",
+    "values"}, ...]}].  Enumeration order is creation order, so the
+    same seed yields byte-identical documents. *)
+
+val series_csv : Format.formatter -> Obs.Series.t list -> unit
+(** Long-form CSV: one [series,time,value] row per stored sample. *)
+
+val flow_series_csv : Format.formatter -> Obs.Registry.t -> unit
+(** Figure-7/8/9-style per-flow trace: a [time,flow,cwnd,bytes_acked]
+    row for every stored sample of every ["<flow>.cwnd"] series that
+    has a ["<flow>.bytes_acked"] sibling (TCP and RLA flow probes
+    guarantee the pair is sampled at identical times).  Rows are
+    grouped by flow in creation order, time-ascending within a flow;
+    deterministic for a fixed seed. *)

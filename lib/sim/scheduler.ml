@@ -7,12 +7,22 @@ type event_id = int
    [cancel] and [pending], so cancelling a fired, unknown or
    already-cancelled id cannot drift the pending count or leak table
    entries. *)
+(* Cached observability handles; [None] (the default) keeps the hot
+   path to a single match.  Probing never schedules events, so the
+   simulation is bit-identical with or without a registry. *)
+type taps = {
+  events_fired_c : Obs.Registry.counter;
+  clock_g : Obs.Registry.gauge;
+  heartbeat : Obs.Series.t;
+}
+
 type t = {
   queue : event Heap.t;
   pending_ids : (int, unit) Hashtbl.t;
   mutable clock : float;
   mutable next_id : int;
   mutable fired : int;
+  mutable taps : taps option;
 }
 
 let create () =
@@ -22,7 +32,19 @@ let create () =
     clock = 0.0;
     next_id = 0;
     fired = 0;
+    taps = None;
   }
+
+let set_registry t reg =
+  t.taps <-
+    Option.map
+      (fun r ->
+        {
+          events_fired_c = Obs.Registry.counter r "sim.events_fired";
+          clock_g = Obs.Registry.gauge r "sim.time";
+          heartbeat = Obs.Registry.series r "sim.heartbeat";
+        })
+      reg
 
 let now t = t.clock
 
@@ -56,6 +78,12 @@ let step t horizon =
             Hashtbl.remove t.pending_ids ev.id;
             t.clock <- time;
             t.fired <- t.fired + 1;
+            (match t.taps with
+            | None -> ()
+            | Some taps ->
+                Obs.Registry.incr taps.events_fired_c;
+                Obs.Registry.set taps.clock_g time;
+                Obs.Series.add taps.heartbeat ~time (float_of_int t.fired));
             ev.action ();
             true
           end

@@ -37,5 +37,13 @@ val run_until_empty : t -> max_events:int -> unit
 val pending : t -> int
 (** Number of pending (non-cancelled) events. *)
 
+val set_registry : t -> Obs.Registry.t option -> unit
+(** Install (or remove, with [None]) a metrics registry.  With one
+    installed, each fired event bumps the ["sim.events_fired"] counter,
+    updates the ["sim.time"] gauge, and offers a decimated
+    ["sim.heartbeat"] sample (simulated time vs events fired).  Probing
+    is passive: it never schedules events, so runs are bit-identical
+    with observability on or off. *)
+
 val events_fired : t -> int
 (** Total number of events executed so far. *)

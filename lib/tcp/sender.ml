@@ -21,6 +21,19 @@ let default_params =
     limit = None;
   }
 
+(* Cached observability handles (see [Obs.Registry]); sampling happens
+   at ack/timeout processing points only, never from scheduled events,
+   so instrumented and bare runs are bit-identical. *)
+type taps = {
+  reg : Obs.Registry.t;
+  source : string;
+  cwnd_s : Obs.Series.t;
+  bytes_s : Obs.Series.t;
+  srtt_s : Obs.Series.t;
+  cuts_c : Obs.Registry.counter;
+  ssthresh_g : Obs.Registry.gauge;
+}
+
 type t = {
   net : Net.Network.t;
   params : params;
@@ -50,6 +63,7 @@ type t = {
   mutable meas_window_cuts : int;
   mutable meas_timeouts : int;
   mutable completed_at : float option;
+  mutable taps : taps option;
 }
 
 let flow t = t.flow
@@ -80,6 +94,27 @@ let set_cwnd t value =
   let value = Stdlib.max 1.0 (Stdlib.min value t.params.max_cwnd) in
   t.cwnd <- value;
   Stats.Time_avg.update t.cwnd_avg ~time:(now t) ~value
+
+(* One aligned (cwnd, bytes_acked) probe: both series get a sample at
+   every call point, so their decimation schedules — and therefore
+   their sample times — stay identical and exporters can zip them. *)
+let probe_flow t =
+  match t.taps with
+  | None -> ()
+  | Some taps ->
+      let time = now t in
+      Obs.Series.add taps.cwnd_s ~time t.cwnd;
+      Obs.Series.add taps.bytes_s ~time
+        (float_of_int (delivered t * t.params.data_size));
+      Obs.Registry.set taps.ssthresh_g t.ssthresh
+
+let probe_cut t =
+  match t.taps with
+  | None -> ()
+  | Some taps ->
+      Obs.Registry.incr taps.cuts_c;
+      Obs.Registry.emit taps.reg ~time:(now t) ~source:taps.source
+        ~event:"window_cut" ~value:t.cwnd
 
 let avg_cwnd t = Stats.Time_avg.average t.cwnd_avg ~upto:(now t)
 
@@ -193,6 +228,8 @@ and on_timeout t =
     t.window_cuts <- t.window_cuts + 1;
     t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
     set_cwnd t 1.0;
+    probe_cut t;
+    probe_flow t;
     Rto.backoff t.rto;
     ignore (Scoreboard.mark_all_lost t.sb);
     t.in_recovery <- false;
@@ -205,7 +242,8 @@ let enter_recovery t =
   t.recover_point <- Scoreboard.next_seq t.sb;
   t.window_cuts <- t.window_cuts + 1;
   t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
-  set_cwnd t t.ssthresh
+  set_cwnd t t.ssthresh;
+  probe_cut t
 
 let grow_window t newly =
   for _ = 1 to newly do
@@ -222,6 +260,9 @@ let check_completion t =
 
 let on_ack t ~cum_ack ~blocks ~echo ~ece =
   Rto.sample t.rto (now t -. echo);
+  (match t.taps with
+  | None -> ()
+  | Some taps -> Obs.Series.add taps.srtt_s ~time:(now t) (Rto.srtt t.rto));
   let newly = Scoreboard.advance_cum t.sb cum_ack in
   List.iter
     (fun { Wire.block_lo; block_hi } ->
@@ -235,6 +276,7 @@ let on_ack t ~cum_ack ~blocks ~echo ~ece =
     if not t.in_recovery then grow_window t newly
   end;
   if (losses <> [] || ece) && not t.in_recovery then enter_recovery t;
+  probe_flow t;
   check_completion t;
   if t.completed_at = None then try_send t
 
@@ -274,8 +316,25 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       meas_window_cuts = 0;
       meas_timeouts = 0;
       completed_at = None;
+      taps = None;
     }
   in
+  (match Net.Network.observer net with
+  | None -> ()
+  | Some reg ->
+      let source = Printf.sprintf "tcp.flow%d" flow in
+      t.taps <-
+        Some
+          {
+            reg;
+            source;
+            cwnd_s = Obs.Registry.series reg (source ^ ".cwnd");
+            bytes_s = Obs.Registry.series reg (source ^ ".bytes_acked");
+            srtt_s = Obs.Registry.series reg (source ^ ".srtt");
+            cuts_c = Obs.Registry.counter reg (source ^ ".window_cuts");
+            ssthresh_g = Obs.Registry.gauge reg (source ^ ".ssthresh");
+          };
+      probe_flow t);
   Net.Node.attach (Net.Network.node net src) ~flow (fun pkt ->
       match pkt.Net.Packet.payload with
       | Wire.Tcp_ack { cum_ack; blocks; echo; ece } ->

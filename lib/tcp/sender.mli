@@ -38,7 +38,16 @@ val create :
   t
 (** Build sender + receiver pair on a fresh flow; transmission starts
     at [start_at] (default 0, plus a sub-RTT random stagger drawn from
-    the network RNG to avoid synchronised starts). *)
+    the network RNG to avoid synchronised starts).
+
+    If the network has a metrics registry installed
+    ({!Net.Network.set_registry}) when the sender is created, the flow
+    publishes ["tcp.flow<N>.cwnd"], ["tcp.flow<N>.bytes_acked"] and
+    ["tcp.flow<N>.srtt"] series (sampled on ack/timeout processing; the
+    cwnd and bytes series share identical sample times so exporters can
+    zip them), a ["tcp.flow<N>.window_cuts"] counter, a
+    ["tcp.flow<N>.ssthresh"] gauge, and [window_cut] events.  Probing
+    is passive: behaviour is bit-identical with or without it. *)
 
 val flow : t -> Net.Packet.flow
 

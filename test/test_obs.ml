@@ -1,0 +1,262 @@
+(* Tests for the observability layer: bounded series decimation, the
+   metrics registry (interning, enumeration order, event taps), the
+   per-flow CSV exporter's alignment assumption, and the zero-cost
+   invariant — a run with a registry installed is bit-identical to one
+   without. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_exact = Alcotest.(check (float 0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_basic () =
+  let s = Obs.Series.create "x" in
+  Alcotest.(check string) "name" "x" (Obs.Series.name s);
+  Alcotest.(check int) "empty" 0 (Obs.Series.length s);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "no last" None (Obs.Series.last s);
+  Obs.Series.add s ~time:1.0 10.0;
+  Obs.Series.add s ~time:2.0 20.0;
+  Obs.Series.add s ~time:3.0 30.0;
+  Alcotest.(check int) "three stored" 3 (Obs.Series.length s);
+  Alcotest.(check int) "three offered" 3 (Obs.Series.offered s);
+  Alcotest.(check int) "stride 1" 1 (Obs.Series.stride s);
+  Alcotest.(check (array (float 0.0)))
+    "times" [| 1.0; 2.0; 3.0 |] (Obs.Series.times s);
+  Alcotest.(check (array (float 0.0)))
+    "values" [| 10.0; 20.0; 30.0 |] (Obs.Series.values s);
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "last" (Some (3.0, 30.0)) (Obs.Series.last s)
+
+let test_series_limit_validated () =
+  Alcotest.(check bool) "limit 1 rejected" true
+    (try
+       ignore (Obs.Series.create ~limit:1 "bad");
+       false
+     with Invalid_argument _ -> true)
+
+let test_series_bounded () =
+  let limit = 64 in
+  let s = Obs.Series.create ~limit "bounded" in
+  for i = 1 to 10_000 do
+    Obs.Series.add s ~time:(float_of_int i) (float_of_int i)
+  done;
+  Alcotest.(check bool) "within limit" true (Obs.Series.length s <= limit);
+  Alcotest.(check int) "all offers counted" 10_000 (Obs.Series.offered s);
+  let stride = Obs.Series.stride s in
+  Alcotest.(check bool) "stride is a power of two" true
+    (stride land (stride - 1) = 0);
+  (* Stored samples stay time-ordered and value-aligned. *)
+  let ts = Obs.Series.times s and vs = Obs.Series.values s in
+  for i = 1 to Array.length ts - 1 do
+    if ts.(i) <= ts.(i - 1) then Alcotest.fail "times not increasing"
+  done;
+  Array.iteri (fun i t -> check_exact "value = time here" t vs.(i)) ts;
+  (* The subsample still spans most of the run. *)
+  Alcotest.(check bool) "covers the tail" true
+    (ts.(Array.length ts - 1) > 9000.0)
+
+let prop_series_decimation_pure =
+  (* Decimation depends only on the sequence of add calls: two series
+     with the same limit offered samples at the same call points store
+     exactly the same sample times — the invariant the per-flow CSV
+     join relies on. *)
+  QCheck.Test.make ~name:"sibling series keep aligned sample times"
+    ~count:100
+    QCheck.(pair (int_range 2 20) (list (float_bound_exclusive 100.0)))
+    (fun (limit, values) ->
+      let a = Obs.Series.create ~limit "a" in
+      let b = Obs.Series.create ~limit "b" in
+      List.iteri
+        (fun i v ->
+          let time = float_of_int i in
+          Obs.Series.add a ~time v;
+          Obs.Series.add b ~time (v *. 2.0))
+        values;
+      Obs.Series.times a = Obs.Series.times b
+      && Obs.Series.length a <= limit
+      && Obs.Series.offered a = List.length values)
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_counters () =
+  let reg = Obs.Registry.create () in
+  let c1 = Obs.Registry.counter reg "drops" in
+  let c2 = Obs.Registry.counter reg "drops" in
+  Obs.Registry.incr c1;
+  Obs.Registry.add c2 4;
+  Alcotest.(check int) "interned: one cell" 5 (Obs.Registry.count c1);
+  Alcotest.(check string) "name" "drops" (Obs.Registry.counter_name c1);
+  ignore (Obs.Registry.counter reg "marks");
+  Alcotest.(check (list (pair string int)))
+    "creation-order enumeration"
+    [ ("drops", 5); ("marks", 0) ]
+    (Obs.Registry.counters reg)
+
+let test_registry_gauges () =
+  let reg = Obs.Registry.create () in
+  let g = Obs.Registry.gauge reg "ssthresh" in
+  Alcotest.(check (float 0.0)) "starts at 0" 0.0 (Obs.Registry.gauge_value g);
+  Obs.Registry.set g 12.5;
+  Obs.Registry.set (Obs.Registry.gauge reg "ssthresh") 13.0;
+  check_float "interned: one cell" 13.0 (Obs.Registry.gauge_value g);
+  Alcotest.(check (list (pair string (float 0.0))))
+    "enumeration" [ ("ssthresh", 13.0) ]
+    (Obs.Registry.gauges reg)
+
+let test_registry_series () =
+  let reg = Obs.Registry.create ~series_limit:8 () in
+  let s = Obs.Registry.series reg "q" in
+  Alcotest.(check int) "registry limit applies" 8 (Obs.Series.limit s);
+  Obs.Registry.sample reg "q" ~time:1.0 3.0;
+  Alcotest.(check int) "sample reaches interned series" 1
+    (Obs.Series.length s);
+  Alcotest.(check bool) "find_series hit" true
+    (Obs.Registry.find_series reg "q" = Some s);
+  Alcotest.(check bool) "find_series miss" true
+    (Obs.Registry.find_series reg "nope" = None);
+  ignore (Obs.Registry.series reg "r");
+  Alcotest.(check (list string))
+    "creation-order enumeration" [ "q"; "r" ]
+    (List.map Obs.Series.name (Obs.Registry.all_series reg))
+
+let test_registry_events () =
+  let reg = Obs.Registry.create () in
+  (* Emitting with no taps subscribed is a silent no-op. *)
+  Obs.Registry.emit reg ~time:0.0 ~source:"x" ~event:"drop" ~value:1.0;
+  let seen = ref [] in
+  Obs.Registry.on_event reg (fun e -> seen := e :: !seen);
+  Obs.Registry.emit reg ~time:2.5 ~source:"link.a" ~event:"mark" ~value:7.0;
+  match !seen with
+  | [ e ] ->
+      check_float "time" 2.5 e.Obs.Registry.time;
+      Alcotest.(check string) "source" "link.a" e.Obs.Registry.source;
+      Alcotest.(check string) "event" "mark" e.Obs.Registry.event;
+      check_float "value" 7.0 e.Obs.Registry.value
+  | l -> Alcotest.failf "expected exactly one event, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Exporter alignment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow_series_csv_shape () =
+  let reg = Obs.Registry.create () in
+  let cwnd = Obs.Registry.series reg "tcp.flow1.cwnd" in
+  let bytes = Obs.Registry.series reg "tcp.flow1.bytes_acked" in
+  (* An unpaired cwnd series must be skipped, not crash the export. *)
+  ignore (Obs.Registry.series reg "orphan.cwnd");
+  for i = 1 to 3 do
+    let time = float_of_int i in
+    Obs.Series.add cwnd ~time (float_of_int (i * 2));
+    Obs.Series.add bytes ~time (float_of_int (i * 100))
+  done;
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Runner.Report.flow_series_csv ppf reg;
+  Format.pp_print_flush ppf ();
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check (list string))
+    "header plus one row per paired sample"
+    [
+      "time,flow,cwnd,bytes_acked";
+      "1.000000,tcp.flow1,2.000000,100";
+      "2.000000,tcp.flow1,4.000000,200";
+      "3.000000,tcp.flow1,6.000000,300";
+    ]
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Zero-cost invariant (determinism regression)                       *)
+(* ------------------------------------------------------------------ *)
+
+let small_config =
+  let base =
+    Experiments.Sharing.default_config ~gateway:Experiments.Scenario.Droptail
+      ~case:(Experiments.Tree.case_of_index 3)
+  in
+  { base with Experiments.Sharing.duration = 30.0; warmup = 10.0; seed = 42 }
+
+let test_probes_do_not_perturb_run () =
+  (* Same seed, probes off vs on: fairness numbers and event counts
+     must be bit-identical (the instrumentation never schedules events
+     or draws RNG). *)
+  let net_plain, plain = Experiments.Sharing.run_with_net small_config in
+  let registry = Obs.Registry.create () in
+  let net_obs, obs =
+    Experiments.Sharing.run_with_net ~registry small_config
+  in
+  let fired net = Sim.Scheduler.events_fired (Net.Network.scheduler net) in
+  Alcotest.(check int) "event counts identical" (fired net_plain)
+    (fired net_obs);
+  check_exact "fairness ratio bit-identical"
+    plain.Experiments.Sharing.ratio obs.Experiments.Sharing.ratio;
+  check_exact "worst-TCP send rate bit-identical"
+    plain.Experiments.Sharing.wtcp.Tcp.Sender.send_rate
+    obs.Experiments.Sharing.wtcp.Tcp.Sender.send_rate;
+  Alcotest.(check bool) "fairness verdict identical"
+    plain.Experiments.Sharing.essentially_fair
+    obs.Experiments.Sharing.essentially_fair;
+  (* The registry actually observed the run. *)
+  Alcotest.(check bool) "per-flow series recorded" true
+    (List.length (Obs.Registry.all_series registry) > 28);
+  Alcotest.(check int) "events_fired counter mirrors the scheduler"
+    (fired net_obs)
+    (List.assoc "sim.events_fired" (Obs.Registry.counters registry))
+
+let test_repeat_run_identical_series () =
+  (* Two instrumented runs with the same seed store identical series —
+     the property behind byte-identical rla_trace CSVs. *)
+  let run () =
+    let registry = Obs.Registry.create () in
+    ignore (Experiments.Sharing.run_with_net ~registry small_config);
+    registry
+  in
+  let a = run () and b = run () in
+  let series_of reg =
+    List.map
+      (fun s -> (Obs.Series.name s, Obs.Series.times s, Obs.Series.values s))
+      (Obs.Registry.all_series reg)
+  in
+  Alcotest.(check bool) "same series, same samples" true
+    (series_of a = series_of b);
+  Alcotest.(check bool) "same counters" true
+    (Obs.Registry.counters a = Obs.Registry.counters b)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "series",
+        [
+          Alcotest.test_case "basic" `Quick test_series_basic;
+          Alcotest.test_case "limit validated" `Quick
+            test_series_limit_validated;
+          Alcotest.test_case "bounded memory" `Quick test_series_bounded;
+          QCheck_alcotest.to_alcotest prop_series_decimation_pure;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_registry_counters;
+          Alcotest.test_case "gauges" `Quick test_registry_gauges;
+          Alcotest.test_case "series" `Quick test_registry_series;
+          Alcotest.test_case "event taps" `Quick test_registry_events;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "flow csv shape" `Quick
+            test_flow_series_csv_shape;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "probes are zero-cost" `Slow
+            test_probes_do_not_perturb_run;
+          Alcotest.test_case "repeat runs identical" `Slow
+            test_repeat_run_identical_series;
+        ] );
+    ]

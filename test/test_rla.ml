@@ -90,7 +90,40 @@ let test_fairness_check () =
 let test_fairness_ratio_zero_tcp () =
   Alcotest.(check bool) "infinite" true
     (Rla.Fairness.measured_ratio ~rla_throughput:1.0 ~tcp_throughput:0.0
+    = infinity);
+  Alcotest.(check bool) "zero over zero still infinite" true
+    (Rla.Fairness.measured_ratio ~rla_throughput:0.0 ~tcp_throughput:0.0
     = infinity)
+
+let test_fairness_soft_bottleneck_tie () =
+  (* Equal shares everywhere: the first minimal branch wins, so the
+     designated bottleneck is stable under branch reordering of the
+     non-minimal tail. *)
+  let branches =
+    [
+      { Rla.Fairness.mu = 200.0; tcp_flows = 1 };
+      (* share 100 *)
+      { Rla.Fairness.mu = 100.0; tcp_flows = 0 };
+      (* share 100 *)
+      { Rla.Fairness.mu = 300.0; tcp_flows = 2 };
+      (* share 100 *)
+    ]
+  in
+  Alcotest.(check int) "first minimal wins" 0
+    (Rla.Fairness.soft_bottleneck branches);
+  check_float "tied fair share" 100.0 (Rla.Fairness.fair_share branches);
+  (* A strictly smaller share later in the list still wins outright. *)
+  let branches' = branches @ [ { Rla.Fairness.mu = 99.0; tcp_flows = 0 } ] in
+  Alcotest.(check int) "strict minimum beats earlier ties" 3
+    (Rla.Fairness.soft_bottleneck branches')
+
+let test_fairness_bounds_single_receiver () =
+  let a, b = Rla.Fairness.essential_bounds Rla.Fairness.Red ~n:1 in
+  check_float "RED a, n=1" (1.0 /. 3.0) a;
+  check_float "RED b, n=1" (sqrt 3.0) b;
+  let a, b = Rla.Fairness.essential_bounds Rla.Fairness.Droptail ~n:1 in
+  check_float "droptail a, n=1" 0.25 a;
+  check_float "droptail b, n=1" 2.0 b
 
 (* ------------------------------------------------------------------ *)
 (* Rcv_state                                                          *)
@@ -463,6 +496,10 @@ let () =
           Alcotest.test_case "theorem bounds" `Quick test_fairness_bounds;
           Alcotest.test_case "fairness check" `Quick test_fairness_check;
           Alcotest.test_case "zero tcp" `Quick test_fairness_ratio_zero_tcp;
+          Alcotest.test_case "soft bottleneck tie" `Quick
+            test_fairness_soft_bottleneck_tie;
+          Alcotest.test_case "bounds n=1" `Quick
+            test_fairness_bounds_single_receiver;
         ] );
       ( "rcv_state",
         [

@@ -95,6 +95,29 @@ let prop_heap_sorts =
       let drained = drain [] in
       drained = List.sort compare prios)
 
+(* The heap's full contract in one property: pop order equals a stable
+   sort of the insertion sequence by priority.  Small integer
+   priorities force plenty of ties, so FIFO tie-breaking is exercised
+   on every run, not just when random floats happen to collide. *)
+let prop_heap_stable_order =
+  QCheck.Test.make ~name:"heap pop order = stable sort of insertions"
+    ~count:300
+    QCheck.(list (int_bound 15))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.add h ~prio:(float_of_int k) (k, i)) keys;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare a b)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      drain [] = expected)
+
 let prop_heap_length =
   QCheck.Test.make ~name:"heap length tracks adds and pops" ~count:200
     QCheck.(list (float_bound_exclusive 100.0))
@@ -386,6 +409,55 @@ let test_sched_run_until_empty_bounded () =
   Sim.Scheduler.run_until_empty s ~max_events:50;
   Alcotest.(check int) "bounded by max_events" 50 !count
 
+(* Model-based cancel property: schedule events on a small integer
+   time grid (forcing ties), cancel an arbitrary subset twice
+   (double-cancel), run to a mid-horizon, cancel a second arbitrary
+   subset — which now includes ids that already fired — and run to
+   completion.  The survivors must fire exactly in the model's
+   (time, insertion index) order, and the fired/pending counters must
+   agree with the model, i.e. no cancel ever perturbs other events. *)
+let prop_sched_cancel_survivors =
+  QCheck.Test.make
+    ~name:"cancel/double-cancel/cancel-after-fire keeps survivor order"
+    ~count:300
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 40) (int_bound 9))
+        (list (int_bound 100))
+        (list (int_bound 100)))
+    (fun (times, pre_raw, post_raw) ->
+      let n = List.length times in
+      let times_arr = Array.of_list times in
+      let s = Sim.Scheduler.create () in
+      let log = ref [] in
+      let ids =
+        Array.of_list
+          (List.mapi
+             (fun i time ->
+               Sim.Scheduler.schedule_at s (float_of_int time) (fun () ->
+                   log := i :: !log))
+             times)
+      in
+      let pre = List.map (fun r -> r mod n) pre_raw in
+      List.iter (fun i -> Sim.Scheduler.cancel s ids.(i)) pre;
+      List.iter (fun i -> Sim.Scheduler.cancel s ids.(i)) pre;
+      Sim.Scheduler.run_until s 4.0;
+      let post = List.map (fun r -> r mod n) post_raw in
+      List.iter (fun i -> Sim.Scheduler.cancel s ids.(i)) post;
+      Sim.Scheduler.run_until s 20.0;
+      let fired = List.rev !log in
+      let expected =
+        List.init n (fun i -> i)
+        |> List.filter (fun i ->
+               (not (List.mem i pre))
+               && (times_arr.(i) <= 4 || not (List.mem i post)))
+        |> List.stable_sort (fun a b ->
+               compare (times_arr.(a), a) (times_arr.(b), b))
+      in
+      fired = expected
+      && Sim.Scheduler.pending s = 0
+      && Sim.Scheduler.events_fired s = List.length expected)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -435,6 +507,7 @@ let () =
           Alcotest.test_case "iter" `Quick test_heap_iter;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_stable_order;
           QCheck_alcotest.to_alcotest prop_heap_length;
         ] );
       ( "rng",
@@ -471,6 +544,7 @@ let () =
           Alcotest.test_case "run_until_empty" `Quick test_sched_run_until_empty;
           Alcotest.test_case "run_until_empty bounded" `Quick
             test_sched_run_until_empty_bounded;
+          QCheck_alcotest.to_alcotest prop_sched_cancel_survivors;
         ] );
       ( "trace",
         [
