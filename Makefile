@@ -1,12 +1,15 @@
 # Tier-1 verification is `make check`: full build, the test suites,
 # and a short 2-case smoke sweep of the parallel runner.
 # `make ci` is check plus a per-flow trace smoke (non-empty CSV from
-# an instrumented rla_trace run).
+# an instrumented rla_trace run) and a churn smoke (a faulted run must
+# inject events and replay byte-identically across --jobs).
 
 SMOKE_JSON ?= /tmp/rla_sweep_smoke.json
 TRACE_CSV ?= /tmp/rla_trace_smoke.csv
+CHURN_DIR ?= /tmp/rla_churn_smoke
 
-.PHONY: all build test smoke trace-smoke check ci bench clean
+.PHONY: all build test smoke trace-smoke churn-smoke check ci bench \
+  bench-churn clean
 
 all: build
 
@@ -28,12 +31,29 @@ trace-smoke: build
 	  && head -1 $(TRACE_CSV) | grep -q '^time,flow,cwnd,bytes_acked$$' \
 	  && echo "trace smoke OK ($(TRACE_CSV))"
 
+churn-smoke: build
+	@mkdir -p $(CHURN_DIR)
+	dune exec bin/rla_trace.exe -- --scenario sharing --faults default \
+	  --duration 40 --warmup 10 --seed 7 --jobs 1 \
+	  --csv $(CHURN_DIR)/a.csv --json $(CHURN_DIR)/a.json 2> /dev/null
+	dune exec bin/rla_trace.exe -- --scenario sharing --faults default \
+	  --duration 40 --warmup 10 --seed 7 --jobs 2 \
+	  --csv $(CHURN_DIR)/b.csv --json $(CHURN_DIR)/b.json 2> /dev/null
+	@cmp $(CHURN_DIR)/a.csv $(CHURN_DIR)/b.csv
+	@cmp $(CHURN_DIR)/a.json $(CHURN_DIR)/b.json
+	@grep -q '"faults.injected":[1-9]' $(CHURN_DIR)/a.json \
+	  && echo "churn smoke OK (deterministic across --jobs, faults injected)"
+
 check: build test smoke
 
-ci: check trace-smoke
+ci: check trace-smoke churn-smoke
 
 bench:
 	dune exec bench/main.exe
+
+bench-churn: build
+	dune exec bin/rla_sweep.exe -- --churn --cases 1,3 --seeds 2 \
+	  --duration 120 --warmup 40 --jobs 2 --json BENCH_churn.json
 
 clean:
 	dune clean

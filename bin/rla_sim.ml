@@ -147,6 +147,17 @@ let run_ecn ~duration ~seed =
         (Experiments.Ecn.run ~case_index ~duration ~seed ()))
     [ 1; 3 ]
 
+let run_churn ~duration ~seed =
+  (* The default fault script over the paper's case-3 tree: a leaf-link
+     outage, a leave + rejoin, and a competing short-lived TCP, with
+     the essential-fairness ratio reported per fault epoch. *)
+  let warmup = Float.min 100.0 (duration /. 3.0) in
+  let config =
+    Experiments.Churn.case_config ~gateway:Experiments.Scenario.Droptail
+      ~case_index:3 ~duration ~warmup ~seed ()
+  in
+  Experiments.Churn.print ppf (Experiments.Churn.run config)
+
 let run_baseline ~duration ~seed =
   let results = Experiments.Baseline_fairness.run_matrix ~duration ~seed () in
   Experiments.Report.print_baseline_matrix ppf results
@@ -186,6 +197,7 @@ let experiments =
     ("eq1", `Eq1);
     ("prop", `Prop);
     ("baseline", `Baseline);
+    ("churn", `Churn);
     ("ablate", `Ablate);
     ("all", `All);
   ]
@@ -206,6 +218,7 @@ let dispatch which ~duration ~seed ~steps =
   | `Eq1 -> run_eq1 ~duration ~seed
   | `Prop -> run_prop ~seed ~steps
   | `Baseline -> run_baseline ~duration ~seed
+  | `Churn -> run_churn ~duration ~seed
   | `Ablate -> run_ablate ~duration ~seed
   | `All ->
       run_fig4 ();

@@ -52,7 +52,39 @@ let payload (o : Experiments.Sharing.result Runner.Pool.outcome) =
       Runner.Json.Bool r.Experiments.Sharing.essentially_fair );
   ]
 
-let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~json_path =
+let churn_payload (o : Experiments.Churn.result Runner.Pool.outcome) =
+  match Experiments.Churn.to_json o.Runner.Pool.value with
+  | Runner.Json.Obj fields -> fields
+  | json -> [ ("churn", json) ]
+
+let run_churn_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
+    ~json_path =
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Experiments.Churn.sweep ~gateway ~case_indices ~duration ~warmup
+      ~seeds:seed_list ~jobs ()
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun o -> Experiments.Churn.print ppf o.Runner.Pool.value)
+    outcomes;
+  Runner.Report.pp_metrics_table ppf outcomes;
+  Format.fprintf ppf "total wall-clock: %.1f s@." wall_s;
+  let json =
+    Runner.Report.sweep_json ~name:"rla_sweep_churn" ~jobs ~wall_s
+      ~extra:
+        [
+          ( "gateway",
+            Runner.Json.String (Experiments.Scenario.gateway_name gateway) );
+          ("duration_s", Runner.Json.Float duration);
+          ("warmup_s", Runner.Json.Float warmup);
+        ]
+      churn_payload outcomes
+  in
+  Runner.Report.write_file ~path:json_path json;
+  Format.fprintf ppf "wrote %s@." json_path
+
+let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~json_path =
   let case_indices = parse_cases cases in
   if seeds < 1 then raise (Invalid_argument "--seeds: must be >= 1");
   if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
@@ -68,6 +100,14 @@ let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~json_path =
              (Printf.sprintf "--gateway: %S is not droptail or red" gateway))
   in
   let seed_list = List.init seeds (fun k -> seed + k) in
+  let json_path =
+    Option.value json_path
+      ~default:(if churn then "BENCH_churn.json" else "rla_sweep.json")
+  in
+  if churn then
+    run_churn_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
+      ~json_path
+  else begin
   let t0 = Unix.gettimeofday () in
   let outcomes =
     Experiments.Sharing.sweep ~gateway ~case_indices ~duration ~warmup
@@ -96,6 +136,7 @@ let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~json_path =
   in
   Runner.Report.write_file ~path:json_path json;
   Format.fprintf ppf "wrote %s@." json_path
+  end
 
 open Cmdliner
 
@@ -133,9 +174,21 @@ let warmup_arg =
   let doc = "Discarded measurement prefix, seconds (must be < duration)." in
   Arg.(value & opt float 100.0 & info [ "warmup" ] ~docv:"SECONDS" ~doc)
 
+let churn_arg =
+  let doc =
+    "Run the fault-injection churn scenario (default script: leaf-link \
+     outage, leave + rejoin, competing flow) instead of the plain \
+     sharing sweep; the report carries per-epoch fairness ratios and \
+     defaults to $(b,BENCH_churn.json)."
+  in
+  Arg.(value & flag & info [ "churn" ] ~doc)
+
 let json_arg =
-  let doc = "Path of the JSON report." in
-  Arg.(value & opt string "rla_sweep.json" & info [ "json" ] ~docv:"FILE" ~doc)
+  let doc =
+    "Path of the JSON report (default rla_sweep.json, or \
+     BENCH_churn.json with $(b,--churn))."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let cmd =
   let doc =
@@ -144,13 +197,15 @@ let cmd =
   in
   let term =
     Term.(
-      const (fun cases seeds seed gateway jobs duration warmup json_path ->
-          try run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~json_path
+      const (fun cases seeds seed gateway jobs duration warmup churn json_path ->
+          try
+            run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn
+              ~json_path
           with Invalid_argument msg ->
             Format.eprintf "rla_sweep: %s@." msg;
             Stdlib.exit 2)
       $ cases_arg $ seeds_arg $ seed_arg $ gateway_arg $ jobs_arg
-      $ duration_arg $ warmup_arg $ json_arg)
+      $ duration_arg $ warmup_arg $ churn_arg $ json_arg)
   in
   Cmd.v (Cmd.info "rla_sweep" ~doc) term
 

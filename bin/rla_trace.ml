@@ -37,7 +37,21 @@ let with_csv_sink path f =
           f ppf;
           Format.pp_print_flush ppf ())
 
-let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json =
+(* "default" selects the built-in churn script; anything else must
+   parse as a Faults.Timeline spec string. *)
+let faults_spec = function
+  | None -> None
+  | Some "default" -> Some Experiments.Churn.Default_script
+  | Some spec -> (
+      match Faults.Timeline.of_spec spec with
+      | Ok t -> Some (Experiments.Churn.Scripted t)
+      | Error msg ->
+          Format.eprintf "rla_trace: bad --faults spec: %s@.(grammar: %s)@."
+            msg Faults.Timeline.spec_grammar;
+          Stdlib.exit 2)
+
+let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
+    ~faults =
   let config =
     let base =
       Experiments.Sharing.default_config ~gateway
@@ -46,28 +60,51 @@ let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json =
     { base with Experiments.Sharing.duration; warmup; seed }
   in
   let label = Printf.sprintf "trace/case%d/seed%d" case_index seed in
-  let job =
-    Runner.Job.create ~label (fun () ->
-        let registry = Obs.Registry.create () in
-        let net, result =
-          Experiments.Sharing.run_with_net ~registry config
-        in
-        (net, (registry, result)))
-  in
-  let outcomes = Runner.Pool.run ~jobs [ job ] in
-  let registry, result = (List.hd outcomes).Runner.Pool.value in
-  with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
-  (match json with
-  | None -> ()
-  | Some path ->
-      Runner.Report.write_file ~path (Runner.Report.registry_json registry));
-  let a, b = result.Experiments.Sharing.bounds in
-  Format.eprintf
-    "%s: ratio %.2f, bounds (%.2f, %.2f), %s; %d series in registry@."
-    label result.Experiments.Sharing.ratio a b
-    (if result.Experiments.Sharing.essentially_fair then "essentially fair"
-     else "NOT essentially fair")
-    (List.length (Obs.Registry.all_series registry))
+  match faults_spec faults with
+  | None ->
+      let job =
+        Runner.Job.create ~label (fun () ->
+            let registry = Obs.Registry.create () in
+            let net, result =
+              Experiments.Sharing.run_with_net ~registry config
+            in
+            (net, (registry, result)))
+      in
+      let outcomes = Runner.Pool.run ~jobs [ job ] in
+      let registry, result = (List.hd outcomes).Runner.Pool.value in
+      with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
+      (match json with
+      | None -> ()
+      | Some path ->
+          Runner.Report.write_file ~path (Runner.Report.registry_json registry));
+      let a, b = result.Experiments.Sharing.bounds in
+      Format.eprintf
+        "%s: ratio %.2f, bounds (%.2f, %.2f), %s; %d series in registry@."
+        label result.Experiments.Sharing.ratio a b
+        (if result.Experiments.Sharing.essentially_fair then "essentially fair"
+         else "NOT essentially fair")
+        (List.length (Obs.Registry.all_series registry))
+  | Some faults ->
+      (* Same CSV/JSON surfaces, but the run goes through the churn
+         scenario: the fault timeline perturbs it and the per-epoch
+         fairness table lands on stderr. *)
+      let config = { Experiments.Churn.sharing = config; faults } in
+      let job =
+        Runner.Job.create ~label (fun () ->
+            let registry = Obs.Registry.create () in
+            let net, result =
+              Experiments.Churn.run_with_net ~registry config
+            in
+            (net, (registry, result)))
+      in
+      let outcomes = Runner.Pool.run ~jobs [ job ] in
+      let registry, result = (List.hd outcomes).Runner.Pool.value in
+      with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
+      (match json with
+      | None -> ()
+      | Some path ->
+          Runner.Report.write_file ~path (Runner.Report.registry_json registry));
+      Experiments.Churn.print Format.err_formatter result
 
 let run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv =
   let case = Experiments.Tree.case_of_index case_index in
@@ -116,11 +153,16 @@ let run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv =
   with_csv_sink csv (fun ppf -> Experiments.Timeseries.to_csv ppf ts)
 
 let run scenario ~case_index ~gateway ~duration ~warmup ~seed ~interval ~jobs
-    ~csv ~json =
+    ~csv ~json ~faults =
   match scenario with
   | Sharing ->
       run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
-  | Probes -> run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv
+        ~faults
+  | Probes ->
+      if faults <> None then (
+        Format.eprintf "rla_trace: --faults requires --scenario sharing@.";
+        Stdlib.exit 2);
+      run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv
 
 let scenario_arg =
   let doc =
@@ -181,16 +223,27 @@ let json_arg =
   let doc = "Also dump the full metrics registry as JSON (sharing)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
+let faults_arg =
+  let doc =
+    "Inject a fault timeline into the sharing run ($(b,default) for the \
+     built-in churn script, or a ';'-separated spec: TIME:down:A-B, \
+     TIME:up:A-B, TIME:bw:A-B:BPS, TIME:delay:A-B:SECS, TIME:leave:ADDR, \
+     TIME:join:ADDR, TIME:tcpstart:ID:DST, TIME:tcpstop:ID).  The \
+     per-epoch fairness table is printed to stderr; CSV/JSON outputs \
+     are unchanged in shape."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
 let cmd =
   let doc = "Dump per-flow cwnd/throughput time series of a tree-sharing run" in
   let term =
     Term.(
       const (fun scenario case_index gateway duration warmup seed interval jobs
-                 csv json ->
+                 csv json faults ->
           run scenario ~case_index ~gateway ~duration ~warmup ~seed ~interval
-            ~jobs ~csv ~json)
+            ~jobs ~csv ~json ~faults)
       $ scenario_arg $ case_arg $ gateway_arg $ duration_arg $ warmup_arg
-      $ seed_arg $ interval_arg $ jobs_arg $ csv_arg $ json_arg)
+      $ seed_arg $ interval_arg $ jobs_arg $ csv_arg $ json_arg $ faults_arg)
   in
   Cmd.v (Cmd.info "rla_trace" ~doc) term
 

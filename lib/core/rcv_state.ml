@@ -12,12 +12,12 @@ type t = {
   mutable active : bool;
 }
 
-let create ~addr ~params ~session_start =
+let create ~addr ~params ~session_start ?(board_start = 0) () =
   {
     addr;
     params;
     session_start;
-    board = Tcp.Scoreboard.create ();
+    board = Tcp.Scoreboard.create ~start:board_start ();
     srtt = Stats.Ewma.create ~weight:params.Params.srtt_weight;
     interval = Stats.Ewma.create ~weight:params.Params.interval_ewma_weight;
     cperiod_start = neg_infinity;

@@ -9,7 +9,16 @@
 
 type t
 
-val create : addr:Net.Packet.addr -> params:Params.t -> session_start:float -> t
+val create :
+  addr:Net.Packet.addr ->
+  params:Params.t ->
+  session_start:float ->
+  ?board_start:int ->
+  unit ->
+  t
+(** [board_start] (default 0) aligns the scoreboard with the sender's
+    current sequence frontier — used when a receiver joins a running
+    session and is only responsible for packets from that point on. *)
 
 val addr : t -> Net.Packet.addr
 

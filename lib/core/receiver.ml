@@ -102,7 +102,7 @@ let on_data t ~seq ~sent_at ~rexmit ~ecn =
   end;
   send_ack t ~echo:sent_at ~ece:ecn
 
-let create ~net ~node ~flow ~sender ?(ack_jitter = 0.002) () =
+let create ~net ~node ~flow ~sender ?(ack_jitter = 0.002) ?(start = 0) () =
   let node = Net.Network.node net node in
   let t =
     {
@@ -114,7 +114,7 @@ let create ~net ~node ~flow ~sender ?(ack_jitter = 0.002) () =
       ack_jitter;
       ooo = Hashtbl.create 64;
       recent = [];
-      expected = 0;
+      expected = start;
       received_total = 0;
       duplicates = 0;
       rexmits_received = 0;

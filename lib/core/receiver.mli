@@ -13,12 +13,19 @@ val create :
   flow:Net.Packet.flow ->
   sender:Net.Packet.addr ->
   ?ack_jitter:float ->
+  ?start:int ->
   unit ->
   t
 (** [ack_jitter] (default 2 ms) delays each acknowledgment by a uniform
     random processing time, desynchronising the ack bursts that a
     multicast delivery triggers across equal-RTT receivers (see
-    {!Params.ack_jitter}). *)
+    {!Params.ack_jitter}).
+
+    [start] (default 0) is the first sequence number this endpoint is
+    responsible for: a receiver joining a running session acknowledges
+    from the sender's current frontier instead of waiting forever for
+    packets sent before it existed.  Replaces any handler a previous
+    endpoint for the same flow had registered at the node. *)
 
 val node_id : t -> Net.Packet.addr
 

@@ -24,9 +24,9 @@ type t = {
   src : Net.Packet.addr;
   flow : Net.Packet.flow;
   group : Net.Packet.group;
-  rcvrs : Rcv_state.t array;
+  mutable rcvrs : Rcv_state.t array;
   mutable n_active : int;
-  endpoints : Receiver.t list;
+  mutable endpoints : Receiver.t list;
   rng : Sim.Rng.t;
   rto : Tcp.Rto.t;
   (* window state *)
@@ -233,12 +233,18 @@ let send_rexmit t seq target =
   | To_group ->
       t.rexmits_multicast <- t.rexmits_multicast + 1;
       send_packet t ~seq ~dst:(Net.Packet.Multicast t.group) ~rexmit:true
-  | To_receivers addrs ->
+  | To_receivers _ ->
+      (* Unicast only to requesters that are still active members: a
+         receiver dropped between the decision and this send must not
+         keep drawing retransmissions (or inflating the unicast
+         counter). *)
       List.iter
-        (fun a ->
+        (fun r ->
           t.rexmits_unicast <- t.rexmits_unicast + 1;
-          send_packet t ~seq ~dst:(Net.Packet.Unicast a) ~rexmit:true)
-        addrs
+          send_packet t ~seq
+            ~dst:(Net.Packet.Unicast (Rcv_state.addr r))
+            ~rexmit:true)
+        requesters
 
 let rec arm_timer t =
   if t.timer = None && t.next_seq > t.mra then begin
@@ -508,6 +514,54 @@ let drop_receiver t addr =
       try_send t;
       true
 
+(* Runtime join — the membership counterpart of [drop_receiver].  The
+   newcomer is only responsible for packets from the current sequence
+   frontier on: its endpoint acknowledges from [next_seq] and its
+   scoreboard starts there, so it neither stalls on — nor gates —
+   packets sent before it joined.  Re-joining an address that was
+   dropped earlier reuses its slot with fresh state (fresh scoreboard,
+   srtt, signal history). *)
+let add_receiver t addr =
+  match
+    Array.find_opt
+      (fun r -> Rcv_state.active r && Rcv_state.addr r = addr)
+      t.rcvrs
+  with
+  | Some _ -> false
+  | None ->
+      if addr = t.src then
+        invalid_arg "Sender.add_receiver: source cannot join its own group";
+      (match Net.Network.node t.net addr with
+      | exception Not_found ->
+          invalid_arg "Sender.add_receiver: unknown address"
+      | _ -> ());
+      Net.Network.graft_multicast t.net ~group:t.group ~src:t.src ~member:addr;
+      let endpoint =
+        Receiver.create ~net:t.net ~node:addr ~flow:t.flow ~sender:t.src
+          ~ack_jitter:t.params.Params.ack_jitter ~start:t.next_seq ()
+      in
+      t.endpoints <- t.endpoints @ [ endpoint ];
+      let state =
+        Rcv_state.create ~addr ~params:t.params ~session_start:(now t)
+          ~board_start:t.next_seq ()
+      in
+      (match Array.find_index (fun r -> Rcv_state.addr r = addr) t.rcvrs with
+      | Some i ->
+          t.rcvrs.(i) <- state;
+          t.meas_signals_per.(i) <- 0
+      | None ->
+          t.rcvrs <- Array.append t.rcvrs [| state |];
+          t.meas_signals_per <- Array.append t.meas_signals_per [| 0 |]);
+      t.n_active <- t.n_active + 1;
+      (* Outstanding packets predate the join; the newcomer's board
+         already counts them delivered (seq < its high_ack), so their
+         coverage counts grow by one to keep the [covered >= n_active]
+         frontier/window rules consistent. *)
+      Hashtbl.iter (fun _ c -> c.covered <- c.covered + 1) t.coverage;
+      recount_troubled t;
+      try_send t;
+      true
+
 let active_receivers t =
   fold_active t (fun acc r -> Rcv_state.addr r :: acc) [] |> List.rev
 
@@ -598,7 +652,8 @@ let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
       rcvrs =
         Array.of_list
           (List.map
-             (fun addr -> Rcv_state.create ~addr ~params ~session_start:start)
+             (fun addr ->
+               Rcv_state.create ~addr ~params ~session_start:start ())
              receivers);
       n_active = List.length receivers;
       endpoints;
@@ -658,10 +713,16 @@ let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
   Net.Node.attach (Net.Network.node net src) ~flow (fun pkt ->
       match pkt.Net.Packet.payload with
       | Wire.Rla_ack { rcvr; cum_ack; blocks; echo; ece } -> (
-          match Array.find_opt (fun r -> Rcv_state.addr r = rcvr) t.rcvrs with
-          | Some r when Rcv_state.active r ->
-              on_ack t r ~cum_ack ~blocks ~echo ~ece
-          | Some _ | None -> ())
+          (* Dispatch to the *active* state for that address: after a
+             drop + re-join the array holds the stale entry too, and
+             acks must reach the live one. *)
+          match
+            Array.find_opt
+              (fun r -> Rcv_state.active r && Rcv_state.addr r = rcvr)
+              t.rcvrs
+          with
+          | Some r -> on_ack t r ~cum_ack ~blocks ~echo ~ece
+          | None -> ())
       | _ -> ());
   let stagger = Sim.Rng.float t.rng 0.1 in
   ignore

@@ -45,7 +45,19 @@ val flow : t -> Net.Packet.flow
 val group : t -> Net.Packet.group
 
 val n_receivers : t -> int
-(** Receivers the session was created with (active or dropped). *)
+(** Receiver slots the session tracks (active or dropped; a re-joined
+    address reuses its old slot). *)
+
+val add_receiver : t -> Net.Packet.addr -> bool
+(** Runtime membership join — the counterpart of {!drop_receiver}.
+    Grafts the node onto the distribution tree, creates a receiver
+    endpoint acknowledging from the sender's current sequence frontier,
+    and starts counting the newcomer in the acked-by-all window rules
+    and in [num_trouble_rcvr] (so [pthresh] reflects the new membership
+    immediately).  Packets sent before the join are not the newcomer's
+    responsibility.  Returns [false] when the address is already an
+    active member; raises [Invalid_argument] for an unknown address or
+    the session source. *)
 
 val drop_receiver : t -> Net.Packet.addr -> bool
 (** The slow-receiver option (section 4.3): stop listening to this

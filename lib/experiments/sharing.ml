@@ -68,7 +68,14 @@ let split_by_congestion ~congested pairs =
   in
   (List.map snd in_group, List.map snd rest)
 
-let run_with_net ?registry config =
+type session = {
+  tree : Tree.t;
+  net : Net.Network.t;
+  rla : Rla.Sender.t;
+  tcps : (Net.Packet.addr * Tcp.Sender.t) list;
+}
+
+let setup ?registry config =
   if config.duration <= config.warmup then
     invalid_arg "Sharing.run: duration must exceed warmup";
   let tree =
@@ -87,10 +94,13 @@ let run_with_net ?registry config =
       (fun leaf -> (leaf, Tcp.Sender.create ~net ~src:tree.Tree.root ~dst:leaf ()))
       leaves
   in
-  Net.Network.run_until net config.warmup;
-  Rla.Sender.reset_measurement rla;
-  List.iter (fun (_, tcp) -> Tcp.Sender.reset_measurement tcp) tcps;
-  Net.Network.run_until net config.duration;
+  { tree; net; rla; tcps }
+
+let start_measurement (s : session) =
+  Rla.Sender.reset_measurement s.rla;
+  List.iter (fun (_, tcp) -> Tcp.Sender.reset_measurement tcp) s.tcps
+
+let measure ({ tree; rla; tcps; _ } : session) config =
   let rla_snap = Rla.Sender.snapshot rla in
   let congested = tree.Tree.congested_leaves in
   let tcp_flows =
@@ -109,7 +119,7 @@ let run_with_net ?registry config =
     | lo :: _, hi :: _ -> (lo.snap, hi.snap)
     | _ -> invalid_arg "Sharing.run: no TCP flows"
   in
-  let n = List.length leaves in
+  let n = List.length tcps in
   (* Fairness is about bandwidth share on the bottleneck, so the ratio
      compares send rates (new data + retransmissions), as the paper's
      tables do. *)
@@ -131,24 +141,30 @@ let run_with_net ?registry config =
     split_by_congestion ~congested
       (List.map (fun f -> (f.leaf, f.snap.Tcp.Sender.window_cuts)) tcp_flows)
   in
-  ( net,
-    {
-      config;
-      rla = rla_snap;
-      tcps = tcp_flows;
-      wtcp;
-      btcp;
-      n_receivers = n;
-      ratio;
-      bounds;
-      essentially_fair;
-      rla_signals_congested = group_stat rla_cong;
-      rla_signals_rest =
-        (if rla_rest = [] then None else Some (group_stat rla_rest));
-      tcp_cuts_congested = group_stat tcp_cong;
-      tcp_cuts_rest =
-        (if tcp_rest = [] then None else Some (group_stat tcp_rest));
-    } )
+  {
+    config;
+    rla = rla_snap;
+    tcps = tcp_flows;
+    wtcp;
+    btcp;
+    n_receivers = n;
+    ratio;
+    bounds;
+    essentially_fair;
+    rla_signals_congested = group_stat rla_cong;
+    rla_signals_rest =
+      (if rla_rest = [] then None else Some (group_stat rla_rest));
+    tcp_cuts_congested = group_stat tcp_cong;
+    tcp_cuts_rest =
+      (if tcp_rest = [] then None else Some (group_stat tcp_rest));
+  }
+
+let run_with_net ?registry config =
+  let session = setup ?registry config in
+  Net.Network.run_until session.net config.warmup;
+  start_measurement session;
+  Net.Network.run_until session.net config.duration;
+  (session.net, measure session config)
 
 let run ?registry config = snd (run_with_net ?registry config)
 

@@ -52,6 +52,30 @@ type result = {
   tcp_cuts_rest : group_stat option;
 }
 
+type session = {
+  tree : Tree.t;
+  net : Net.Network.t;
+  rla : Rla.Sender.t;
+  tcps : (Net.Packet.addr * Tcp.Sender.t) list;
+      (** One background TCP per leaf, keyed by its destination. *)
+}
+(** A built-but-not-yet-run instance of the experiment, exposed so
+    scenario variants (e.g. {!Churn}) can drive the identical setup
+    through a different run loop. *)
+
+val setup : ?registry:Obs.Registry.t -> config -> session
+(** Build the tree, install observability, and create the RLA session
+    and background TCPs — everything {!run} does before advancing the
+    clock, in the same order (so a variant that then simply runs to
+    [duration] is bit-identical to {!run}). *)
+
+val start_measurement : session -> unit
+(** Reset every flow's measurement window (call at [warmup]). *)
+
+val measure : session -> config -> result
+(** Assemble the result from the current flow states (call at
+    [duration]). *)
+
 val run : ?registry:Obs.Registry.t -> config -> result
 (** Run one case.  With [?registry], the run is instrumented
     ({!Scenario.observe}): per-flow cwnd/bytes-acked series, per-link

@@ -18,11 +18,16 @@ type t = {
   id : string;
   sched : Sim.Scheduler.t;
   rng : Sim.Rng.t;
-  config : config;
+  mutable config : config;
   disc : Queue_disc.t;
   buffer : Packet.t Queue.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
+  mutable in_service : Packet.t option;
+  mutable tx_event : Sim.Scheduler.event_id option;
+  mutable up : bool;
+  mutable down_since : float;
+  mutable downtime_acc : float;
   mutable last_delivery : float;
   mutable offered : int;
   mutable dropped : int;
@@ -55,6 +60,11 @@ let create ~sched ~rng ~id config ~deliver =
     buffer = Queue.create ();
     deliver;
     busy = false;
+    in_service = None;
+    tx_event = None;
+    up = true;
+    down_since = 0.0;
+    downtime_acc = 0.0;
     last_delivery = 0.0;
     offered = 0;
     dropped = 0;
@@ -88,6 +98,8 @@ let qlen t = Queue.length t.buffer
 
 let busy t = t.busy
 
+let is_up t = t.up
+
 let service_time t size = float_of_int (size * 8) /. t.config.bandwidth_bps
 
 let stats t =
@@ -110,12 +122,32 @@ let set_drop_hook t hook = t.drop_hook <- Some hook
 
 let avg_queue t = Queue_disc.avg_queue t.disc
 
+let downtime t =
+  t.downtime_acc
+  +. if t.up then 0.0 else Sim.Scheduler.now t.sched -. t.down_since
+
+let count_drop t pkt =
+  t.dropped <- t.dropped + 1;
+  (match t.taps with
+  | None -> ()
+  | Some taps ->
+      Obs.Registry.incr taps.drops_c;
+      Obs.Registry.emit taps.reg
+        ~time:(Sim.Scheduler.now t.sched)
+        ~source:(Printf.sprintf "link.%s" t.id)
+        ~event:"drop"
+        ~value:(float_of_int (Queue.length t.buffer)));
+  match t.drop_hook with None -> () | Some hook -> hook pkt
+
 (* Deliver after propagation (+ optional phase jitter of up to one
    service time, section 3.1 of the paper).  The jitter is drawn
    independently per packet, so a small packet chasing a large one
    could otherwise overtake it; clamping each delivery to the link's
    last scheduled delivery keeps the link FIFO (ties fire in
-   scheduling order, preserving arrival order). *)
+   scheduling order, preserving arrival order).  The clamp also covers
+   runtime reconfiguration: shrinking [prop_delay] or growing
+   [bandwidth_bps] mid-run cannot schedule a delivery before one
+   already on the wire. *)
 let propagate t pkt =
   let jitter =
     if t.config.phase_jitter then
@@ -137,49 +169,109 @@ let rec start_transmission t =
       Queue_disc.on_empty t.disc ~now:(Sim.Scheduler.now t.sched)
   | Some pkt ->
       t.busy <- true;
+      t.in_service <- Some pkt;
       let tx = service_time t pkt.Packet.size in
-      ignore
-        (Sim.Scheduler.schedule_after t.sched tx (fun () ->
-             t.delivered <- t.delivered + 1;
-             t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
-             (match t.taps with
-             | None -> ()
-             | Some taps -> Obs.Registry.incr taps.delivered_c);
-             propagate t pkt;
-             start_transmission t))
+      t.tx_event <-
+        Some
+          (Sim.Scheduler.schedule_after t.sched tx (fun () ->
+               t.tx_event <- None;
+               t.in_service <- None;
+               t.delivered <- t.delivered + 1;
+               t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+               (match t.taps with
+               | None -> ()
+               | Some taps -> Obs.Registry.incr taps.delivered_c);
+               propagate t pkt;
+               start_transmission t))
 
 let send t pkt =
   t.offered <- t.offered + 1;
-  let now = Sim.Scheduler.now t.sched in
-  let decision = Queue_disc.on_arrival t.disc ~now ~qlen:(Queue.length t.buffer) in
-  (match t.taps with
-  | None -> ()
-  | Some taps -> (
-      Obs.Series.add taps.qlen_s ~time:now
-        (float_of_int (Queue.length t.buffer));
-      match decision with
-      | `Drop ->
-          Obs.Registry.incr taps.drops_c;
-          Obs.Registry.emit taps.reg ~time:now
-            ~source:(Printf.sprintf "link.%s" t.id)
-            ~event:"drop"
-            ~value:(float_of_int (Queue.length t.buffer))
-      | `Mark ->
-          Obs.Registry.incr taps.marks_c;
-          Obs.Registry.emit taps.reg ~time:now
-            ~source:(Printf.sprintf "link.%s" t.id)
-            ~event:"mark"
-            ~value:(float_of_int (Queue.length t.buffer))
-      | `Admit -> ()));
-  match decision with
-  | `Drop -> begin
-      t.dropped <- t.dropped + 1;
-      match t.drop_hook with None -> () | Some hook -> hook pkt
-    end
-  | `Admit ->
-      Queue.add pkt t.buffer;
-      if not t.busy then start_transmission t
-  | `Mark ->
-      t.marked <- t.marked + 1;
-      Queue.add { pkt with Packet.ecn = true } t.buffer;
-      if not t.busy then start_transmission t
+  if not t.up then
+    (* A down link rejects every offer outright: the packet is counted
+       as dropped (never silently lost) and the queue discipline is
+       bypassed — no RED state update, no RNG draw. *)
+    count_drop t pkt
+  else begin
+    let now = Sim.Scheduler.now t.sched in
+    let decision =
+      Queue_disc.on_arrival t.disc ~now ~qlen:(Queue.length t.buffer)
+    in
+    (match t.taps with
+    | None -> ()
+    | Some taps -> (
+        Obs.Series.add taps.qlen_s ~time:now
+          (float_of_int (Queue.length t.buffer));
+        match decision with
+        | `Drop ->
+            Obs.Registry.incr taps.drops_c;
+            Obs.Registry.emit taps.reg ~time:now
+              ~source:(Printf.sprintf "link.%s" t.id)
+              ~event:"drop"
+              ~value:(float_of_int (Queue.length t.buffer))
+        | `Mark ->
+            Obs.Registry.incr taps.marks_c;
+            Obs.Registry.emit taps.reg ~time:now
+              ~source:(Printf.sprintf "link.%s" t.id)
+              ~event:"mark"
+              ~value:(float_of_int (Queue.length t.buffer))
+        | `Admit -> ()));
+    match decision with
+    | `Drop -> begin
+        t.dropped <- t.dropped + 1;
+        match t.drop_hook with None -> () | Some hook -> hook pkt
+      end
+    | `Admit ->
+        Queue.add pkt t.buffer;
+        if not t.busy then start_transmission t
+    | `Mark ->
+        t.marked <- t.marked + 1;
+        Queue.add { pkt with Packet.ecn = true } t.buffer;
+        if not t.busy then start_transmission t
+  end
+
+(* --- runtime reconfiguration (fault injection) --------------------- *)
+
+let set_bandwidth t bps =
+  if bps <= 0.0 then invalid_arg "Link.set_bandwidth: must be positive";
+  (* The packet in service keeps its already-scheduled completion (it
+     started serializing at the old rate); later packets use the new
+     one.  FIFO holds: completions are strictly sequential and
+     deliveries are clamped in [propagate]. *)
+  t.config <- { t.config with bandwidth_bps = bps }
+
+let set_delay t delay =
+  if delay < 0.0 then invalid_arg "Link.set_delay: negative delay";
+  t.config <- { t.config with prop_delay = delay }
+
+let set_down t =
+  if t.up then begin
+    t.up <- false;
+    t.down_since <- Sim.Scheduler.now t.sched;
+    (* The packet being serialized is aborted and lost; packets already
+       past serialization (propagating) are on the wire and still
+       arrive. *)
+    (match t.tx_event with
+    | None -> ()
+    | Some ev ->
+        Sim.Scheduler.cancel t.sched ev;
+        t.tx_event <- None);
+    let was_busy = t.busy in
+    (match t.in_service with
+    | None -> ()
+    | Some pkt ->
+        t.in_service <- None;
+        count_drop t pkt);
+    t.busy <- false;
+    (* Everything queued behind it is flushed into the drop count. *)
+    while not (Queue.is_empty t.buffer) do
+      count_drop t (Queue.take t.buffer)
+    done;
+    if was_busy then Queue_disc.on_empty t.disc ~now:(Sim.Scheduler.now t.sched)
+  end
+
+let set_up t =
+  if not t.up then begin
+    t.up <- true;
+    t.downtime_acc <-
+      t.downtime_acc +. (Sim.Scheduler.now t.sched -. t.down_since)
+  end

@@ -11,7 +11,14 @@
     (section 3.1).  Delivery stays FIFO regardless of jitter: a
     packet's delivery time is clamped to be no earlier than the
     previously scheduled delivery on the same link, so mixed packet
-    sizes (e.g. 40 B ACKs behind 1000 B data) cannot be reordered. *)
+    sizes (e.g. 40 B ACKs behind 1000 B data) cannot be reordered.
+
+    Links can be reconfigured at runtime for fault injection:
+    {!set_down}/{!set_up} toggle the carrier (a down link counts every
+    offer — and whatever it was holding — as dropped), and
+    {!set_bandwidth}/{!set_delay} change the service rate and
+    propagation delay mid-run without reordering deliveries (the FIFO
+    clamp above still applies). *)
 
 type t
 
@@ -46,6 +53,7 @@ val send : t -> Packet.t -> unit
 val id : t -> string
 
 val config : t -> config
+(** Current configuration (reflects runtime reconfiguration). *)
 
 val qlen : t -> int
 (** Packets currently waiting (excludes the one in service). *)
@@ -72,3 +80,39 @@ val set_registry : t -> Obs.Registry.t option -> unit
 
 val avg_queue : t -> float
 (** RED average queue estimate ([nan] for drop-tail links). *)
+
+(** {2 Runtime reconfiguration (fault injection)} *)
+
+val is_up : t -> bool
+(** Carrier state; links are created up. *)
+
+val set_down : t -> unit
+(** Take the link down.  The packet currently being serialized is
+    aborted and every queued packet is flushed; all of them are counted
+    in [stats.dropped] (and fed to the drop hook).  Packets already
+    past serialization are on the wire and still arrive.  While down,
+    every {!send} is rejected and counted as dropped — the queue
+    discipline is bypassed entirely (no RED bookkeeping, no RNG
+    draws).  Idempotent. *)
+
+val set_up : t -> unit
+(** Restore the carrier.  Transmission resumes with the next offered
+    packet.  Idempotent. *)
+
+val downtime : t -> float
+(** Cumulative seconds this link has spent down (including the current
+    outage, if one is in progress). *)
+
+val set_bandwidth : t -> float -> unit
+(** Change the service rate mid-run.  The packet currently in service
+    completes at the rate it started with; later packets serialize at
+    the new rate.  Deliveries stay FIFO (the per-link delivery clamp
+    still applies).  Raises [Invalid_argument] unless positive. *)
+
+val set_delay : t -> float -> unit
+(** Change the one-way propagation delay.  Applies to every packet
+    whose serialization completes after the change; packets already
+    propagating keep their old delay.  Shrinking the delay cannot
+    reorder deliveries: each delivery is clamped to be no earlier than
+    the previously scheduled one.  Raises [Invalid_argument] when
+    negative. *)

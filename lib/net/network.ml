@@ -174,31 +174,37 @@ let path t a b =
   in
   if a = b then [] else walk a []
 
+(* Graft one member onto the distribution tree: join it at its node and
+   add the links of the unicast shortest path from [src] as multicast
+   branches.  Idempotent (duplicate branches are ignored), so it serves
+   both initial tree construction and runtime membership churn. *)
+let graft_multicast t ~group ~src ~member =
+  require_routes t "Network.graft_multicast";
+  let m = member in
+  Node.join (node t m) ~group;
+  let rec walk v =
+    if v <> m then
+      match Node.route (node t v) ~dest:m with
+      | None -> ()
+      | Some link -> (
+          match
+            List.find_opt
+              (fun w ->
+                match link_between t v w with
+                | Some l -> Link.id l = Link.id link
+                | None -> false)
+              (neighbors t v)
+          with
+          | None -> ()
+          | Some w ->
+              Node.add_mcast_route (node t v) ~group link;
+              walk w)
+  in
+  walk src
+
 let install_multicast t ~group ~src ~members =
   require_routes t "Network.install_multicast";
-  List.iter
-    (fun m ->
-      Node.join (node t m) ~group;
-      let rec walk v =
-        if v <> m then
-          match Node.route (node t v) ~dest:m with
-          | None -> ()
-          | Some link -> (
-              match
-                List.find_opt
-                  (fun w ->
-                    match link_between t v w with
-                    | Some l -> Link.id l = Link.id link
-                    | None -> false)
-                  (neighbors t v)
-              with
-              | None -> ()
-              | Some w ->
-                  Node.add_mcast_route (node t v) ~group link;
-                  walk w)
-      in
-      walk src)
-    members
+  List.iter (fun member -> graft_multicast t ~group ~src ~member) members
 
 let fresh_flow t =
   let f = t.next_flow in

@@ -63,6 +63,11 @@ val install_multicast : t -> group:Packet.group -> src:Packet.addr -> members:Pa
     shortest paths from [src] to each member, and [Node.join] every
     member.  Requires {!install_routes} to have run. *)
 
+val graft_multicast : t -> group:Packet.group -> src:Packet.addr -> member:Packet.addr -> unit
+(** Add one member to an existing distribution tree (runtime membership
+    churn): join it at its node and add the shortest-path branch from
+    [src].  Idempotent — grafting a current member changes nothing. *)
+
 val fresh_flow : t -> Packet.flow
 
 val fresh_group : t -> Packet.group

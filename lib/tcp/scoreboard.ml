@@ -16,16 +16,17 @@ type t = {
   mutable loss_floor : int;  (* below this, loss detection already ran *)
 }
 
-let create () =
+let create ?(start = 0) () =
+  if start < 0 then invalid_arg "Scoreboard.create: negative start";
   {
     entries = Hashtbl.create 256;
-    high_ack = 0;
-    next_seq = 0;
-    highest_sacked = -1;
+    high_ack = start;
+    next_seq = start;
+    highest_sacked = start - 1;
     sacked_cnt = 0;
     lost_cnt = 0;
     rexmit_out = 0;
-    loss_floor = 0;
+    loss_floor = start;
   }
 
 let high_ack t = t.high_ack

@@ -12,7 +12,12 @@
 
 type t
 
-val create : unit -> t
+val create : ?start:int -> unit -> t
+(** [start] (default 0) positions the board mid-stream: [high_ack],
+    [next_seq] and the loss floor all begin there, and everything below
+    counts as already delivered.  A receiver that joins a running
+    multicast session gets a board aligned with the sender's current
+    sequence frontier. *)
 
 val high_ack : t -> int
 (** Next packet the receiver expects cumulatively. *)

@@ -181,7 +181,7 @@ let send_data t ~seq ~rexmit =
   Net.Network.send t.net pkt
 
 let rec arm_timer t =
-  if t.timer = None then begin
+  if t.timer = None && t.completed_at = None then begin
     let sched = Net.Network.scheduler t.net in
     let id =
       Sim.Scheduler.schedule_after sched (Rto.timeout t.rto) (fun () ->
@@ -283,6 +283,16 @@ let on_ack t ~cum_ack ~blocks ~echo ~ece =
 let completed_at t = t.completed_at
 
 let is_complete t = t.completed_at <> None
+
+(* Flow churn: end the flow now.  Reuses the finite-flow completion
+   machinery — acknowledgments for packets already in flight keep
+   draining (and updating the scoreboard), but no new transmission or
+   retransmission is ever scheduled again. *)
+let stop t =
+  if t.completed_at = None then begin
+    t.completed_at <- Some (now t);
+    cancel_timer t
+  end
 
 let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
   let flow = Net.Network.fresh_flow net in

@@ -107,3 +107,10 @@ val completed_at : t -> float option
     acknowledged; [None] while incomplete or for infinite flows. *)
 
 val is_complete : t -> bool
+
+val stop : t -> unit
+(** End the flow now (traffic churn): the retransmission timer is
+    cancelled and no further packet is ever sent, but acknowledgments
+    for data already in flight keep draining.  After [stop] the flow
+    reports {!is_complete}.  Idempotent; a no-op on flows that already
+    completed. *)

@@ -359,6 +359,110 @@ let test_link_fifo_under_jitter () =
            (-1, 0.0) arrivals))
     [ 1; 2; 3; 5; 8; 13 ]
 
+let test_link_down_drops_and_restores () =
+  let sched = Sim.Scheduler.create () in
+  let arrivals = ref [] in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ())
+      ~deliver:(fun pkt ->
+        arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
+  in
+  (* uid 1 serializes 0..1 ms and is on the wire when the link fails. *)
+  Net.Link.send link (make_packet ~uid:1 ());
+  ignore
+    (Sim.Scheduler.schedule_at sched 0.0015 (fun () ->
+         (* uid 2 starts serializing at once, uid 3 queues behind it. *)
+         Net.Link.send link (make_packet ~uid:2 ());
+         Net.Link.send link (make_packet ~uid:3 ())));
+  ignore
+    (Sim.Scheduler.schedule_at sched 0.002 (fun () ->
+         Net.Link.set_down link;
+         Alcotest.(check bool) "reports down" false (Net.Link.is_up link)));
+  (* Offers while down are rejected without touching the queue. *)
+  ignore
+    (Sim.Scheduler.schedule_at sched 0.003 (fun () ->
+         Net.Link.send link (make_packet ~uid:4 ());
+         Alcotest.(check int) "queue empty while down" 0 (Net.Link.qlen link)));
+  ignore (Sim.Scheduler.schedule_at sched 0.5 (fun () -> Net.Link.set_up link));
+  ignore
+    (Sim.Scheduler.schedule_at sched 0.6 (fun () ->
+         Net.Link.send link (make_packet ~uid:5 ())));
+  Sim.Scheduler.run_until sched 1.0;
+  (match List.rev !arrivals with
+  | [ (1, t1); (5, t5) ] ->
+      (* The in-flight packet survives the outage; transmission resumes
+         after repair. *)
+      check_float "wire packet arrives" 0.011 t1;
+      check_float "post-repair delivery" 0.611 t5
+  | l ->
+      Alcotest.failf "expected uids 1 and 5, got %d deliveries"
+        (List.length l));
+  let stats = Net.Link.stats link in
+  Alcotest.(check int) "offered" 5 stats.Net.Link.offered;
+  (* uid 2 (aborted in service), uid 3 (flushed), uid 4 (rejected). *)
+  Alcotest.(check int) "dropped" 3 stats.Net.Link.dropped;
+  Alcotest.(check int) "delivered" 2 stats.Net.Link.delivered;
+  check_float "downtime" 0.498 (Net.Link.downtime link);
+  Alcotest.(check bool) "up again" true (Net.Link.is_up link)
+
+let test_link_down_idempotent () =
+  let sched = Sim.Scheduler.create () in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ()) ~deliver:(fun _ -> ())
+  in
+  Net.Link.set_down link;
+  Net.Link.set_down link;
+  Net.Link.set_up link;
+  Net.Link.set_up link;
+  Alcotest.(check bool) "up" true (Net.Link.is_up link);
+  let stats = Net.Link.stats link in
+  Alcotest.(check int) "no phantom drops" 0 stats.Net.Link.dropped
+
+let test_link_reconfig_keeps_fifo () =
+  let sched = Sim.Scheduler.create () in
+  let arrivals = ref [] in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ())
+      ~deliver:(fun pkt ->
+        arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
+  in
+  (* uid 1: serializes 0..1 ms at 8 Mbps, arrives at 11 ms; uid 2
+     starts serializing at 1 ms. *)
+  Net.Link.send link (make_packet ~uid:1 ());
+  Net.Link.send link (make_packet ~uid:2 ());
+  (* While uid 1 is propagating, the link loses its delay and speeds
+     up: uid 2 would naively arrive at ~2 ms, overtaking uid 1. *)
+  ignore
+    (Sim.Scheduler.schedule_at sched 0.0015 (fun () ->
+         Net.Link.set_bandwidth link 800e6;
+         Net.Link.set_delay link 0.0));
+  Sim.Scheduler.run_until sched 1.0;
+  (match List.rev !arrivals with
+  | [ (1, t1); (2, t2) ] ->
+      check_float "first packet keeps its delay" 0.011 t1;
+      Alcotest.(check bool) "FIFO preserved under reconfiguration" true
+        (t2 >= t1)
+  | _ -> Alcotest.fail "expected exactly uids 1 then 2 in order");
+  let cfg = Net.Link.config link in
+  check_float "bandwidth updated" 800e6 cfg.Net.Link.bandwidth_bps;
+  check_float "delay updated" 0.0 cfg.Net.Link.prop_delay
+
+let test_link_reconfig_validation () =
+  let sched = Sim.Scheduler.create () in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+      (droptail_config ()) ~deliver:(fun _ -> ())
+  in
+  Alcotest.(check bool) "zero bandwidth rejected" true
+    (try Net.Link.set_bandwidth link 0.0; false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative delay rejected" true
+    (try Net.Link.set_delay link (-0.1); false
+     with Invalid_argument _ -> true)
+
 let test_link_stats_reset () =
   let sched = Sim.Scheduler.create () in
   let link =
@@ -629,6 +733,13 @@ let () =
             test_link_fifo_under_jitter;
           Alcotest.test_case "stats reset" `Quick test_link_stats_reset;
           Alcotest.test_case "invalid config" `Quick test_link_invalid_config;
+          Alcotest.test_case "down drops and restores" `Quick
+            test_link_down_drops_and_restores;
+          Alcotest.test_case "down idempotent" `Quick test_link_down_idempotent;
+          Alcotest.test_case "fifo under reconfig" `Quick
+            test_link_reconfig_keeps_fifo;
+          Alcotest.test_case "reconfig validation" `Quick
+            test_link_reconfig_validation;
         ] );
       ( "node",
         [

@@ -229,6 +229,47 @@ let test_repeat_run_identical_series () =
   Alcotest.(check bool) "same counters" true
     (Obs.Registry.counters a = Obs.Registry.counters b)
 
+let prop_faulted_report_deterministic =
+  (* Fault injection preserves the determinism contract: for any
+     (simulation seed, timeline seed) pair, a churn run replayed in the
+     same process and again on a two-domain pool produces the same
+     JSON report bytes — the property behind BENCH_churn.json being
+     reproducible at any --jobs. *)
+  QCheck.Test.make ~name:"faulted runs byte-identical across jobs" ~count:4
+    QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+    (fun (seed, gen_seed) ->
+      let config =
+        {
+          Experiments.Churn.sharing =
+            { small_config with Experiments.Sharing.duration = 16.0;
+              warmup = 4.0; seed };
+          faults =
+            Experiments.Churn.Generated
+              {
+                Experiments.Churn.gen_seed;
+                outage_rate = 0.1;
+                churn_rate = 0.15;
+                flow_rate = 0.1;
+              };
+        }
+      in
+      let report result =
+        Runner.Json.to_string (Experiments.Churn.to_json result)
+      in
+      let inline = report (Experiments.Churn.run config) in
+      let pooled jobs =
+        let jobs_list =
+          List.init 2 (fun i ->
+              Experiments.Churn.job ~label:(Printf.sprintf "churn/%d" i)
+                config)
+        in
+        List.map
+          (fun (o : _ Runner.Pool.outcome) -> report o.Runner.Pool.value)
+          (Runner.Pool.run ~jobs jobs_list)
+      in
+      List.for_all (String.equal inline) (pooled 1)
+      && List.for_all (String.equal inline) (pooled 2))
+
 let () =
   Alcotest.run "obs"
     [
@@ -258,5 +299,6 @@ let () =
             test_probes_do_not_perturb_run;
           Alcotest.test_case "repeat runs identical" `Slow
             test_repeat_run_identical_series;
+          QCheck_alcotest.to_alcotest prop_faulted_report_deterministic;
         ] );
     ]

@@ -130,7 +130,7 @@ let test_fairness_bounds_single_receiver () =
 (* ------------------------------------------------------------------ *)
 
 let make_rcv ?(params = Rla.Params.default) () =
-  Rla.Rcv_state.create ~addr:1 ~params ~session_start:0.0
+  Rla.Rcv_state.create ~addr:1 ~params ~session_start:0.0 ()
 
 let test_rcv_state_initial () =
   let r = make_rcv () in
@@ -164,7 +164,7 @@ let test_rcv_state_signal_grouping () =
 
 let test_rcv_state_grouping_disabled () =
   let params = { Rla.Params.default with Rla.Params.group_rtt_factor = 0.0 } in
-  let r = Rla.Rcv_state.create ~addr:1 ~params ~session_start:0.0 in
+  let r = Rla.Rcv_state.create ~addr:1 ~params ~session_start:0.0 () in
   Rla.Rcv_state.observe_rtt r 0.5;
   Alcotest.(check bool) "signal 1" true (Rla.Rcv_state.register_losses r ~now:1.0);
   Alcotest.(check bool) "signal 2 immediately" true
@@ -468,6 +468,94 @@ let test_drop_receiver_ignores_acks () =
   Alcotest.(check bool) "frontier not gated by dropped receiver" true
     (Rla.Sender.min_last_ack rla >= Rla.Sender.max_reach_all rla)
 
+let test_dropped_receiver_gets_no_rexmits () =
+  (* Satellite regression: once dropped, a receiver must stop drawing
+     retransmissions — its pending retransmit state must not keep
+     feeding decisions.  With [rexmit_thresh] = 2 and 3 receivers, the
+     lone slow requester always gets unicast retransmissions while
+     active, and after the drop no target can exceed the threshold, so
+     any retransmission reaching the dropped endpoint is a bug. *)
+  let net, s, leaves = star_with_slow_branch () in
+  let params = { Rla.Params.default with Rla.Params.rexmit_thresh = 2 } in
+  let rla = Rla.Sender.create ~net ~src:s ~receivers:leaves ~params () in
+  Net.Network.run_until net 30.0;
+  let slow_endpoint =
+    List.find
+      (fun ep -> Rla.Receiver.node_id ep = List.hd leaves)
+      (Rla.Sender.receiver_endpoints rla)
+  in
+  Alcotest.(check bool) "slow receiver saw unicast rexmits while active" true
+    (Rla.Receiver.rexmits_received slow_endpoint > 0);
+  ignore (Rla.Sender.drop_receiver rla (List.hd leaves));
+  (* Let retransmissions already in flight land before baselining. *)
+  Net.Network.run_until net 32.0;
+  let baseline = Rla.Receiver.rexmits_received slow_endpoint in
+  Net.Network.run_until net 90.0;
+  Alcotest.(check int) "no retransmissions after the drop" baseline
+    (Rla.Receiver.rexmits_received slow_endpoint);
+  Alcotest.(check bool) "session kept retransmitting to the others" true
+    (Rla.Sender.rexmits_unicast rla + Rla.Sender.rexmits_multicast rla > 0)
+
+let test_add_receiver_guards () =
+  let net, s, leaves = star_with_slow_branch () in
+  let rla = Rla.Sender.create ~net ~src:s ~receivers:leaves () in
+  Net.Network.run_until net 5.0;
+  Alcotest.(check bool) "active member rejected" false
+    (Rla.Sender.add_receiver rla (List.hd leaves));
+  Alcotest.(check bool) "unknown address raises" true
+    (try ignore (Rla.Sender.add_receiver rla 999); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "source raises" true
+    (try ignore (Rla.Sender.add_receiver rla s); false
+     with Invalid_argument _ -> true)
+
+let test_join_after_drop_same_address () =
+  let net, s, leaves = star_with_slow_branch () in
+  let rla = Rla.Sender.create ~net ~src:s ~receivers:leaves () in
+  let victim = List.hd leaves in
+  Net.Network.run_until net 20.0;
+  ignore (Rla.Sender.drop_receiver rla victim);
+  Net.Network.run_until net 30.0;
+  Alcotest.(check bool) "re-join succeeds" true
+    (Rla.Sender.add_receiver rla victim);
+  Alcotest.(check int) "three active again" 3
+    (List.length (Rla.Sender.active_receivers rla));
+  Alcotest.(check int) "slot reused, not duplicated" 3
+    (Rla.Sender.n_receivers rla);
+  let before = Rla.Sender.max_reach_all rla in
+  Net.Network.run_until net 60.0;
+  (* The re-joined receiver acknowledges from the join-time frontier,
+     so the acked-by-all window keeps advancing. *)
+  Alcotest.(check bool) "frontier advances with the rejoined member" true
+    (Rla.Sender.max_reach_all rla > before);
+  Alcotest.(check bool) "re-join while active rejected" false
+    (Rla.Sender.add_receiver rla victim)
+
+let test_pthresh_tracks_membership () =
+  (* With [All_receivers] counting, pthresh is exactly 1/n_active and
+     must follow every membership change. *)
+  let net, s, leaves = star_with_slow_branch () in
+  let params =
+    { Rla.Params.default with Rla.Params.trouble_counting = Rla.Params.All_receivers }
+  in
+  let rla = Rla.Sender.create ~net ~src:s ~receivers:leaves ~params () in
+  let probe = List.nth leaves 2 in
+  Net.Network.run_until net 5.0;
+  Alcotest.(check (float 1e-9)) "1/3 initially" (1.0 /. 3.0)
+    (Rla.Sender.pthresh_for rla probe);
+  ignore (Rla.Sender.drop_receiver rla (List.hd leaves));
+  Alcotest.(check (float 1e-9)) "1/2 after a leave" 0.5
+    (Rla.Sender.pthresh_for rla probe);
+  Alcotest.(check int) "num_trouble follows" 2 (Rla.Sender.num_trouble_rcvr rla);
+  Net.Network.run_until net 10.0;
+  ignore (Rla.Sender.add_receiver rla (List.hd leaves));
+  Alcotest.(check (float 1e-9)) "1/3 after the rejoin" (1.0 /. 3.0)
+    (Rla.Sender.pthresh_for rla probe);
+  ignore (Rla.Sender.drop_receiver rla (List.nth leaves 1));
+  ignore (Rla.Sender.drop_receiver rla (List.nth leaves 2));
+  Alcotest.(check (float 1e-9)) "1/1 at a single receiver" 1.0
+    (Rla.Sender.pthresh_for rla probe)
+
 let test_sender_deterministic_replay () =
   let run () =
     let net, s, leaves = star ~seed:33 ~branch_mu:120.0 () in
@@ -545,5 +633,15 @@ let () =
           Alcotest.test_case "guards" `Quick test_drop_receiver_guards;
           Alcotest.test_case "ignores dropped acks" `Quick
             test_drop_receiver_ignores_acks;
+          Alcotest.test_case "no rexmits to dropped" `Slow
+            test_dropped_receiver_gets_no_rexmits;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "add guards" `Quick test_add_receiver_guards;
+          Alcotest.test_case "join after drop" `Slow
+            test_join_after_drop_same_address;
+          Alcotest.test_case "pthresh tracks membership" `Quick
+            test_pthresh_tracks_membership;
         ] );
     ]
