@@ -1,15 +1,19 @@
 # Tier-1 verification is `make check`: full build, the test suites,
 # and a short 2-case smoke sweep of the parallel runner.
-# `make ci` is check plus a per-flow trace smoke (non-empty CSV from
-# an instrumented rla_trace run) and a churn smoke (a faulted run must
-# inject events and replay byte-identically across --jobs).
+# `make ci` is the determinism lint (rla_lint must exit 0 on lib/),
+# then check, then a per-flow trace smoke (non-empty CSV from an
+# instrumented rla_trace run), a churn smoke (a faulted run must
+# inject events and replay byte-identically across --jobs), and an
+# invariant smoke (a run under RLA_DEBUG_INVARIANTS=1 must stay
+# byte-identical to the uninstrumented run).
 
 SMOKE_JSON ?= /tmp/rla_sweep_smoke.json
 TRACE_CSV ?= /tmp/rla_trace_smoke.csv
 CHURN_DIR ?= /tmp/rla_churn_smoke
+INV_DIR ?= /tmp/rla_invariant_smoke
 
-.PHONY: all build test smoke trace-smoke churn-smoke check ci bench \
-  bench-churn clean
+.PHONY: all build test lint smoke trace-smoke churn-smoke \
+  invariant-smoke check ci bench bench-churn clean
 
 all: build
 
@@ -18,6 +22,10 @@ build:
 
 test:
 	dune runtest
+
+lint: build
+	dune exec bin/rla_lint.exe -- --list-rules > /dev/null
+	dune exec bin/rla_lint.exe -- lib
 
 smoke: build
 	dune exec bin/rla_sweep.exe -- --cases 1,2 --duration 120 --warmup 40 \
@@ -44,9 +52,21 @@ churn-smoke: build
 	@grep -q '"faults.injected":[1-9]' $(CHURN_DIR)/a.json \
 	  && echo "churn smoke OK (deterministic across --jobs, faults injected)"
 
+invariant-smoke: build
+	@mkdir -p $(INV_DIR)
+	dune exec bin/rla_trace.exe -- --scenario sharing --gateway droptail \
+	  --duration 40 --warmup 10 --seed 7 \
+	  --csv $(INV_DIR)/plain.csv --json $(INV_DIR)/plain.json
+	RLA_DEBUG_INVARIANTS=1 dune exec bin/rla_trace.exe -- \
+	  --scenario sharing --gateway droptail --duration 40 --warmup 10 \
+	  --seed 7 --csv $(INV_DIR)/dbg.csv --json $(INV_DIR)/dbg.json
+	@cmp $(INV_DIR)/plain.csv $(INV_DIR)/dbg.csv
+	@cmp $(INV_DIR)/plain.json $(INV_DIR)/dbg.json
+	@echo "invariant smoke OK (instrumented run byte-identical)"
+
 check: build test smoke
 
-ci: check trace-smoke churn-smoke
+ci: lint check trace-smoke churn-smoke invariant-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -450,7 +450,7 @@ let on_ack t r ~cum_ack ~blocks ~echo ~ece =
       (fun seq ->
         Hashtbl.remove t.pending seq;
         if seq >= t.mra then schedule_rexmit_decision t seq)
-      (List.sort compare pending_seqs)
+      (List.sort Int.compare pending_seqs)
   end;
   (* An ECN echo is a congestion indication exactly like a detected
      loss: grouped per congestion period, then randomly listened to. *)
@@ -498,7 +498,7 @@ let drop_receiver t addr =
                     then acc + 1
                     else acc)
                   0)
-        (List.sort compare seqs);
+        (List.sort Int.compare seqs);
       advance_frontier t;
       recount_troubled t;
       (* Retransmission decisions that were waiting on the victim may
@@ -510,7 +510,7 @@ let drop_receiver t addr =
         (fun seq ->
           Hashtbl.remove t.pending seq;
           if seq >= t.mra then schedule_rexmit_decision t seq)
-        (List.sort compare pending_seqs);
+        (List.sort Int.compare pending_seqs);
       try_send t;
       true
 

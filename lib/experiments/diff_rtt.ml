@@ -65,7 +65,7 @@ let run_with_net config =
   let rla_snap = Rla.Sender.snapshot rla in
   let snaps =
     List.sort
-      (fun a b -> compare a.Tcp.Sender.throughput b.Tcp.Sender.throughput)
+      (fun a b -> Float.compare a.Tcp.Sender.throughput b.Tcp.Sender.throughput)
       (List.map Tcp.Sender.snapshot tcps)
   in
   let wtcp, btcp =

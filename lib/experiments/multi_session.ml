@@ -61,7 +61,7 @@ let run_with_net config =
   let s2 = Rla.Sender.snapshot session2 in
   let snaps =
     List.sort
-      (fun a b -> compare a.Tcp.Sender.throughput b.Tcp.Sender.throughput)
+      (fun a b -> Float.compare a.Tcp.Sender.throughput b.Tcp.Sender.throughput)
       (List.map Tcp.Sender.snapshot tcps)
   in
   let wtcp, btcp =

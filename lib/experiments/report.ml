@@ -172,10 +172,13 @@ let print_ablation ppf ~title rows =
    arrows when shrinking along an axis, 'v' both shrink. *)
 let print_drift_field ppf field =
   Format.fprintf ppf "@.Figure 4 — drift field of two competing cwnds@.";
-  let xs = List.sort_uniq compare (List.map (fun p -> p.Analysis.Particle.x) field) in
+  let xs =
+    List.sort_uniq Float.compare (List.map (fun p -> p.Analysis.Particle.x) field)
+  in
   let ys =
     List.rev
-      (List.sort_uniq compare (List.map (fun p -> p.Analysis.Particle.y) field))
+      (List.sort_uniq Float.compare
+         (List.map (fun p -> p.Analysis.Particle.y) field))
   in
   List.iter
     (fun y ->

@@ -111,7 +111,8 @@ let measure ({ tree; rla; tcps; _ } : session) config =
   in
   let by_throughput =
     List.sort
-      (fun a b -> compare a.snap.Tcp.Sender.throughput b.snap.Tcp.Sender.throughput)
+      (fun a b ->
+        Float.compare a.snap.Tcp.Sender.throughput b.snap.Tcp.Sender.throughput)
       tcp_flows
   in
   let wtcp, btcp =

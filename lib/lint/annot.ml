@@ -1,0 +1,148 @@
+(* In-source suppression annotations.  The grammar is deliberately
+   rigid — a suppression that does not say which rule it silences and
+   why is itself a finding:
+
+     (* lint: allow <rule> -- <reason> *)        same + next line
+     (* lint: allow-file <rule> -- <reason> *)   whole file
+
+   Comments are located with a small scanner that understands string
+   literals, char literals and nested comments, because the parsetree
+   drops comments. *)
+
+type t = { line : int; rule : string; file_wide : bool; reason : string }
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let split_words s =
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_space c then flush () else Buffer.add_char buf c) s;
+  flush ();
+  List.rev !words
+
+(* Extract every top-level comment as (start_line, body). *)
+let comments src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let bump c = if c = '\n' then incr line in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '"' then begin
+      (* Skip a string literal. *)
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        (match src.[!i] with
+        | '\\' ->
+            if !i + 1 < n then bump src.[!i + 1];
+            incr i
+        | '"' -> closed := true
+        | ch -> bump ch);
+        incr i
+      done
+    end
+    else if
+      c = '\''
+      && !i + 2 < n
+      && (src.[!i + 2] = '\'' || (src.[!i + 1] = '\\' && !i + 3 < n))
+    then
+      (* A char literal ('x' or an escape like '\n', '\''); skipping it
+         keeps quotes inside from confusing the string scanner. *)
+      if src.[!i + 1] = '\\' then i := !i + 4 else i := !i + 3
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let start_line = !line in
+      let body = Buffer.create 64 in
+      let depth = ref 1 in
+      i := !i + 2;
+      while !depth > 0 && !i < n do
+        if !i + 1 < n && src.[!i] = '(' && src.[!i + 1] = '*' then begin
+          incr depth;
+          Buffer.add_string body "(*";
+          i := !i + 2
+        end
+        else if !i + 1 < n && src.[!i] = '*' && src.[!i + 1] = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string body "*)";
+          i := !i + 2
+        end
+        else begin
+          bump src.[!i];
+          Buffer.add_char body src.[!i];
+          incr i
+        end
+      done;
+      out := (start_line, Buffer.contents body) :: !out
+    end
+    else begin
+      bump c;
+      incr i
+    end
+  done;
+  List.rev !out
+
+let bad ~file ~line message =
+  Finding.make ~file ~line ~rule:"bad-annotation" ~severity:Finding.Error
+    message
+
+let parse_directive ~file ~line ~valid_rules body =
+  match split_words body with
+  | kw :: rest when String.equal kw "allow" || String.equal kw "allow-file"
+    -> (
+      let file_wide = String.equal kw "allow-file" in
+      match rest with
+      | [] -> Error (bad ~file ~line "missing rule name in lint annotation")
+      | rule :: tail -> (
+          if not (List.exists (String.equal rule) valid_rules) then
+            Error
+              (bad ~file ~line
+                 (Printf.sprintf "unknown rule %S in lint annotation" rule))
+          else
+            match tail with
+            | "--" :: reason_words when reason_words <> [] ->
+                Ok
+                  {
+                    line;
+                    rule;
+                    file_wide;
+                    reason = String.concat " " reason_words;
+                  }
+            | _ ->
+                Error
+                  (bad ~file ~line
+                     (Printf.sprintf
+                        "lint annotation for %S must carry a reason: \
+                         (* lint: allow %s -- <reason> *)"
+                        rule rule))))
+  | kw :: _ ->
+      Error
+        (bad ~file ~line
+           (Printf.sprintf
+              "unknown lint directive %S (expected allow or allow-file)" kw))
+  | [] -> Error (bad ~file ~line "empty lint annotation")
+
+let collect ~file ~valid_rules src =
+  List.fold_left
+    (fun (annots, findings) (line, body) ->
+      let trimmed = String.trim body in
+      if String.length trimmed >= 5 && String.sub trimmed 0 5 = "lint:" then
+        let rest = String.sub trimmed 5 (String.length trimmed - 5) in
+        match parse_directive ~file ~line ~valid_rules rest with
+        | Ok a -> (a :: annots, findings)
+        | Error f -> (annots, f :: findings)
+      else (annots, findings))
+    ([], []) (comments src)
+  |> fun (annots, findings) -> (List.rev annots, List.rev findings)
+
+let suppresses annot (finding : Finding.t) =
+  String.equal annot.rule finding.rule
+  && (annot.file_wide
+     || annot.line = finding.line
+     || annot.line = finding.line - 1)

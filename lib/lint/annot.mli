@@ -1,0 +1,23 @@
+(** In-source suppression annotations.
+
+    Grammar (inside an ordinary OCaml comment):
+    {v
+      (* lint: allow <rule> -- <reason> *)        suppresses <rule> on
+                                                  this line and the next
+      (* lint: allow-file <rule> -- <reason> *)   suppresses <rule> for
+                                                  the whole file
+    v}
+    The reason is mandatory; malformed annotations and unknown rule
+    names come back as [bad-annotation] findings. *)
+
+type t = { line : int; rule : string; file_wide : bool; reason : string }
+
+val collect :
+  file:string -> valid_rules:string list -> string -> t list * Finding.t list
+(** Scans raw source text (string/char literals and nested comments are
+    understood) and returns the well-formed annotations plus a
+    [bad-annotation] finding for each malformed one. *)
+
+val suppresses : t -> Finding.t -> bool
+(** Whether an annotation silences a finding: same rule, and file-wide
+    or located on the finding's line or the line above. *)

@@ -1,0 +1,5 @@
+(** Per-file parsetree checks: wall-clock, ambient-rng, poly-compare
+    and hashtbl-order.  Scope-agnostic — the driver filters findings by
+    each rule's directory scope afterwards. *)
+
+val check_impl : file:string -> Parsetree.structure -> Finding.t list

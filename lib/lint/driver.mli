@@ -1,0 +1,24 @@
+(** Linter orchestration: target expansion, rule scoping, suppression,
+    rendering.  This is the API both [bin/rla_lint] and the test suite
+    drive. *)
+
+val run : ?rules:string list -> paths:string list -> unit -> Finding.t list
+(** Lints every .ml/.mli under [paths] (files or directories).  With
+    [?rules], only those rules (plus {!Rules.always_on}) report.
+    Raises [Invalid_argument] for unknown rules or missing paths.
+    Findings come back sorted and deduplicated, already filtered by
+    per-rule directory scope and in-source suppressions. *)
+
+val parse_interface : string -> (Parsetree.signature, string) result
+(** Parses an .mli with compiler-libs; exposed for {!Project_check}. *)
+
+val render_text : Finding.t list -> string
+(** One [file:line rule message] line per finding. *)
+
+val to_json : Finding.t list -> Json.t
+
+val of_json : Json.t -> (Finding.t list, string) result
+(** Inverse of {!to_json} (the round-trip the tests lock in). *)
+
+val exit_code : ?strict:bool -> Finding.t list -> int
+(** 1 if any error finding (or, with [strict], any warning), else 0. *)

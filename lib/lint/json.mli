@@ -1,0 +1,19 @@
+(** Minimal JSON values for [rla_lint --json]: an emitter plus a parser
+    for exactly the emitted subset, so reports round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parses a complete JSON document; [Error] carries a short reason. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up [key]; [None] on other values. *)

@@ -1,0 +1,98 @@
+(* The rule registry.  Scopes name `lib/` sub-directories: a rule with
+   [Dirs l] only applies to files under `lib/<d>` for `d` in [l];
+   files outside any `lib` component (e.g. test fixtures passed
+   explicitly) are checked against every rule, so fixtures can exercise
+   each rule without replicating the repo layout. *)
+
+type scope = All | Dirs of string list
+
+type t = {
+  name : string;
+  summary : string;
+  scope : scope;
+  severity : Finding.severity;
+}
+
+let all =
+  [
+    {
+      name = "wall-clock";
+      summary =
+        "ambient wall-clock reads (Unix.gettimeofday/Unix.time/Sys.time) \
+         are forbidden; simulation time must come from Sim.Scheduler.now";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "ambient-rng";
+      summary =
+        "global Random.* (incl. Random.self_init) is forbidden; draw from \
+         the seeded, splittable Sim.Rng instead";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "poly-compare";
+      summary =
+        "polymorphic compare/hash on floats or records in hot-path \
+         libraries; use explicit comparators (Float.compare, Int.compare)";
+      scope = Dirs [ "sim"; "net"; "core"; "tcp"; "stats" ];
+      severity = Finding.Error;
+    };
+    {
+      name = "hashtbl-order";
+      summary =
+        "unordered Hashtbl iteration on an exporter-feeding path; sort the \
+         keys first or keep an insertion-order side list";
+      scope = Dirs [ "obs"; "runner"; "experiments" ];
+      severity = Finding.Error;
+    };
+    {
+      name = "mli-required";
+      summary = "every .ml under lib/ must have a matching .mli";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "unused-export";
+      summary =
+        "value exported in an .mli but never referenced outside its \
+         library (advisory)";
+      scope = All;
+      severity = Finding.Warning;
+    };
+    {
+      name = "bad-annotation";
+      summary =
+        "malformed lint annotation; the grammar is \
+         (* lint: allow[-file] <rule> -- <reason> *)";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "parse-error";
+      summary = "source file does not parse; the linter cannot vouch for it";
+      scope = All;
+      severity = Finding.Error;
+    };
+  ]
+
+let find name = List.find_opt (fun r -> String.equal r.name name) all
+
+let names = List.map (fun r -> r.name) all
+
+(* [bad-annotation] and [parse-error] are infrastructure: they stay on
+   even under --rules, otherwise a typo'd suppression would silently
+   disable the rule it claims to suppress. *)
+let always_on = [ "bad-annotation"; "parse-error" ]
+
+let severity_of name =
+  match find name with Some r -> r.severity | None -> Finding.Error
+
+let in_scope rule ~lib_subdir =
+  match rule.scope with
+  | All -> true
+  | Dirs dirs -> (
+      match lib_subdir with
+      | None -> true
+      | Some d -> List.exists (String.equal d) dirs)

@@ -1,0 +1,28 @@
+(** The determinism-rule registry: names, summaries, scopes and default
+    severities for every check the linter knows. *)
+
+type scope = All | Dirs of string list
+
+type t = {
+  name : string;
+  summary : string;
+  scope : scope;
+  severity : Finding.severity;
+}
+
+val all : t list
+
+val find : string -> t option
+
+val names : string list
+
+val always_on : string list
+(** Rules that stay enabled even under [--rules]: [bad-annotation] and
+    [parse-error], the linter's own integrity checks. *)
+
+val severity_of : string -> Finding.severity
+(** Default severity for a rule name; [Error] for unknown names. *)
+
+val in_scope : t -> lib_subdir:string option -> bool
+(** Whether a rule applies to a file living under [lib/<subdir>]
+    ([None] = outside lib/, where every rule applies). *)

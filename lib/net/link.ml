@@ -159,6 +159,14 @@ let propagate t pkt =
       (Sim.Scheduler.now t.sched +. t.config.prop_delay +. jitter)
       t.last_delivery
   in
+  if !Sim.Invariant.enabled then
+    Sim.Invariant.require
+      (at >= t.last_delivery && at >= Sim.Scheduler.now t.sched)
+      (fun () ->
+        Printf.sprintf
+          "Link %s: delivery at %g would overtake last delivery %g (now %g)"
+          t.id at t.last_delivery
+          (Sim.Scheduler.now t.sched));
   t.last_delivery <- at;
   ignore (Sim.Scheduler.schedule_at t.sched at (fun () -> t.deliver pkt))
 
@@ -183,6 +191,15 @@ let rec start_transmission t =
                | Some taps -> Obs.Registry.incr taps.delivered_c);
                propagate t pkt;
                start_transmission t))
+
+let check_occupancy t =
+  if !Sim.Invariant.enabled then
+    Sim.Invariant.require
+      (Queue.length t.buffer <= Queue_disc.capacity t.disc)
+      (fun () ->
+        Printf.sprintf "Link %s: occupancy %d exceeds capacity %d" t.id
+          (Queue.length t.buffer)
+          (Queue_disc.capacity t.disc))
 
 let send t pkt =
   t.offered <- t.offered + 1;
@@ -222,10 +239,12 @@ let send t pkt =
       end
     | `Admit ->
         Queue.add pkt t.buffer;
+        check_occupancy t;
         if not t.busy then start_transmission t
     | `Mark ->
         t.marked <- t.marked + 1;
         Queue.add { pkt with Packet.ecn = true } t.buffer;
+        check_occupancy t;
         if not t.busy then start_transmission t
   end
 

@@ -27,6 +27,12 @@ let set_registry t reg ~id =
 let capacity t = t.capacity
 
 let on_arrival t ~now ~qlen =
+  if !Sim.Invariant.enabled then
+    Sim.Invariant.require
+      (qlen >= 0 && qlen <= t.capacity)
+      (fun () ->
+        Printf.sprintf
+          "Queue_disc.on_arrival: occupancy %d outside [0, %d]" qlen t.capacity);
   if qlen >= t.capacity then `Drop
   else
     match t.state with

@@ -86,6 +86,12 @@ let record_mark t =
 
 let decide t ~now ~qlen =
   update_avg t ~now ~qlen;
+  if !Sim.Invariant.enabled then
+    Sim.Invariant.require
+      (Float.is_finite t.avg && t.avg >= 0.0)
+      (fun () ->
+        Printf.sprintf "Red.decide: average queue %g is not a sane occupancy"
+          t.avg);
   (match t.taps with
   | None -> ()
   | Some taps -> Obs.Series.add taps.avg_s ~time:now t.avg);

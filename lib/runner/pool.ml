@@ -1,3 +1,5 @@
+(* lint: allow-file wall-clock -- wall_s is a perf measurement of the host,
+   never simulation state; it feeds only the clearly-labelled bench metrics *)
 exception Job_failed of string * exn
 
 type 'a outcome = { label : string; value : 'a; metrics : Metrics.t }

@@ -18,7 +18,10 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let lt a b =
+  match Float.compare a.prio b.prio with
+  | 0 -> Int.compare a.seq b.seq < 0
+  | c -> c < 0
 
 let grow t entry =
   let cap = Array.length t.data in
@@ -79,6 +82,15 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
+    (* Stable-order backstop: everything still in the heap was >= the
+       popped root (in (prio, seq) order), so the new root must be too. *)
+    if !Invariant.enabled && t.size > 0 then
+      Invariant.require
+        (not (lt t.data.(0) e))
+        (fun () ->
+          Printf.sprintf
+            "Heap.pop: successor (%g, #%d) precedes popped entry (%g, #%d)"
+            t.data.(0).prio t.data.(0).seq e.prio e.seq);
     Some (e.prio, e.value)
   end
 

@@ -1,0 +1,43 @@
+(* Debug-gated runtime invariants — the dynamic backstop to the static
+   determinism linter (lib/lint).  The linter can prove "no ambient
+   entropy reached this file"; it cannot prove "the heap popped in
+   stable order on this run".  These checks can, and because probing is
+   passive (no events scheduled, no RNG drawn, no output emitted), an
+   instrumented run stays byte-identical to an uninstrumented one.
+
+   Gate: the RLA_DEBUG_INVARIANTS environment variable at startup
+   (1/true/yes/on), or [set_enabled] from tests.  Disabled, the cost at
+   every check site is a single ref read. *)
+
+exception Violation of string
+
+let env_enabled =
+  match Sys.getenv_opt "RLA_DEBUG_INVARIANTS" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let enabled = ref env_enabled
+
+let set_enabled b = enabled := b
+
+let checks = ref 0
+
+let failures = ref 0
+
+let checks_run () = !checks
+
+let failures_seen () = !failures
+
+let reset_counters () =
+  checks := 0;
+  failures := 0
+
+(* [msg] is a thunk so the failure string is only built when the check
+   actually fails; call sites guard on [!enabled] themselves to keep
+   the disabled cost to one ref read. *)
+let require cond msg =
+  incr checks;
+  if not cond then begin
+    incr failures;
+    raise (Violation (msg ()))
+  end

@@ -76,6 +76,11 @@ let step t horizon =
       | Some (time, ev) ->
           if Hashtbl.mem t.pending_ids ev.id then begin
             Hashtbl.remove t.pending_ids ev.id;
+            if !Invariant.enabled then
+              Invariant.require (time >= t.clock) (fun () ->
+                  Printf.sprintf
+                    "Scheduler.step: event %d fires at %g, before the clock %g"
+                    ev.id time t.clock);
             t.clock <- time;
             t.fired <- t.fired + 1;
             (match t.taps with

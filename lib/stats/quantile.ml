@@ -22,7 +22,7 @@ let count t = t.size
 let ensure_sorted t =
   if not t.sorted then begin
     let live = Array.sub t.data 0 t.size in
-    Array.sort compare live;
+    Array.sort Float.compare live;
     Array.blit live 0 t.data 0 t.size;
     t.sorted <- true
   end

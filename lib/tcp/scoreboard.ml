@@ -201,7 +201,7 @@ let expire_rexmits t ~before =
       e.rexmitted <- false;
       t.rexmit_out <- t.rexmit_out - 1)
     !stale;
-  List.sort compare (List.map fst !stale)
+  List.sort Int.compare (List.map fst !stale)
 
 let in_flight_window t = t.next_seq - t.high_ack
 

@@ -1,0 +1,7 @@
+(* Fixture: ambient-rng must flag the global Random API but not the
+   explicit-state one. *)
+let () = Random.self_init ()
+
+let roll () = Random.int 6
+
+let ok_state st = Random.State.int st 6

@@ -1,0 +1,6 @@
+(* Fixture: determinism-clean code — no findings expected. *)
+let compare_floats = Float.compare
+
+let total xs = List.fold_left ( + ) 0 xs
+
+let sorted xs = List.sort Int.compare xs

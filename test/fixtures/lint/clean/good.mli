@@ -1,0 +1,5 @@
+val compare_floats : float -> float -> int
+
+val total : int list -> int
+
+val sorted : int list -> int list

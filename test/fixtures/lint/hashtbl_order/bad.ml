@@ -1,0 +1,6 @@
+(* Fixture: unordered Hashtbl traversal. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let ok tbl = Hashtbl.length tbl

@@ -1,0 +1,2 @@
+(* Fixture: an implementation with no interface. *)
+let answer = 42

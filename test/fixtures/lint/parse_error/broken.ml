@@ -1,0 +1,2 @@
+(* Fixture: does not parse. *)
+let let let = in in

@@ -1,0 +1,12 @@
+(* Fixture: every syntactic face of polymorphic comparison. *)
+type e = { prio : float; seq : int }
+
+let lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let sort xs = List.sort compare xs
+
+let hash x = Hashtbl.hash x
+
+let is_zero x = x = 0.0
+
+let fine a b = Float.compare a b < 0

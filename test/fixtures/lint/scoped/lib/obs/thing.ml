@@ -1,0 +1,5 @@
+(* Fixture: directory scoping.  Under lib/obs the hashtbl-order rule
+   applies but poly-compare does not. *)
+let sort xs = List.sort compare xs
+
+let dump tbl = Hashtbl.iter (fun _ v -> print_int v) tbl

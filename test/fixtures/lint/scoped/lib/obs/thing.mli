@@ -1,0 +1,3 @@
+val sort : int list -> int list
+
+val dump : (string, int) Hashtbl.t -> unit

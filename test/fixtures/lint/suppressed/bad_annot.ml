@@ -1,0 +1,11 @@
+(* Fixture: malformed annotations are findings themselves, and a
+   malformed annotation suppresses nothing. *)
+
+(* lint: allow wall-clock *)
+let now () = Unix.gettimeofday ()
+
+(* lint: allow no-such-rule -- a reason for an unknown rule *)
+let x = 1
+
+(* lint: forbid wall-clock -- unknown directive *)
+let y = 2

@@ -1,0 +1,18 @@
+(* Fixture: the same violations as the bad fixtures, every one waived
+   by a well-formed annotation — the linter must report nothing. *)
+
+(* lint: allow-file mli-required -- fixture: suppression reaches project-level findings too *)
+
+(* lint: allow wall-clock -- fixture: vetted measurement sink *)
+let now () = Unix.gettimeofday ()
+
+let roll () =
+  (* lint: allow ambient-rng -- fixture: vetted entropy sink *)
+  Random.int 6
+
+(* lint: allow-file poly-compare -- fixture: whole-file waiver *)
+let sort xs = List.sort compare xs
+
+let is_zero x = x = 0.0
+
+let sum tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 (* lint: allow hashtbl-order -- fixture: order-independent sum *)

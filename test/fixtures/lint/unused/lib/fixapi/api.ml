@@ -1,0 +1,3 @@
+let used = 1
+
+let unused = 2

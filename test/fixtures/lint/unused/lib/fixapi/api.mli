@@ -1,0 +1,3 @@
+val used : int
+
+val unused : int

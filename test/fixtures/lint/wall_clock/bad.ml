@@ -1,0 +1,4 @@
+(* Fixture: the wall-clock rule must flag both reads. *)
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

@@ -146,6 +146,44 @@ let test_seed_changes_run () =
     (r1.Experiments.Sharing.rla.Rla.Sender.congestion_signals
     <> r2.Experiments.Sharing.rla.Rla.Sender.congestion_signals)
 
+let test_invariants_do_not_perturb_run () =
+  (* The runtime invariant checks are passive: an instrumented run must
+     be byte-identical to an uninstrumented one, and a healthy run must
+     trip zero of them. *)
+  let render () =
+    let registry = Obs.Registry.create () in
+    let r =
+      Experiments.Sharing.run ~registry
+        {
+          (Experiments.Sharing.default_config
+             ~gateway:Experiments.Scenario.Droptail ~case:Experiments.Tree.L4_all)
+          with
+          Experiments.Sharing.duration = 40.0;
+          warmup = 10.0;
+          seed = 7;
+        }
+    in
+    ( Runner.Json.to_string (Runner.Report.registry_json registry),
+      r.Experiments.Sharing.rla.Rla.Sender.congestion_signals )
+  in
+  let was_enabled = !Sim.Invariant.enabled in
+  Fun.protect
+    ~finally:(fun () -> Sim.Invariant.set_enabled was_enabled)
+    (fun () ->
+      Sim.Invariant.set_enabled false;
+      let plain_json, plain_signals = render () in
+      Sim.Invariant.set_enabled true;
+      Sim.Invariant.reset_counters ();
+      let checked_json, checked_signals = render () in
+      Alcotest.(check bool) "invariant checks exercised" true
+        (Sim.Invariant.checks_run () > 0);
+      Alcotest.(check int) "no invariant failures" 0
+        (Sim.Invariant.failures_seen ());
+      Alcotest.(check int) "same congestion signals" plain_signals
+        checked_signals;
+      Alcotest.(check string) "byte-identical exported metrics" plain_json
+        checked_json)
+
 let test_generalized_rla_helps_diff_rtt () =
   (* Without RTT scaling the nearby receivers' signals cut the window
      as often as the distant ones'; the generalized variant should give
@@ -281,5 +319,7 @@ let () =
         [
           Alcotest.test_case "replay" `Slow test_sharing_deterministic;
           Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_run;
+          Alcotest.test_case "invariants passive" `Slow
+            test_invariants_do_not_perturb_run;
         ] );
     ]

@@ -1,0 +1,220 @@
+(* Determinism-linter tests: every rule firing on a fixture, every
+   suppression honoured, the JSON report round-tripping, and — the
+   point of the whole exercise — the repo's own lib/ tree coming back
+   clean. *)
+
+let fx sub = Filename.concat (Filename.concat "fixtures" "lint") sub
+
+let run ?rules paths = Lint.Driver.run ?rules ~paths ()
+
+let count rule findings =
+  List.length (List.filter (fun (f : Lint.Finding.t) -> f.rule = rule) findings)
+
+let errors findings =
+  List.filter (fun (f : Lint.Finding.t) -> f.severity = Lint.Finding.Error) findings
+
+let check_count findings ~rule n =
+  Alcotest.(check int) (rule ^ " count") n (count rule findings)
+
+(* --- one fixture per rule ------------------------------------------ *)
+
+let test_wall_clock () =
+  let fs = run [ fx "wall_clock" ] in
+  check_count fs ~rule:"wall-clock" 2;
+  check_count fs ~rule:"mli-required" 1;
+  check_count fs ~rule:"ambient-rng" 0;
+  let lines =
+    List.filter_map
+      (fun (f : Lint.Finding.t) ->
+        if f.rule = "wall-clock" then Some f.line else None)
+      fs
+  in
+  Alcotest.(check (list int)) "wall-clock lines" [ 2; 4 ] lines
+
+let test_ambient_rng () =
+  let fs = run [ fx "ambient_rng" ] in
+  (* Random.self_init and Random.int fire; Random.State.int does not. *)
+  check_count fs ~rule:"ambient-rng" 2;
+  check_count fs ~rule:"mli-required" 1
+
+let test_poly_compare () =
+  let fs = run [ fx "poly_compare" ] in
+  (* Three same-field comparisons on one line, plus [compare],
+     [Hashtbl.hash] and a float-literal equality; [Float.compare] is
+     fine. *)
+  check_count fs ~rule:"poly-compare" 6;
+  check_count fs ~rule:"mli-required" 1
+
+let test_hashtbl_order () =
+  let fs = run [ fx "hashtbl_order" ] in
+  (* iter and fold fire; Hashtbl.length does not. *)
+  check_count fs ~rule:"hashtbl-order" 2;
+  check_count fs ~rule:"mli-required" 1
+
+let test_mli_required () =
+  let fs = run [ fx "mli_missing" ] in
+  check_count fs ~rule:"mli-required" 1;
+  Alcotest.(check int) "only that finding" 1 (List.length fs)
+
+let test_parse_error () =
+  let fs = run [ fx "parse_error" ] in
+  check_count fs ~rule:"parse-error" 1;
+  (* A file that does not parse still gets project-level checks. *)
+  check_count fs ~rule:"mli-required" 1
+
+let test_unused_export () =
+  let fs = run [ fx (Filename.concat "unused" "lib") ] in
+  (* Api.used is referenced from the sibling bin/; Api.unused is not. *)
+  check_count fs ~rule:"unused-export" 1;
+  (match List.find_opt (fun (f : Lint.Finding.t) -> f.rule = "unused-export") fs with
+  | Some f ->
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the unused value" true
+        (has_sub f.message "unused")
+  | None -> Alcotest.fail "expected an unused-export finding");
+  Alcotest.(check int) "warnings do not fail the build" 0
+    (Lint.Driver.exit_code fs);
+  Alcotest.(check int) "strict mode promotes warnings" 1
+    (Lint.Driver.exit_code ~strict:true fs)
+
+(* --- suppression and annotation integrity -------------------------- *)
+
+let test_suppressions_honoured () =
+  let fs = run [ fx "suppressed"; fx "clean" ] |> errors in
+  Alcotest.(check int) "bad-annotation errors" 3 (count "bad-annotation" fs);
+  (* The malformed annotation suppresses nothing, so the wall-clock
+     violation underneath it still fires. *)
+  Alcotest.(check int) "wall-clock still fires" 1 (count "wall-clock" fs);
+  (* Every error must come from bad_annot.ml: ok.ml is fully waived and
+     clean/ is clean. *)
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Alcotest.(check string) "error source" "bad_annot.ml"
+        (Filename.basename f.file))
+    fs
+
+let test_clean_fixture () =
+  Alcotest.(check int) "clean fixture has no findings" 0
+    (List.length (run [ fx "clean" ]))
+
+(* --- scoping and rule selection ------------------------------------ *)
+
+let test_scope_lib_obs () =
+  let fs = run [ fx (Filename.concat "scoped" "lib") ] in
+  (* Under lib/obs the hashtbl-order rule applies but poly-compare is
+     out of scope, so [List.sort compare] passes unflagged. *)
+  check_count fs ~rule:"hashtbl-order" 1;
+  check_count fs ~rule:"poly-compare" 0
+
+let test_rules_filter () =
+  let fs = run ~rules:[ "wall-clock" ] [ fx "wall_clock" ] in
+  check_count fs ~rule:"wall-clock" 2;
+  Alcotest.(check int) "other rules filtered out" 2 (List.length fs)
+
+let test_unknown_rule_rejected () =
+  match run ~rules:[ "no-such-rule" ] [ fx "clean" ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the bad rule" true
+        (has_sub msg "no-such-rule")
+
+let test_missing_path_rejected () =
+  match run [ fx "does_not_exist" ] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* --- report formats ------------------------------------------------ *)
+
+let test_json_round_trip () =
+  let fs = run [ fx "poly_compare"; fx "wall_clock" ] in
+  Alcotest.(check bool) "fixture produced findings" true (fs <> []);
+  let json = Lint.Driver.to_json fs in
+  match Lint.Json.of_string (Lint.Json.to_string json) with
+  | Error e -> Alcotest.fail ("json reparse failed: " ^ e)
+  | Ok reparsed -> (
+      match Lint.Driver.of_json reparsed with
+      | Error e -> Alcotest.fail ("findings decode failed: " ^ e)
+      | Ok fs' ->
+          Alcotest.(check int) "same cardinality" (List.length fs)
+            (List.length fs');
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool)
+                (Lint.Finding.to_string a)
+                true
+                (Lint.Finding.equal a b))
+            fs fs')
+
+let test_text_rendering () =
+  let fs = run [ fx "mli_missing" ] in
+  let text = Lint.Driver.render_text fs in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      let line = Lint.Finding.to_string f in
+      let has_sub s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("render contains " ^ line) true (has_sub text line))
+    fs
+
+(* --- the tree itself ----------------------------------------------- *)
+
+let test_lib_is_clean () =
+  (* dune copies the library sources into the build tree, so the
+     linter can check the very sources this binary was built from.
+     Skip (pass) when the copy is absent, e.g. under sandboxed runs. *)
+  let lib = Filename.concat ".." "lib" in
+  if Sys.file_exists lib && Sys.is_directory lib then
+    match errors (run [ lib ]) with
+    | [] -> ()
+    | errs ->
+        Alcotest.fail
+          (Printf.sprintf "lib/ has %d determinism errors:\n%s"
+             (List.length errs)
+             (Lint.Driver.render_text errs))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "wall-clock" `Quick test_wall_clock;
+          Alcotest.test_case "ambient-rng" `Quick test_ambient_rng;
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "hashtbl-order" `Quick test_hashtbl_order;
+          Alcotest.test_case "mli-required" `Quick test_mli_required;
+          Alcotest.test_case "parse-error" `Quick test_parse_error;
+          Alcotest.test_case "unused-export" `Quick test_unused_export;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "annotations honoured" `Quick
+            test_suppressions_honoured;
+          Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "lib/obs scope" `Quick test_scope_lib_obs;
+          Alcotest.test_case "--rules filter" `Quick test_rules_filter;
+          Alcotest.test_case "unknown rule" `Quick test_unknown_rule_rejected;
+          Alcotest.test_case "missing path" `Quick test_missing_path_rejected;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "text rendering" `Quick test_text_rendering;
+        ] );
+      ( "self-check",
+        [ Alcotest.test_case "lib/ clean" `Quick test_lib_is_clean ] );
+    ]

@@ -462,6 +462,36 @@ let prop_sched_cancel_survivors =
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let test_invariant_counters () =
+  Sim.Invariant.reset_counters ();
+  Sim.Invariant.require true (fun () -> "fine");
+  Alcotest.(check int) "checks counted" 1 (Sim.Invariant.checks_run ());
+  Alcotest.(check int) "no failures" 0 (Sim.Invariant.failures_seen ());
+  (match Sim.Invariant.require false (fun () -> "boom") with
+  | () -> Alcotest.fail "expected Violation"
+  | exception Sim.Invariant.Violation msg ->
+      Alcotest.(check string) "message" "boom" msg);
+  Alcotest.(check int) "failure counted" 1 (Sim.Invariant.failures_seen ());
+  Sim.Invariant.reset_counters ();
+  Alcotest.(check int) "counters reset" 0 (Sim.Invariant.checks_run ())
+
+let test_invariant_scheduler_clean () =
+  (* A checked scheduler run over interleaved events trips nothing. *)
+  let was = !Sim.Invariant.enabled in
+  Fun.protect
+    ~finally:(fun () -> Sim.Invariant.set_enabled was)
+    (fun () ->
+      Sim.Invariant.set_enabled true;
+      Sim.Invariant.reset_counters ();
+      let s = Sim.Scheduler.create () in
+      for i = 0 to 99 do
+        let at = float_of_int ((i * 7919) mod 100) /. 10.0 in
+        ignore (Sim.Scheduler.schedule_at s at (fun () -> ()))
+      done;
+      Sim.Scheduler.run_until_empty s ~max_events:1000;
+      Alcotest.(check bool) "checks ran" true (Sim.Invariant.checks_run () > 0);
+      Alcotest.(check int) "no violations" 0 (Sim.Invariant.failures_seen ()))
+
 let test_trace_disabled_by_default () =
   let t = Sim.Trace.create () in
   Alcotest.(check bool) "disabled" false (Sim.Trace.enabled t);
@@ -545,6 +575,12 @@ let () =
           Alcotest.test_case "run_until_empty bounded" `Quick
             test_sched_run_until_empty_bounded;
           QCheck_alcotest.to_alcotest prop_sched_cancel_survivors;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "counters" `Quick test_invariant_counters;
+          Alcotest.test_case "scheduler clean" `Quick
+            test_invariant_scheduler_clean;
         ] );
       ( "trace",
         [
