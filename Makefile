@@ -5,15 +5,18 @@
 # instrumented rla_trace run), a churn smoke (a faulted run must
 # inject events and replay byte-identically across --jobs), and an
 # invariant smoke (a run under RLA_DEBUG_INVARIANTS=1 must stay
-# byte-identical to the uninstrumented run).
+# byte-identical to the uninstrumented run), and a checkpoint smoke
+# (checkpointed and restored runs must reproduce the uninterrupted
+# trace CSV and registry JSON byte-for-byte).
 
 SMOKE_JSON ?= /tmp/rla_sweep_smoke.json
 TRACE_CSV ?= /tmp/rla_trace_smoke.csv
 CHURN_DIR ?= /tmp/rla_churn_smoke
 INV_DIR ?= /tmp/rla_invariant_smoke
+CKPT_DIR ?= /tmp/rla_ckpt_smoke
 
 .PHONY: all build test lint smoke trace-smoke churn-smoke \
-  invariant-smoke check ci bench bench-churn clean
+  invariant-smoke ckpt-smoke check ci bench bench-churn bench-perf clean
 
 all: build
 
@@ -64,9 +67,32 @@ invariant-smoke: build
 	@cmp $(INV_DIR)/plain.json $(INV_DIR)/dbg.json
 	@echo "invariant smoke OK (instrumented run byte-identical)"
 
+# Checkpoint/restore byte-identity: an uninterrupted run, a run that
+# writes checkpoints every 10 s, and a run restored from the mid-run
+# checkpoint must all dump identical trace CSV and registry JSON.
+ckpt-smoke: build
+	@rm -rf $(CKPT_DIR) && mkdir -p $(CKPT_DIR)
+	dune exec bin/rla_trace.exe -- --scenario sharing --gateway droptail \
+	  --case 3 --duration 40 --warmup 10 --seed 7 \
+	  --csv $(CKPT_DIR)/plain.csv --json $(CKPT_DIR)/plain.json
+	dune exec bin/rla_trace.exe -- --scenario sharing --gateway droptail \
+	  --case 3 --duration 40 --warmup 10 --seed 7 \
+	  --checkpoint-every 10 --checkpoint-dir $(CKPT_DIR)/ckpts \
+	  --csv $(CKPT_DIR)/ckpt.csv --json $(CKPT_DIR)/ckpt.json
+	@cmp $(CKPT_DIR)/plain.csv $(CKPT_DIR)/ckpt.csv
+	@cmp $(CKPT_DIR)/plain.json $(CKPT_DIR)/ckpt.json
+	dune exec bin/rla_ckpt.exe -- validate \
+	  $(CKPT_DIR)/ckpts/case3_seed7_t000020.000.ckpt
+	dune exec bin/rla_trace.exe -- \
+	  --restore $(CKPT_DIR)/ckpts/case3_seed7_t000020.000.ckpt \
+	  --csv $(CKPT_DIR)/restored.csv --json $(CKPT_DIR)/restored.json
+	@cmp $(CKPT_DIR)/plain.csv $(CKPT_DIR)/restored.csv
+	@cmp $(CKPT_DIR)/plain.json $(CKPT_DIR)/restored.json
+	@echo "ckpt smoke OK (checkpointed and restored runs byte-identical)"
+
 check: build test smoke
 
-ci: lint check trace-smoke churn-smoke invariant-smoke
+ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -74,6 +100,9 @@ bench:
 bench-churn: build
 	dune exec bin/rla_sweep.exe -- --churn --cases 1,3 --seeds 2 \
 	  --duration 120 --warmup 40 --jobs 2 --json BENCH_churn.json
+
+bench-perf: build
+	dune exec bench/perf.exe -- BENCH_perf.json
 
 clean:
 	dune clean

@@ -8,29 +8,55 @@
 
 let ppf = Format.std_formatter
 
-let sharing_cases ~gateway ~duration ~seed =
+(* [ckpt] is [Some (every, dir)] when --checkpoint-every/--checkpoint-dir
+   were given: the sharing-based figures (7/8/9) then run through the
+   checkpointing driver, writing [dir]/fig_case<i>_seed<s>_t<time>.ckpt
+   at every boundary.  Checkpointing is passive, so the printed tables
+   are identical either way. *)
+let sharing_cases ?ckpt ~gateway ~duration ~seed () =
   List.map
     (fun i ->
-      Experiments.Sharing.run_case ~gateway ~case_index:i ~duration ~seed ())
+      match ckpt with
+      | None ->
+          Experiments.Sharing.run_case ~gateway ~case_index:i ~duration ~seed
+            ()
+      | Some (every, dir) ->
+          let config =
+            {
+              (Experiments.Sharing.default_config ~gateway
+                 ~case:(Experiments.Tree.case_of_index i))
+              with
+              Experiments.Sharing.duration;
+              seed;
+            }
+          in
+          let prefix =
+            Printf.sprintf "%s_case%d_seed%d"
+              (Experiments.Scenario.gateway_name gateway)
+              i seed
+          in
+          Ckpt.Sharing_ckpt.run_with_checkpoints ~every ~dir ~prefix config)
     [ 1; 2; 3; 4; 5 ]
 
-let run_fig7 ~duration ~seed =
+let run_fig7 ?ckpt ~duration ~seed () =
   let results =
-    sharing_cases ~gateway:Experiments.Scenario.Droptail ~duration ~seed
+    sharing_cases ?ckpt ~gateway:Experiments.Scenario.Droptail ~duration ~seed
+      ()
   in
   Experiments.Report.print_sharing_table ppf
     ~title:"Figure 7 — RLA vs TCP, drop-tail gateways" results;
   results
 
-let run_fig8 ~duration ~seed =
+let run_fig8 ?ckpt ~duration ~seed () =
   let results =
-    sharing_cases ~gateway:Experiments.Scenario.Droptail ~duration ~seed
+    sharing_cases ?ckpt ~gateway:Experiments.Scenario.Droptail ~duration ~seed
+      ()
   in
   Experiments.Report.print_signal_table ppf results
 
-let run_fig9 ~duration ~seed =
+let run_fig9 ?ckpt ~duration ~seed () =
   let results =
-    sharing_cases ~gateway:Experiments.Scenario.Red ~duration ~seed
+    sharing_cases ?ckpt ~gateway:Experiments.Scenario.Red ~duration ~seed ()
   in
   Experiments.Report.print_sharing_table ppf
     ~title:"Figure 9 — RLA vs TCP, RED gateways" results
@@ -202,13 +228,13 @@ let experiments =
     ("all", `All);
   ]
 
-let dispatch which ~duration ~seed ~steps =
+let dispatch which ~duration ~seed ~steps ~ckpt =
   match which with
   | `Fig4 -> run_fig4 ()
   | `Fig5 -> run_fig5 ~seed ~steps
-  | `Fig7 -> ignore (run_fig7 ~duration ~seed)
-  | `Fig8 -> run_fig8 ~duration ~seed
-  | `Fig9 -> run_fig9 ~duration ~seed
+  | `Fig7 -> ignore (run_fig7 ?ckpt ~duration ~seed ())
+  | `Fig8 -> run_fig8 ?ckpt ~duration ~seed ()
+  | `Fig9 -> run_fig9 ?ckpt ~duration ~seed ()
   | `Fig10 -> run_fig10 ~duration ~seed
   | `Sec52 -> run_sec52 ~duration ~seed
   | `Sec31 -> run_sec31 ~duration ~seed
@@ -223,9 +249,9 @@ let dispatch which ~duration ~seed ~steps =
   | `All ->
       run_fig4 ();
       run_fig5 ~seed ~steps;
-      let dt = run_fig7 ~duration ~seed in
+      let dt = run_fig7 ?ckpt ~duration ~seed () in
       Experiments.Report.print_signal_table ppf dt;
-      run_fig9 ~duration ~seed;
+      run_fig9 ?ckpt ~duration ~seed ();
       run_fig10 ~duration ~seed;
       run_sec52 ~duration ~seed;
       run_sec31 ~duration ~seed;
@@ -240,12 +266,12 @@ open Cmdliner
 
 let which_arg =
   let doc =
-    "Experiment to run: " ^ String.concat ", " (List.map fst experiments)
+    "Experiment to run: "
+    ^ String.concat ", " (List.map fst experiments)
+    ^ ". Optional when --restore is given."
   in
   Arg.(
-    required
-    & pos 0 (some (enum experiments)) None
-    & info [] ~docv:"EXPERIMENT" ~doc)
+    value & pos 0 (some (enum experiments)) None & info [] ~docv:"EXPERIMENT" ~doc)
 
 let duration_arg =
   let doc = "Simulated seconds per run (the paper uses 3000)." in
@@ -259,6 +285,81 @@ let steps_arg =
   let doc = "Steps for the Monte-Carlo models (fig5, prop)." in
   Arg.(value & opt int 200_000 & info [ "steps" ] ~docv:"STEPS" ~doc)
 
+let ckpt_every_arg =
+  let doc =
+    "Write a checkpoint every $(docv) simulated seconds (sharing-based \
+     experiments: fig7, fig8, fig9).  Requires --checkpoint-dir."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+
+let ckpt_dir_arg =
+  let doc = "Directory for checkpoint files (created if missing)." in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let restore_arg =
+  let doc =
+    "Resume a checkpointed sharing run from $(docv) and print its final \
+     fairness table.  With --checkpoint-every/--checkpoint-dir, keeps \
+     checkpointing on the way."
+  in
+  Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"FILE" ~doc)
+
+let run_restore ~path ~ckpt =
+  match Ckpt.Sharing_ckpt.load ~path with
+  | Error e ->
+      Printf.eprintf "rla_sim: cannot restore %s: %s\n" path
+        (Ckpt.Sharing_ckpt.error_to_string e);
+      1
+  | Ok loaded ->
+      let config = loaded.Ckpt.Sharing_ckpt.config in
+      Format.fprintf ppf
+        "Restored %s at t=%g (case %s, %s gateways, seed %d); running to \
+         t=%g@."
+        path loaded.Ckpt.Sharing_ckpt.time
+        (Experiments.Tree.case_name config.Experiments.Sharing.case)
+        (Experiments.Scenario.gateway_name config.Experiments.Sharing.gateway)
+        config.Experiments.Sharing.seed config.Experiments.Sharing.duration;
+      let result =
+        match ckpt with
+        | None -> Ckpt.Sharing_ckpt.resume_run loaded
+        | Some (every, dir) -> Ckpt.Sharing_ckpt.resume_run ~every ~dir loaded
+      in
+      Experiments.Report.print_sharing_table ppf ~title:"Restored run"
+        [ result ];
+      0
+
+let main which duration seed steps ckpt_every ckpt_dir restore =
+  let ckpt =
+    match (ckpt_every, ckpt_dir) with
+    | Some every, Some dir ->
+        if not (every > 0.0) then begin
+          Printf.eprintf "rla_sim: --checkpoint-every must be positive\n";
+          exit 2
+        end;
+        Some (every, dir)
+    | Some _, None | None, Some _ ->
+        Printf.eprintf
+          "rla_sim: --checkpoint-every and --checkpoint-dir go together\n";
+        exit 2
+    | None, None -> None
+  in
+  match (restore, which) with
+  | Some path, None -> run_restore ~path ~ckpt
+  | Some _, Some _ ->
+      Printf.eprintf "rla_sim: --restore takes no EXPERIMENT argument\n";
+      2
+  | None, None ->
+      Printf.eprintf
+        "rla_sim: an EXPERIMENT argument is required (or use --restore)\n";
+      2
+  | None, Some which ->
+      dispatch which ~duration ~seed ~steps ~ckpt;
+      0
+
 let cmd =
   let doc =
     "Reproduce the tables and figures of Wang & Schwartz, 'Achieving \
@@ -267,10 +368,9 @@ let cmd =
   in
   let term =
     Term.(
-      const (fun which duration seed steps ->
-          dispatch which ~duration ~seed ~steps)
-      $ which_arg $ duration_arg $ seed_arg $ steps_arg)
+      const main $ which_arg $ duration_arg $ seed_arg $ steps_arg
+      $ ckpt_every_arg $ ckpt_dir_arg $ restore_arg)
   in
   Cmd.v (Cmd.info "rla_sim" ~doc) term
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -84,13 +84,179 @@ let run_churn_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
   Runner.Report.write_file ~path:json_path json;
   Format.fprintf ppf "wrote %s@." json_path
 
-let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~json_path =
+(* --- resumable plain sweep ------------------------------------------ *)
+
+(* Finished rows are persisted to <json>.partial, one "label\tjson" line
+   per job, flushed after every chunk.  A killed sweep restarted with
+   --resume re-runs only the missing jobs and splices the saved rows
+   back in job order, so the final report is identical to an
+   uninterrupted sweep's (use --deterministic to also zero the
+   wall-clock/allocation metrics, which no two executions share). *)
+
+let state_path json_path = json_path ^ ".partial"
+
+let load_state path =
+  if not (Sys.file_exists path) then []
+  else
+    In_channel.with_open_text path (fun ic ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some "" -> go acc
+          | Some line -> (
+              match String.index_opt line '\t' with
+              | Some i ->
+                  let label = String.sub line 0 i in
+                  let json =
+                    String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  go ((label, json) :: acc)
+              | None -> go acc)
+        in
+        go [])
+
+let chunks n list =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | rest ->
+        let took = min n (List.length rest) in
+        go (List.filteri (fun i _ -> i < took) rest :: acc)
+          (List.filteri (fun i _ -> i >= took) rest)
+  in
+  go [] list
+
+let scrub_metrics ~deterministic (o : 'a Runner.Pool.outcome) =
+  if deterministic then { o with Runner.Pool.metrics = Runner.Metrics.zero }
+  else o
+
+let run_plain_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
+    ~json_path ~resume ~halt_after ~deterministic =
+  let specs =
+    List.concat_map
+      (fun case_index ->
+        List.map
+          (fun seed ->
+            let label = Printf.sprintf "case%d/seed%d" case_index seed in
+            let config =
+              let base =
+                Experiments.Sharing.default_config ~gateway
+                  ~case:(Experiments.Tree.case_of_index case_index)
+              in
+              { base with Experiments.Sharing.duration; warmup; seed }
+            in
+            (label, config))
+          seed_list)
+      case_indices
+  in
+  let state = state_path json_path in
+  let done_rows = if resume then load_state state else [] in
+  if (not resume) && Sys.file_exists state then Sys.remove state;
+  let is_done label = List.mem_assoc label done_rows in
+  let todo = List.filter (fun (label, _) -> not (is_done label)) specs in
+  if done_rows <> [] then
+    Format.fprintf ppf "resuming: %d of %d job(s) already done@."
+      (List.length done_rows) (List.length specs);
+  let t0 = Unix.gettimeofday () in
+  let halted = ref false in
+  let completed = ref 0 in
+  let fresh = ref [] in
+  List.iter
+    (fun chunk ->
+      if not !halted then begin
+        let outcomes =
+          Runner.Pool.run ~jobs
+            (List.map
+               (fun (label, config) -> Experiments.Sharing.job ~label config)
+               chunk)
+        in
+        let outcomes = List.map (scrub_metrics ~deterministic) outcomes in
+        fresh := !fresh @ outcomes;
+        let oc =
+          open_out_gen [ Open_append; Open_creat ] 0o644 state
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun o ->
+                Printf.fprintf oc "%s\t%s\n" o.Runner.Pool.label
+                  (Runner.Json.to_string
+                     (Runner.Report.run_row_json payload o)))
+              outcomes);
+        completed := !completed + List.length outcomes;
+        match halt_after with
+        | Some n when !completed >= n -> halted := true
+        | _ -> ()
+      end)
+    (chunks (max 1 jobs) todo);
+  let wall_s = if deterministic then 0.0 else Unix.gettimeofday () -. t0 in
+  if !halted then
+    Format.fprintf ppf
+      "halted after %d job(s); %d of %d done — finish with --resume@."
+      !completed
+      (List.length done_rows + !completed)
+      (List.length specs)
+  else begin
+    (* All rows exist now: saved ones plus this invocation's. *)
+    let fresh_rows =
+      List.map
+        (fun o ->
+          ( o.Runner.Pool.label,
+            Runner.Json.to_string (Runner.Report.run_row_json payload o) ))
+        !fresh
+    in
+    let all = done_rows @ fresh_rows in
+    let rows =
+      List.map
+        (fun (label, _) ->
+          match List.assoc_opt label all with
+          | Some json -> Runner.Json.Verbatim json
+          | None ->
+              raise
+                (Invalid_argument (Printf.sprintf "missing row for %s" label)))
+        specs
+    in
+    if done_rows = [] then
+      Experiments.Report.print_sharing_table ppf
+        ~title:
+          (Printf.sprintf "Sharing sweep — %s gateways, %.0f s runs, %d job(s)"
+             (Experiments.Scenario.gateway_name gateway)
+             duration jobs)
+        (List.map (fun o -> o.Runner.Pool.value) !fresh)
+    else
+      Format.fprintf ppf
+        "(table omitted on resume: %d row(s) reloaded from %s)@."
+        (List.length done_rows) state;
+    Format.fprintf ppf "@.";
+    Runner.Report.pp_metrics_table ppf !fresh;
+    Format.fprintf ppf "total wall-clock: %.1f s@." wall_s;
+    let json =
+      Runner.Report.sweep_json_of_rows ~name:"rla_sweep" ~jobs ~wall_s
+        ~extra:
+          [
+            ( "gateway",
+              Runner.Json.String (Experiments.Scenario.gateway_name gateway) );
+            ("duration_s", Runner.Json.Float duration);
+            ("warmup_s", Runner.Json.Float warmup);
+          ]
+        rows
+    in
+    Runner.Report.write_file ~path:json_path json;
+    if Sys.file_exists state then Sys.remove state;
+    Format.fprintf ppf "wrote %s@." json_path
+  end
+
+let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~json_path
+    ~resume ~halt_after ~deterministic =
   let case_indices = parse_cases cases in
   if seeds < 1 then raise (Invalid_argument "--seeds: must be >= 1");
   if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
   if duration <= 0.0 then raise (Invalid_argument "--duration: must be > 0");
   if warmup < 0.0 || warmup >= duration then
     raise (Invalid_argument "--warmup: must be in [0, duration)");
+  (match halt_after with
+  | Some n when n < 1 -> raise (Invalid_argument "--halt-after: must be >= 1")
+  | _ -> ());
   let gateway =
     match Experiments.Scenario.gateway_of_string gateway with
     | Some g -> g
@@ -104,39 +270,16 @@ let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~json_path =
     Option.value json_path
       ~default:(if churn then "BENCH_churn.json" else "rla_sweep.json")
   in
-  if churn then
+  if churn then begin
+    if resume || halt_after <> None then
+      raise
+        (Invalid_argument "--resume/--halt-after apply to plain sweeps only");
     run_churn_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
       ~json_path
-  else begin
-  let t0 = Unix.gettimeofday () in
-  let outcomes =
-    Experiments.Sharing.sweep ~gateway ~case_indices ~duration ~warmup
-      ~seeds:seed_list ~jobs ()
-  in
-  let wall_s = Unix.gettimeofday () -. t0 in
-  Experiments.Report.print_sharing_table ppf
-    ~title:
-      (Printf.sprintf "Sharing sweep — %s gateways, %.0f s runs, %d job(s)"
-         (Experiments.Scenario.gateway_name gateway)
-         duration jobs)
-    (Runner.Pool.values outcomes);
-  Format.fprintf ppf "@.";
-  Runner.Report.pp_metrics_table ppf outcomes;
-  Format.fprintf ppf "total wall-clock: %.1f s@." wall_s;
-  let json =
-    Runner.Report.sweep_json ~name:"rla_sweep" ~jobs ~wall_s
-      ~extra:
-        [
-          ( "gateway",
-            Runner.Json.String (Experiments.Scenario.gateway_name gateway) );
-          ("duration_s", Runner.Json.Float duration);
-          ("warmup_s", Runner.Json.Float warmup);
-        ]
-      payload outcomes
-  in
-  Runner.Report.write_file ~path:json_path json;
-  Format.fprintf ppf "wrote %s@." json_path
   end
+  else
+    run_plain_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
+      ~json_path ~resume ~halt_after ~deterministic
 
 open Cmdliner
 
@@ -190,6 +333,31 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
+let resume_arg =
+  let doc =
+    "Reload finished rows from $(i,JSON).partial (written continuously \
+     by every plain sweep) and run only the missing jobs; the final \
+     report is spliced in job order, identical to an uninterrupted \
+     sweep's."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let halt_after_arg =
+  let doc =
+    "Stop after $(docv) jobs have finished this invocation, leaving the \
+     .partial state behind (simulates a killed sweep; finish it with \
+     --resume)."
+  in
+  Arg.(value & opt (some int) None & info [ "halt-after" ] ~docv:"N" ~doc)
+
+let deterministic_arg =
+  let doc =
+    "Zero the wall-clock/allocation metrics in the report, leaving only \
+     simulation-derived numbers, so a resumed sweep's JSON is \
+     byte-identical to an uninterrupted one's."
+  in
+  Arg.(value & flag & info [ "deterministic" ] ~doc)
+
 let cmd =
   let doc =
     "Parallel seed/case sweep of the RLA-vs-TCP sharing experiment \
@@ -197,15 +365,17 @@ let cmd =
   in
   let term =
     Term.(
-      const (fun cases seeds seed gateway jobs duration warmup churn json_path ->
+      const (fun cases seeds seed gateway jobs duration warmup churn json_path
+                 resume halt_after deterministic ->
           try
             run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn
-              ~json_path
+              ~json_path ~resume ~halt_after ~deterministic
           with Invalid_argument msg ->
             Format.eprintf "rla_sweep: %s@." msg;
             Stdlib.exit 2)
       $ cases_arg $ seeds_arg $ seed_arg $ gateway_arg $ jobs_arg
-      $ duration_arg $ warmup_arg $ churn_arg $ json_arg)
+      $ duration_arg $ warmup_arg $ churn_arg $ json_arg $ resume_arg
+      $ halt_after_arg $ deterministic_arg)
   in
   Cmd.v (Cmd.info "rla_sweep" ~doc) term
 

@@ -50,8 +50,24 @@ let faults_spec = function
             msg Faults.Timeline.spec_grammar;
           Stdlib.exit 2)
 
+let dump_outputs ~csv ~json registry =
+  with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
+  match json with
+  | None -> ()
+  | Some path ->
+      Runner.Report.write_file ~path (Runner.Report.registry_json registry)
+
+let summarize ~label registry result =
+  let a, b = result.Experiments.Sharing.bounds in
+  Format.eprintf
+    "%s: ratio %.2f, bounds (%.2f, %.2f), %s; %d series in registry@." label
+    result.Experiments.Sharing.ratio a b
+    (if result.Experiments.Sharing.essentially_fair then "essentially fair"
+     else "NOT essentially fair")
+    (List.length (Obs.Registry.all_series registry))
+
 let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
-    ~faults =
+    ~faults ~ckpt =
   let config =
     let base =
       Experiments.Sharing.default_config ~gateway
@@ -61,29 +77,43 @@ let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
   in
   let label = Printf.sprintf "trace/case%d/seed%d" case_index seed in
   match faults_spec faults with
-  | None ->
-      let job =
-        Runner.Job.create ~label (fun () ->
-            let registry = Obs.Registry.create () in
-            let net, result =
-              Experiments.Sharing.run_with_net ~registry config
-            in
-            (net, (registry, result)))
-      in
-      let outcomes = Runner.Pool.run ~jobs [ job ] in
-      let registry, result = (List.hd outcomes).Runner.Pool.value in
-      with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
-      (match json with
-      | None -> ()
-      | Some path ->
-          Runner.Report.write_file ~path (Runner.Report.registry_json registry));
-      let a, b = result.Experiments.Sharing.bounds in
+  | None -> (
+      match ckpt with
+      | Some (every, dir) ->
+          (* Checkpointing bypasses the domain pool: the checkpointed
+             run is sliced in-process (still byte-identical to the
+             pooled run — slicing is passive).  The event journal lands
+             next to the checkpoints for [rla_ckpt diff]. *)
+          let registry = Obs.Registry.create () in
+          let journal = Ckpt.Journal.create () in
+          let prefix = Printf.sprintf "case%d_seed%d" case_index seed in
+          let result =
+            Ckpt.Sharing_ckpt.run_with_checkpoints ~registry ~journal ~every
+              ~dir ~prefix config
+          in
+          Ckpt.Journal.save journal
+            ~path:(Filename.concat dir (prefix ^ ".journal"));
+          dump_outputs ~csv ~json registry;
+          summarize ~label registry result
+      | None ->
+          let job =
+            Runner.Job.create ~label (fun () ->
+                let registry = Obs.Registry.create () in
+                let net, result =
+                  Experiments.Sharing.run_with_net ~registry config
+                in
+                (net, (registry, result)))
+          in
+          let outcomes = Runner.Pool.run ~jobs [ job ] in
+          let registry, result = (List.hd outcomes).Runner.Pool.value in
+          dump_outputs ~csv ~json registry;
+          summarize ~label registry result)
+  | Some faults when ckpt <> None ->
+      ignore faults;
       Format.eprintf
-        "%s: ratio %.2f, bounds (%.2f, %.2f), %s; %d series in registry@."
-        label result.Experiments.Sharing.ratio a b
-        (if result.Experiments.Sharing.essentially_fair then "essentially fair"
-         else "NOT essentially fair")
-        (List.length (Obs.Registry.all_series registry))
+        "rla_trace: --faults and checkpointing cannot be combined (the churn \
+         driver owns flow state outside the checkpoint)@.";
+      Stdlib.exit 2
   | Some faults ->
       (* Same CSV/JSON surfaces, but the run goes through the churn
          scenario: the fault timeline perturbs it and the per-epoch
@@ -99,12 +129,39 @@ let run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
       in
       let outcomes = Runner.Pool.run ~jobs [ job ] in
       let registry, result = (List.hd outcomes).Runner.Pool.value in
-      with_csv_sink csv (fun ppf -> Runner.Report.flow_series_csv ppf registry);
-      (match json with
-      | None -> ()
-      | Some path ->
-          Runner.Report.write_file ~path (Runner.Report.registry_json registry));
+      dump_outputs ~csv ~json registry;
       Experiments.Churn.print Format.err_formatter result
+
+let run_restore ~path ~ckpt ~csv ~json =
+  match Ckpt.Sharing_ckpt.load ~path with
+  | Error e ->
+      Format.eprintf "rla_trace: cannot restore %s: %s@." path
+        (Ckpt.Sharing_ckpt.error_to_string e);
+      Stdlib.exit 1
+  | Ok loaded -> (
+      let result =
+        match ckpt with
+        | None -> Ckpt.Sharing_ckpt.resume_run loaded
+        | Some (every, dir) -> Ckpt.Sharing_ckpt.resume_run ~every ~dir loaded
+      in
+      match loaded.Ckpt.Sharing_ckpt.registry with
+      | None ->
+          Format.eprintf
+            "rla_trace: %s carries no registry section — the original run \
+             was not traced (re-run it under rla_trace --checkpoint-every)@."
+            path;
+          Stdlib.exit 1
+      | Some registry ->
+          (* The restored registry holds the complete history, so the
+             re-dumped CSV/JSON equal the uninterrupted run's output
+             byte for byte. *)
+          dump_outputs ~csv ~json registry;
+          (match (loaded.Ckpt.Sharing_ckpt.journal, ckpt) with
+          | Some journal, Some (_, dir) ->
+              Ckpt.Journal.save journal
+                ~path:(Filename.concat dir "resume.journal")
+          | _ -> ());
+          summarize ~label:(Printf.sprintf "restore/%s" path) registry result)
 
 let run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv =
   let case = Experiments.Tree.case_of_index case_index in
@@ -153,16 +210,27 @@ let run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv =
   with_csv_sink csv (fun ppf -> Experiments.Timeseries.to_csv ppf ts)
 
 let run scenario ~case_index ~gateway ~duration ~warmup ~seed ~interval ~jobs
-    ~csv ~json ~faults =
-  match scenario with
-  | Sharing ->
-      run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv ~json
-        ~faults
-  | Probes ->
+    ~csv ~json ~faults ~ckpt ~restore =
+  match restore with
+  | Some path ->
       if faults <> None then (
-        Format.eprintf "rla_trace: --faults requires --scenario sharing@.";
+        Format.eprintf "rla_trace: --restore and --faults cannot be combined@.";
         Stdlib.exit 2);
-      run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv
+      run_restore ~path ~ckpt ~csv ~json
+  | None -> (
+      match scenario with
+      | Sharing ->
+          run_sharing ~case_index ~gateway ~duration ~warmup ~seed ~jobs ~csv
+            ~json ~faults ~ckpt
+      | Probes ->
+          if faults <> None then (
+            Format.eprintf "rla_trace: --faults requires --scenario sharing@.";
+            Stdlib.exit 2);
+          if ckpt <> None then (
+            Format.eprintf
+              "rla_trace: checkpointing requires --scenario sharing@.";
+            Stdlib.exit 2);
+          run_probes ~case_index ~gateway ~duration ~seed ~interval ~csv)
 
 let scenario_arg =
   let doc =
@@ -234,16 +302,56 @@ let faults_arg =
   in
   Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
 
+let ckpt_every_arg =
+  let doc =
+    "Write a checkpoint every $(docv) simulated seconds (sharing scenario, \
+     no --faults).  Requires --checkpoint-dir.  The event journal is saved \
+     alongside the checkpoints for $(b,rla_ckpt diff)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+
+let ckpt_dir_arg =
+  let doc = "Directory for checkpoint files (created if missing)." in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let restore_arg =
+  let doc =
+    "Resume a checkpointed traced run from $(docv), run it to completion and \
+     re-dump the full CSV/JSON from the restored registry (byte-identical to \
+     the uninterrupted run's output)."
+  in
+  Arg.(value & opt (some string) None & info [ "restore" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "Dump per-flow cwnd/throughput time series of a tree-sharing run" in
   let term =
     Term.(
       const (fun scenario case_index gateway duration warmup seed interval jobs
-                 csv json faults ->
+                 csv json faults ckpt_every ckpt_dir restore ->
+          let ckpt =
+            match (ckpt_every, ckpt_dir) with
+            | Some every, Some dir ->
+                if not (every > 0.0) then (
+                  Format.eprintf
+                    "rla_trace: --checkpoint-every must be positive@.";
+                  Stdlib.exit 2);
+                Some (every, dir)
+            | Some _, None | None, Some _ ->
+                Format.eprintf
+                  "rla_trace: --checkpoint-every and --checkpoint-dir go \
+                   together@.";
+                Stdlib.exit 2
+            | None, None -> None
+          in
           run scenario ~case_index ~gateway ~duration ~warmup ~seed ~interval
-            ~jobs ~csv ~json ~faults)
+            ~jobs ~csv ~json ~faults ~ckpt ~restore)
       $ scenario_arg $ case_arg $ gateway_arg $ duration_arg $ warmup_arg
-      $ seed_arg $ interval_arg $ jobs_arg $ csv_arg $ json_arg $ faults_arg)
+      $ seed_arg $ interval_arg $ jobs_arg $ csv_arg $ json_arg $ faults_arg
+      $ ckpt_every_arg $ ckpt_dir_arg $ restore_arg)
   in
   Cmd.v (Cmd.info "rla_trace" ~doc) term
 

@@ -1,0 +1,222 @@
+let version = 1
+
+let magic = "RLACKPT1"
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Crc_mismatch of string
+  | Malformed of string
+
+let error_to_string = function
+  | Truncated -> "truncated checkpoint"
+  | Bad_magic -> "not a checkpoint file (bad magic)"
+  | Bad_version v ->
+      Printf.sprintf "unsupported checkpoint format version %d (expected %d)" v
+        version
+  | Crc_mismatch name -> Printf.sprintf "section %S failed its CRC-32" name
+  | Malformed msg -> Printf.sprintf "malformed checkpoint: %s" msg
+
+type section = { name : string; payload : string }
+
+(* --- CRC-32 (IEEE 802.3, reflected), table-driven ------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int64.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if not (Int64.equal (Int64.logand !c 1L) 0L) then
+               Int64.logxor 0xEDB88320L (Int64.shift_right_logical !c 1)
+             else Int64.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFL in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int64.to_int (Int64.logand (Int64.logxor !crc (Int64.of_int (Char.code ch))) 0xFFL)
+      in
+      crc := Int64.logxor table.(idx) (Int64.shift_right_logical !crc 8))
+    s;
+  Int64.logand (Int64.logxor !crc 0xFFFFFFFFL) 0xFFFFFFFFL
+
+(* --- primitives ----------------------------------------------------- *)
+
+exception Parse of string
+
+type reader = { buf : string; mutable pos : int }
+
+let reader buf = { buf; pos = 0 }
+
+let at_end r = r.pos = String.length r.buf
+
+let need r n =
+  if r.pos + n > String.length r.buf then raise (Parse "unexpected end of input")
+
+let w_i64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let r_i64 r =
+  need r 8;
+  let v = ref 0L in
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code r.buf.[r.pos]));
+    r.pos <- r.pos + 1
+  done;
+  !v
+
+let w_int b v = w_i64 b (Int64.of_int v)
+
+let r_int r = Int64.to_int (r_i64 r)
+
+let w_f64 b v = w_i64 b (Int64.bits_of_float v)
+
+let r_f64 r = Int64.float_of_bits (r_i64 r)
+
+let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let r_bool r =
+  need r 1;
+  let c = r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> raise (Parse (Printf.sprintf "bad bool byte %d" (Char.code c)))
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let r_string r =
+  let n = r_int r in
+  if n < 0 then raise (Parse "negative string length");
+  need r n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let w_option w b = function
+  | None -> w_bool b false
+  | Some v ->
+      w_bool b true;
+      w b v
+
+let r_option rd r = if r_bool r then Some (rd r) else None
+
+let w_list w b l =
+  w_int b (List.length l);
+  List.iter (w b) l
+
+let r_list rd r =
+  let n = r_int r in
+  if n < 0 then raise (Parse "negative list length");
+  List.init n (fun _ -> rd r)
+
+let w_pair wa wb b (a, v) =
+  wa b a;
+  wb b v
+
+let r_pair ra rb r =
+  let a = ra r in
+  let v = rb r in
+  (a, v)
+
+(* --- container ------------------------------------------------------ *)
+
+let encode sections =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  w_int b version;
+  w_int b (List.length sections);
+  List.iter
+    (fun { name; payload } ->
+      w_string b name;
+      w_int b (String.length payload);
+      w_i64 b (crc32 payload);
+      Buffer.add_string b payload)
+    sections;
+  Buffer.contents b
+
+let decode s =
+  let r = reader s in
+  let truncated_as e = match e with Parse _ -> Truncated | e -> raise e in
+  try
+    if String.length s < String.length magic then Error Truncated
+    else if String.sub s 0 (String.length magic) <> magic then Error Bad_magic
+    else begin
+      r.pos <- String.length magic;
+      let v = r_int r in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let n = r_int r in
+        if n < 0 then Error (Malformed "negative section count")
+        else begin
+          let sections = ref [] in
+          let err = ref None in
+          (try
+             for _ = 1 to n do
+               let name = r_string r in
+               let len = r_int r in
+               if len < 0 then raise (Parse "negative section length");
+               let crc = r_i64 r in
+               need r len;
+               let payload = String.sub r.buf r.pos len in
+               r.pos <- r.pos + len;
+               if not (Int64.equal (crc32 payload) crc) then begin
+                 err := Some (Crc_mismatch name);
+                 raise Exit
+               end;
+               sections := { name; payload } :: !sections
+             done;
+             if not (at_end r) then
+               err := Some (Malformed "trailing bytes after last section")
+           with
+          | Exit -> ()
+          | Parse _ -> err := Some Truncated);
+          match !err with
+          | Some e -> Error e
+          | None -> Ok (List.rev !sections)
+        end
+      end
+    end
+  with e -> Error (truncated_as e)
+
+let parse_payload { name; payload } f =
+  let r = reader payload in
+  try
+    let v = f r in
+    if at_end r then Ok v
+    else Error (Malformed (Printf.sprintf "section %S: trailing bytes" name))
+  with
+  | Parse msg -> Error (Malformed (Printf.sprintf "section %S: %s" name msg))
+  | Invalid_argument msg ->
+      Error (Malformed (Printf.sprintf "section %S: %s" name msg))
+
+let save_file ~path sections =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode sections));
+  Sys.rename tmp path
+
+let load_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> decode s
+  | exception Sys_error msg -> Error (Malformed msg)
+  | exception _ -> Error Truncated

@@ -1,0 +1,34 @@
+type t = {
+  every : float;
+  save : time:float -> unit;
+  mutable next_k : int;  (* next boundary is [next_k * every] *)
+}
+
+let create ~every ~save =
+  if not (every > 0.0) then
+    invalid_arg "Ckpt.Manager.create: interval must be positive";
+  { every; save; next_k = 1 }
+
+let boundary t = float_of_int t.next_k *. t.every
+
+let resume_from t time =
+  t.next_k <- 1;
+  while boundary t <= time do
+    t.next_k <- t.next_k + 1
+  done
+
+let run t ~net ~until =
+  let rec advance () =
+    let now = Net.Network.now net in
+    if now < until then begin
+      let b = boundary t in
+      if b <= until then begin
+        Net.Network.run_until net b;
+        t.next_k <- t.next_k + 1;
+        t.save ~time:b;
+        advance ()
+      end
+      else Net.Network.run_until net until
+    end
+  in
+  advance ()

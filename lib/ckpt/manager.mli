@@ -1,0 +1,30 @@
+(** Periodic checkpoint driver.
+
+    Slices a simulation's run loop at multiples of the checkpoint
+    interval and invokes a save callback at each boundary.  Slicing is
+    the whole trick: [Sim.Scheduler.run_until] leaves the clock at
+    exactly the horizon and schedules nothing, so running to [t] in
+    one call or in ten slices fires the identical event sequence —
+    checkpointing never perturbs the run.
+
+    The boundary count is tracked as an integer multiple of the
+    interval (not accumulated floats), so a resumed manager lands on
+    the same boundaries as the original one. *)
+
+type t
+
+val create : every:float -> save:(time:float -> unit) -> t
+(** [every] must be positive.  [save ~time] runs with the simulation
+    clock at exactly [time]; it must be passive (pure state capture —
+    no event scheduling, no RNG draws). *)
+
+val resume_from : t -> float -> unit
+(** Skip boundaries at or before the given time (call once after
+    restoring a checkpoint taken at that time, so it is not
+    immediately re-saved). *)
+
+val run : t -> net:Net.Network.t -> until:float -> unit
+(** Advance the network to [until], saving at every interval boundary
+    on the way (a boundary equal to [until] saves too).  Callable
+    repeatedly with increasing horizons — the experiment's own phase
+    boundaries (warm-up) just become extra slice points. *)

@@ -5,6 +5,10 @@ type t = {
   sender : Net.Packet.addr;
   rng : Sim.Rng.t;
   ack_jitter : float;
+  (* Delayed acknowledgments in flight, keyed by event id; the payload
+     snapshot (cum/sack) happens at fire time, so only the data packet's
+     echo timestamp and ECN bit need remembering for restore. *)
+  pending_acks : (Sim.Scheduler.event_id, float * bool) Hashtbl.t;
   ooo : (int, unit) Hashtbl.t;
   mutable recent : int list;
   mutable expected : int;
@@ -55,30 +59,37 @@ let sack_blocks t =
    victims at the reverse bottleneck on every round (see
    {!Params.ack_jitter}).  The ack snapshot (cum/sack/echo) is taken at
    send time so it reflects everything received meanwhile. *)
-let send_ack t ~echo ~ece =
-  let emit () =
-    let pkt =
-      Net.Network.make_packet t.net ~flow:t.flow ~src:(Net.Node.id t.node)
-        ~dst:(Net.Packet.Unicast t.sender) ~size:Wire.ack_size
-        ~payload:
-          (Wire.Rla_ack
-             {
-               rcvr = Net.Node.id t.node;
-               cum_ack = t.expected;
-               blocks = sack_blocks t;
-               echo;
-               ece;
-             })
-    in
-    Net.Network.send t.net pkt
+let emit_ack t ~echo ~ece =
+  let pkt =
+    Net.Network.make_packet t.net ~flow:t.flow ~src:(Net.Node.id t.node)
+      ~dst:(Net.Packet.Unicast t.sender) ~size:Wire.ack_size
+      ~payload:
+        (Wire.Rla_ack
+           {
+             rcvr = Net.Node.id t.node;
+             cum_ack = t.expected;
+             blocks = sack_blocks t;
+             echo;
+             ece;
+           })
   in
-  if t.ack_jitter <= 0.0 then emit ()
-  else
-    ignore
-      (Sim.Scheduler.schedule_after
-         (Net.Network.scheduler t.net)
-         (Sim.Rng.float t.rng t.ack_jitter)
-         emit)
+  Net.Network.send t.net pkt
+
+let send_ack t ~echo ~ece =
+  if t.ack_jitter <= 0.0 then emit_ack t ~echo ~ece
+  else begin
+    let rid = ref (-1) in
+    let id =
+      Sim.Scheduler.schedule_after
+        (Net.Network.scheduler t.net)
+        (Sim.Rng.float t.rng t.ack_jitter)
+        (fun () ->
+          Hashtbl.remove t.pending_acks !rid;
+          emit_ack t ~echo ~ece)
+    in
+    rid := id;
+    Hashtbl.replace t.pending_acks id (echo, ece)
+  end
 
 let on_data t ~seq ~sent_at ~rexmit ~ecn =
   t.received_total <- t.received_total + 1;
@@ -112,6 +123,7 @@ let create ~net ~node ~flow ~sender ?(ack_jitter = 0.002) ?(start = 0) () =
       sender;
       rng = Net.Network.fork_rng net;
       ack_jitter;
+      pending_acks = Hashtbl.create 8;
       ooo = Hashtbl.create 64;
       recent = [];
       expected = start;
@@ -126,3 +138,54 @@ let create ~net ~node ~flow ~sender ?(ack_jitter = 0.002) ?(start = 0) () =
           on_data t ~seq ~sent_at ~rexmit ~ecn:pkt.Net.Packet.ecn
       | _ -> ());
   t
+
+(* --- checkpoint/restore -------------------------------------------- *)
+
+type state = {
+  s_rng : int64;
+  s_ooo : int list;  (* ascending *)
+  s_recent : int list;
+  s_expected : int;
+  s_received_total : int;
+  s_duplicates : int;
+  s_rexmits_received : int;
+  s_pending_acks : (Sim.Scheduler.event_id * float * bool) list;
+      (* (id, echo, ece), ascending id *)
+}
+
+let capture t =
+  {
+    s_rng = Sim.Rng.state t.rng;
+    s_ooo =
+      Hashtbl.fold (fun seq () acc -> seq :: acc) t.ooo []
+      |> List.sort Int.compare;
+    s_recent = t.recent;
+    s_expected = t.expected;
+    s_received_total = t.received_total;
+    s_duplicates = t.duplicates;
+    s_rexmits_received = t.rexmits_received;
+    s_pending_acks =
+      Hashtbl.fold
+        (fun id (echo, ece) acc -> (id, echo, ece) :: acc)
+        t.pending_acks []
+      |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b);
+  }
+
+let restore t st =
+  Sim.Rng.set_state t.rng st.s_rng;
+  Hashtbl.reset t.ooo;
+  List.iter (fun seq -> Hashtbl.replace t.ooo seq ()) st.s_ooo;
+  t.recent <- st.s_recent;
+  t.expected <- st.s_expected;
+  t.received_total <- st.s_received_total;
+  t.duplicates <- st.s_duplicates;
+  t.rexmits_received <- st.s_rexmits_received;
+  Hashtbl.reset t.pending_acks;
+  let sched = Net.Network.scheduler t.net in
+  List.iter
+    (fun (id, echo, ece) ->
+      Hashtbl.replace t.pending_acks id (echo, ece);
+      Sim.Scheduler.rearm sched ~id (fun () ->
+          Hashtbl.remove t.pending_acks id;
+          emit_ack t ~echo ~ece))
+    st.s_pending_acks

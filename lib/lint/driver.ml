@@ -166,8 +166,15 @@ let run ?rules ~paths () =
                 ]))
       ml_files
   in
+  let parse_impl_file file =
+    match read_file file with
+    | exception Sys_error e -> Error e
+    | text -> parse_impl ~path:file text
+  in
   let project_findings =
     Project_check.mli_required ~ml_files
+    @ Project_check.ckpt_coverage ~parse_impl:parse_impl_file ~parse_interface
+        ~ml_files
     @ List.concat_map
         (fun (lib_dirs, search_files) ->
           Project_check.unused_export ~parse_interface ~lib_dirs ~search_files)

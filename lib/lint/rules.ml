@@ -62,6 +62,14 @@ let all =
       severity = Finding.Warning;
     };
     {
+      name = "ckpt-coverage";
+      summary =
+        "module holds mutable record state but its interface exports no \
+         capture/restore pair, so checkpoints cannot carry it (advisory)";
+      scope = Dirs [ "sim"; "net"; "tcp"; "core" ];
+      severity = Finding.Warning;
+    };
+    {
       name = "bad-annotation";
       summary =
         "malformed lint annotation; the grammar is \

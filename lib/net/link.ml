@@ -22,6 +22,9 @@ type t = {
   disc : Queue_disc.t;
   buffer : Packet.t Queue.t;
   deliver : Packet.t -> unit;
+  (* Packets past serialization, keyed by their delivery event id, so a
+     checkpoint can re-arm every delivery still on the wire. *)
+  inflight : (Sim.Scheduler.event_id, Packet.t) Hashtbl.t;
   mutable busy : bool;
   mutable in_service : Packet.t option;
   mutable tx_event : Sim.Scheduler.event_id option;
@@ -59,6 +62,7 @@ let create ~sched ~rng ~id config ~deliver =
     disc = Queue_disc.create config.queue ~capacity:config.capacity ~rng;
     buffer = Queue.create ();
     deliver;
+    inflight = Hashtbl.create 16;
     busy = false;
     in_service = None;
     tx_event = None;
@@ -148,6 +152,10 @@ let count_drop t pkt =
    runtime reconfiguration: shrinking [prop_delay] or growing
    [bandwidth_bps] mid-run cannot schedule a delivery before one
    already on the wire. *)
+let deliver_inflight t id pkt =
+  Hashtbl.remove t.inflight id;
+  t.deliver pkt
+
 let propagate t pkt =
   let jitter =
     if t.config.phase_jitter then
@@ -168,9 +176,28 @@ let propagate t pkt =
           t.id at t.last_delivery
           (Sim.Scheduler.now t.sched));
   t.last_delivery <- at;
-  ignore (Sim.Scheduler.schedule_at t.sched at (fun () -> t.deliver pkt))
+  (* The event id is only known once scheduled; the closure dereferences
+     it at fire time, strictly after this binding completes. *)
+  let rid = ref (-1) in
+  let id =
+    Sim.Scheduler.schedule_at t.sched at (fun () ->
+        deliver_inflight t !rid pkt)
+  in
+  rid := id;
+  Hashtbl.replace t.inflight id pkt
 
-let rec start_transmission t =
+let rec complete_tx t pkt () =
+  t.tx_event <- None;
+  t.in_service <- None;
+  t.delivered <- t.delivered + 1;
+  t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+  (match t.taps with
+  | None -> ()
+  | Some taps -> Obs.Registry.incr taps.delivered_c);
+  propagate t pkt;
+  start_transmission t
+
+and start_transmission t =
   match Queue.take_opt t.buffer with
   | None ->
       t.busy <- false;
@@ -179,18 +206,7 @@ let rec start_transmission t =
       t.busy <- true;
       t.in_service <- Some pkt;
       let tx = service_time t pkt.Packet.size in
-      t.tx_event <-
-        Some
-          (Sim.Scheduler.schedule_after t.sched tx (fun () ->
-               t.tx_event <- None;
-               t.in_service <- None;
-               t.delivered <- t.delivered + 1;
-               t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
-               (match t.taps with
-               | None -> ()
-               | Some taps -> Obs.Registry.incr taps.delivered_c);
-               propagate t pkt;
-               start_transmission t))
+      t.tx_event <- Some (Sim.Scheduler.schedule_after t.sched tx (complete_tx t pkt))
 
 let check_occupancy t =
   if !Sim.Invariant.enabled then
@@ -294,3 +310,90 @@ let set_up t =
     t.downtime_acc <-
       t.downtime_acc +. (Sim.Scheduler.now t.sched -. t.down_since)
   end
+
+(* --- checkpoint/restore -------------------------------------------- *)
+
+type state = {
+  s_bandwidth_bps : float;
+  s_prop_delay : float;
+  s_buffer : Packet.t list;  (* FIFO order, head of line first *)
+  s_busy : bool;
+  s_in_service : Packet.t option;
+  s_tx_event : Sim.Scheduler.event_id option;
+  s_inflight : (Sim.Scheduler.event_id * Packet.t) list;  (* ascending id *)
+  s_up : bool;
+  s_down_since : float;
+  s_downtime_acc : float;
+  s_last_delivery : float;
+  s_offered : int;
+  s_dropped : int;
+  s_delivered : int;
+  s_bytes_delivered : int;
+  s_marked : int;
+  s_rng : int64;
+  s_disc : Queue_disc.state;
+}
+
+let capture t =
+  {
+    s_bandwidth_bps = t.config.bandwidth_bps;
+    s_prop_delay = t.config.prop_delay;
+    s_buffer = List.of_seq (Queue.to_seq t.buffer);
+    s_busy = t.busy;
+    s_in_service = t.in_service;
+    s_tx_event = t.tx_event;
+    s_inflight =
+      Hashtbl.fold (fun id pkt acc -> (id, pkt) :: acc) t.inflight []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_up = t.up;
+    s_down_since = t.down_since;
+    s_downtime_acc = t.downtime_acc;
+    s_last_delivery = t.last_delivery;
+    s_offered = t.offered;
+    s_dropped = t.dropped;
+    s_delivered = t.delivered;
+    s_bytes_delivered = t.bytes_delivered;
+    s_marked = t.marked;
+    s_rng = Sim.Rng.state t.rng;
+    s_disc = Queue_disc.capture t.disc;
+  }
+
+(* Must run after [Sim.Scheduler.restore]: the tx-completion and every
+   in-flight delivery re-arm under their original event ids.  The RNG
+   is set once here — the queue discipline shares the same generator. *)
+let restore t st =
+  t.config <-
+    {
+      t.config with
+      bandwidth_bps = st.s_bandwidth_bps;
+      prop_delay = st.s_prop_delay;
+    };
+  Queue.clear t.buffer;
+  List.iter (fun pkt -> Queue.add pkt t.buffer) st.s_buffer;
+  t.busy <- st.s_busy;
+  t.in_service <- st.s_in_service;
+  t.tx_event <- st.s_tx_event;
+  (match (st.s_tx_event, st.s_in_service) with
+  | Some id, Some pkt -> Sim.Scheduler.rearm t.sched ~id (complete_tx t pkt)
+  | Some id, None ->
+      invalid_arg
+        (Printf.sprintf "Link.restore: %s: tx event %d with nothing in service"
+           t.id id)
+  | None, _ -> ());
+  Hashtbl.reset t.inflight;
+  List.iter
+    (fun (id, pkt) ->
+      Hashtbl.replace t.inflight id pkt;
+      Sim.Scheduler.rearm t.sched ~id (fun () -> deliver_inflight t id pkt))
+    st.s_inflight;
+  t.up <- st.s_up;
+  t.down_since <- st.s_down_since;
+  t.downtime_acc <- st.s_downtime_acc;
+  t.last_delivery <- st.s_last_delivery;
+  t.offered <- st.s_offered;
+  t.dropped <- st.s_dropped;
+  t.delivered <- st.s_delivered;
+  t.bytes_delivered <- st.s_bytes_delivered;
+  t.marked <- st.s_marked;
+  Sim.Rng.set_state t.rng st.s_rng;
+  Queue_disc.restore t.disc st.s_disc

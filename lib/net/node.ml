@@ -58,3 +58,10 @@ let receive t pkt =
       List.iter (fun link -> Link.send link pkt) (mcast_routes t ~group:g)
 
 let undeliverable t = t.undeliverable
+
+(* Routes, multicast branches, group membership and flow handlers are
+   topology wiring, rebuilt deterministically by the experiment setup;
+   the undeliverable count is the node's only simulation state. *)
+let capture t = t.undeliverable
+
+let restore t n = t.undeliverable <- n

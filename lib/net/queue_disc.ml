@@ -1,12 +1,12 @@
 type kind = Droptail | Red_gateway of Red.params | Bernoulli_loss of float
 
-type state = Tail | Red_state of Red.t | Lossy of float * Sim.Rng.t
+type impl = Tail | Red_state of Red.t | Lossy of float * Sim.Rng.t
 
-type t = { kind : kind; capacity : int; state : state }
+type t = { kind : kind; capacity : int; impl : impl }
 
 let create kind ~capacity ~rng =
   if capacity <= 0 then invalid_arg "Queue_disc.create: capacity must be positive";
-  let state =
+  let impl =
     match kind with
     | Droptail -> Tail
     | Red_gateway params -> Red_state (Red.create params ~rng)
@@ -15,12 +15,12 @@ let create kind ~capacity ~rng =
           invalid_arg "Queue_disc.create: loss probability out of range";
         Lossy (p, rng)
   in
-  { kind; capacity; state }
+  { kind; capacity; impl }
 
 let kind t = t.kind
 
 let set_registry t reg ~id =
-  match t.state with
+  match t.impl with
   | Tail | Lossy _ -> ()
   | Red_state red -> Red.set_registry red reg ~id
 
@@ -35,17 +35,33 @@ let on_arrival t ~now ~qlen =
           "Queue_disc.on_arrival: occupancy %d outside [0, %d]" qlen t.capacity);
   if qlen >= t.capacity then `Drop
   else
-    match t.state with
+    match t.impl with
     | Tail -> `Admit
     | Red_state red -> Red.decide red ~now ~qlen
     | Lossy (p, rng) -> if Sim.Rng.bernoulli rng p then `Drop else `Admit
 
 let on_empty t ~now =
-  match t.state with
+  match t.impl with
   | Tail | Lossy _ -> ()
   | Red_state red -> Red.note_empty red ~now
 
 let avg_queue t =
-  match t.state with
+  match t.impl with
   | Tail | Lossy _ -> nan
   | Red_state red -> Red.avg_queue red
+
+(* Drop-tail and Bernoulli disciplines hold no mutable state of their
+   own (the loss RNG is shared with the owning link). *)
+type state = Stateless | Red of Red.state
+
+let capture t =
+  match t.impl with
+  | Tail | Lossy _ -> Stateless
+  | Red_state red -> Red (Red.capture red)
+
+let restore t st =
+  match (t.impl, st) with
+  | (Tail | Lossy _), Stateless -> ()
+  | Red_state red, Red s -> Red.restore red s
+  | Red_state _, Stateless | (Tail | Lossy _), Red _ ->
+      invalid_arg "Queue_disc.restore: discipline mismatch"

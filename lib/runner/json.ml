@@ -6,6 +6,7 @@ type t =
   | String of string
   | List of t list
   | Obj of (string * t) list
+  | Verbatim of string
 
 (* Shortest decimal representation that parses back to the same float. *)
 let float_repr f =
@@ -39,6 +40,7 @@ let escape buf s =
 
 let rec emit buf = function
   | Null -> Buffer.add_string buf "null"
+  | Verbatim s -> Buffer.add_string buf s
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f -> (

@@ -12,6 +12,10 @@ type t =
   | String of string
   | List of t list
   | Obj of (string * t) list
+  | Verbatim of string
+      (** A pre-serialized JSON fragment, emitted as-is.  Lets a
+          resumable sweep splice rows persisted by an earlier process
+          into a new document byte-exactly. *)
 
 val to_string : t -> string
 

@@ -10,16 +10,22 @@ let run_json payload (o : _ Pool.outcome) =
      ]
     @ payload o)
 
-let sweep_json ~name ~jobs ~wall_s ?(extra = []) payload outcomes =
+let run_row_json = run_json
+
+let sweep_json_of_rows ~name ~jobs ~wall_s ?(extra = []) rows =
   Json.Obj
     ([
        ("name", Json.String name);
        ("jobs", Json.Int jobs);
-       ("runs_total", Json.Int (List.length outcomes));
+       ("runs_total", Json.Int (List.length rows));
        ("wall_s", Json.Float wall_s);
-       ("runs", Json.List (List.map (run_json payload) outcomes));
+       ("runs", Json.List rows);
      ]
     @ extra)
+
+let sweep_json ~name ~jobs ~wall_s ?extra payload outcomes =
+  sweep_json_of_rows ~name ~jobs ~wall_s ?extra
+    (List.map (run_json payload) outcomes)
 
 let write_file ~path json =
   let oc = open_out path in

@@ -35,6 +35,22 @@ val sweep_json :
     document above; [payload] contributes per-run fields appended after
     the metrics. *)
 
+val run_row_json :
+  ('a Pool.outcome -> (string * Json.t) list) -> 'a Pool.outcome -> Json.t
+(** One entry of the ["runs"] array (label, metrics, payload fields).
+    Exposed so resumable sweeps can persist finished rows and splice
+    them into a later {!sweep_json_of_rows} call. *)
+
+val sweep_json_of_rows :
+  name:string ->
+  jobs:int ->
+  wall_s:float ->
+  ?extra:(string * Json.t) list ->
+  Json.t list ->
+  Json.t
+(** {!sweep_json} over pre-built rows (see {!run_row_json}); rows are
+    emitted in the given order. *)
+
 val write_file : path:string -> Json.t -> unit
 (** Write the document to [path] followed by a newline. *)
 

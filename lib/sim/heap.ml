@@ -65,6 +65,37 @@ let add t ~prio value =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+(* Restore path: re-insert an element under its original tie-break
+   counter so that a restored heap pops in exactly the original order.
+   The caller owns seq uniqueness; [next_seq] is left untouched. *)
+let add_with_seq t ~prio ~seq value =
+  let entry = { prio; seq; value } in
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let next_seq t = t.next_seq
+
+let set_next_seq t n = t.next_seq <- n
+
+let capture t =
+  let xs = ref [] in
+  for i = 0 to t.size - 1 do
+    let e = t.data.(i) in
+    xs := (e.prio, e.seq, e.value) :: !xs
+  done;
+  List.sort
+    (fun (p1, s1, _) (p2, s2, _) ->
+      match Float.compare p1 p2 with 0 -> Int.compare s1 s2 | c -> c)
+    !xs
+
+let restore t ~next_seq entries =
+  t.data <- [||];
+  t.size <- 0;
+  List.iter (fun (prio, seq, value) -> add_with_seq t ~prio ~seq value) entries;
+  t.next_seq <- next_seq
+
 let min_prio t = if t.size = 0 then None else Some t.data.(0).prio
 
 let peek t =

@@ -31,5 +31,26 @@ val peek : 'a t -> (float * 'a) option
 val clear : 'a t -> unit
 (** Remove all elements. *)
 
+val add_with_seq : 'a t -> prio:float -> seq:int -> 'a -> unit
+(** [add_with_seq t ~prio ~seq x] inserts [x] under an explicit
+    tie-break counter instead of the internal one, so a restored heap
+    reproduces the original pop order exactly.  The caller guarantees
+    [seq] uniqueness; the internal counter is not advanced. *)
+
+val next_seq : 'a t -> int
+(** Value the internal tie-break counter will assign next. *)
+
+val set_next_seq : 'a t -> int -> unit
+(** Overwrite the internal tie-break counter (checkpoint restore). *)
+
+val capture : 'a t -> (float * int * 'a) list
+(** All elements as [(prio, seq, value)] sorted in pop order.  Pure
+    read; the heap is unchanged. *)
+
+val restore : 'a t -> next_seq:int -> (float * int * 'a) list -> unit
+(** Replace the contents with the captured elements (under their
+    original tie-break counters) and set the internal counter, making
+    subsequent pops byte-identical to the captured heap's. *)
+
 val iter : 'a t -> f:(float -> 'a -> unit) -> unit
 (** Iterate over all elements in unspecified order. *)

@@ -1,6 +1,9 @@
 (* Splitmix64: tiny, fast, and passes BigCrush for our purposes.  State
    is a single 64-bit counter, which makes [split] trivial. *)
 
+(* lint: allow-file ckpt-coverage -- state/set_state are this module's
+   capture/restore pair; checkpoints carry the generator exactly *)
+
 type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
@@ -11,6 +14,16 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create seed = { state = mix (Int64.of_int seed) }
+
+(* Checkpoint/restore: the whole generator is one 64-bit counter, so
+   the explicit state API is exact — no reaching into opaque stdlib
+   [Random.State] internals, and a restored stream continues the
+   original sequence bit-for-bit. *)
+let state t = t.state
+
+let set_state t s = t.state <- s
+
+let of_state s = { state = s }
 
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

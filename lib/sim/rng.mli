@@ -17,6 +17,17 @@ val split : t -> t
 val copy : t -> t
 (** Duplicate the current state. *)
 
+val state : t -> int64
+(** [state t] is the complete generator state (splitmix64 is a single
+    64-bit counter).  [set_state t (state t')] makes [t] continue
+    [t']'s stream exactly; used by checkpoint/restore. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the generator state in place. *)
+
+val of_state : int64 -> t
+(** Build a generator resuming from a captured {!state}. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

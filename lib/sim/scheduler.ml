@@ -16,9 +16,14 @@ type taps = {
   heartbeat : Obs.Series.t;
 }
 
+(* [rearm_times] is non-empty only between [restore] and the end of the
+   owning components' re-arm pass: it maps each restored pending id to
+   its fire time until the component that owns the event re-attaches a
+   closure via [rearm]. *)
 type t = {
   queue : event Heap.t;
   pending_ids : (int, unit) Hashtbl.t;
+  rearm_times : (int, float) Hashtbl.t;
   mutable clock : float;
   mutable next_id : int;
   mutable fired : int;
@@ -29,6 +34,7 @@ let create () =
   {
     queue = Heap.create ();
     pending_ids = Hashtbl.create 64;
+    rearm_times = Hashtbl.create 16;
     clock = 0.0;
     next_id = 0;
     fired = 0;
@@ -109,3 +115,54 @@ let run_until_empty t ~max_events =
 let pending t = Hashtbl.length t.pending_ids
 
 let events_fired t = t.fired
+
+(* --- checkpoint/restore -------------------------------------------- *)
+
+type state = {
+  s_clock : float;
+  s_next_id : int;
+  s_fired : int;
+  s_pending : (int * float) list;
+}
+
+(* Closures cannot be serialized, so a captured scheduler records only
+   which events are pending and when they fire.  On restore each owning
+   component re-attaches its closure through [rearm]; heap tie-break
+   counters equal event ids in normal operation (both advance in
+   lockstep from zero), so re-inserting under seq = id reproduces the
+   original pop order exactly.  Cancelled-but-unpopped heap entries are
+   deliberately dropped: skipping them is side-effect-free. *)
+let capture t =
+  let pend = ref [] in
+  Heap.iter t.queue ~f:(fun prio ev ->
+      if Hashtbl.mem t.pending_ids ev.id then pend := (ev.id, prio) :: !pend);
+  {
+    s_clock = t.clock;
+    s_next_id = t.next_id;
+    s_fired = t.fired;
+    s_pending = List.sort (fun (a, _) (b, _) -> Int.compare a b) !pend;
+  }
+
+let restore t st =
+  Heap.clear t.queue;
+  Heap.set_next_seq t.queue st.s_next_id;
+  Hashtbl.reset t.pending_ids;
+  Hashtbl.reset t.rearm_times;
+  t.clock <- st.s_clock;
+  t.next_id <- st.s_next_id;
+  t.fired <- st.s_fired;
+  List.iter (fun (id, at) -> Hashtbl.replace t.rearm_times id at) st.s_pending
+
+let rearm t ~id action =
+  match Hashtbl.find_opt t.rearm_times id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Scheduler.rearm: event %d is not awaiting restore" id)
+  | Some at ->
+      Hashtbl.remove t.rearm_times id;
+      Heap.add_with_seq t.queue ~prio:at ~seq:id { id; action };
+      Hashtbl.replace t.pending_ids id ()
+
+let unrestored t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.rearm_times []
+  |> List.sort Int.compare

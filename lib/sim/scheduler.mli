@@ -7,8 +7,10 @@
 
 type t
 
-type event_id
-(** Handle for cancelling a scheduled event. *)
+type event_id = int
+(** Handle for cancelling a scheduled event.  The representation is
+    public so checkpoint codecs can serialize pending-event ownership;
+    ids are dense, start at 0 and never repeat within a run. *)
 
 val create : unit -> t
 
@@ -47,3 +49,39 @@ val set_registry : t -> Obs.Registry.t option -> unit
 
 val events_fired : t -> int
 (** Total number of events executed so far. *)
+
+(** {1 Checkpoint/restore}
+
+    Closures cannot be serialized, so a checkpoint stores only the
+    scheduler scalars plus the (id, fire-time) pairs of pending events.
+    [restore] empties the queue and parks those pairs; each component
+    that owns an event then calls {!rearm} to re-attach its closure
+    under the original id, which reproduces the original pop order
+    byte-for-byte (tie-break counters equal event ids).  {!unrestored}
+    must be empty before the simulation is resumed. *)
+
+type state = {
+  s_clock : float;
+  s_next_id : int;
+  s_fired : int;
+  s_pending : (event_id * float) list;  (** ascending id *)
+}
+
+val capture : t -> state
+(** Pure read of the complete scheduler state; cancelled events are
+    excluded (skipping them is side-effect-free). *)
+
+val restore : t -> state -> unit
+(** Reset the scheduler to [state] with an empty queue; every pending
+    id awaits a {!rearm} call from its owning component. *)
+
+val rearm : t -> id:event_id -> (unit -> unit) -> unit
+(** [rearm t ~id f] re-attaches closure [f] to restored pending event
+    [id] at its captured fire time.  Raises [Invalid_argument] if [id]
+    is not awaiting restore (double re-arm, or not pending in the
+    checkpoint). *)
+
+val unrestored : t -> event_id list
+(** Restored pending ids not yet re-armed, ascending.  Non-empty after
+    the components' re-arm pass means the checkpoint recorded an event
+    no component claims — the caller must fail rather than resume. *)

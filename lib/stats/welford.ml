@@ -29,6 +29,24 @@ let min t = t.min
 
 let max t = t.max
 
+type state = {
+  s_n : int;
+  s_mean : float;
+  s_m2 : float;
+  s_min : float;
+  s_max : float;
+}
+
+let capture t =
+  { s_n = t.n; s_mean = t.mean; s_m2 = t.m2; s_min = t.min; s_max = t.max }
+
+let restore t st =
+  t.n <- st.s_n;
+  t.mean <- st.s_mean;
+  t.m2 <- st.s_m2;
+  t.min <- st.s_min;
+  t.max <- st.s_max
+
 let merge a b =
   if a.n = 0 then { b with n = b.n }
   else if b.n = 0 then { a with n = a.n }

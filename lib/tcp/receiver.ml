@@ -78,6 +78,33 @@ let on_data t ~seq ~sent_at ~ecn =
   end;
   send_ack t ~echo:sent_at ~ece:ecn
 
+type state = {
+  s_ooo : int list;  (* ascending *)
+  s_recent : int list;  (* recency order, as held *)
+  s_expected : int;
+  s_received_total : int;
+  s_duplicates : int;
+}
+
+let capture t =
+  {
+    s_ooo =
+      Hashtbl.fold (fun seq () acc -> seq :: acc) t.ooo []
+      |> List.sort Int.compare;
+    s_recent = t.recent;
+    s_expected = t.expected;
+    s_received_total = t.received_total;
+    s_duplicates = t.duplicates;
+  }
+
+let restore t st =
+  Hashtbl.reset t.ooo;
+  List.iter (fun seq -> Hashtbl.replace t.ooo seq ()) st.s_ooo;
+  t.recent <- st.s_recent;
+  t.expected <- st.s_expected;
+  t.received_total <- st.s_received_total;
+  t.duplicates <- st.s_duplicates
+
 let create ~net ~node ~flow ~peer =
   let node = Net.Network.node net node in
   let t =

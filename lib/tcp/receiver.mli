@@ -20,3 +20,17 @@ val duplicates : t -> int
 
 val out_of_order_pending : t -> int
 (** Packets buffered above the in-order point. *)
+
+type state = {
+  s_ooo : int list;  (** out-of-order set, ascending *)
+  s_recent : int list;  (** SACK block representatives, recency order *)
+  s_expected : int;
+  s_received_total : int;
+  s_duplicates : int;
+}
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** Acks are sent synchronously on data arrival, so the receiver owns
+    no scheduler events; restore is pure state overwrite. *)

@@ -39,3 +39,24 @@ let timeout t =
 let backoff t = if timeout t < t.max_rto then t.shift <- t.shift + 1
 
 let has_sample t = t.samples > 0
+
+type state = {
+  s_srtt : float;
+  s_rttvar : float;
+  s_shift : int;
+  s_samples : int;
+}
+
+let capture t =
+  {
+    s_srtt = t.srtt;
+    s_rttvar = t.rttvar;
+    s_shift = t.shift;
+    s_samples = t.samples;
+  }
+
+let restore t st =
+  t.srtt <- st.s_srtt;
+  t.rttvar <- st.s_rttvar;
+  t.shift <- st.s_shift;
+  t.samples <- st.s_samples

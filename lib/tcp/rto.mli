@@ -24,3 +24,15 @@ val backoff : t -> unit
 (** Double the timeout (up to [max_rto]), as after a timer expiry. *)
 
 val has_sample : t -> bool
+
+type state = {
+  s_srtt : float;
+  s_rttvar : float;
+  s_shift : int;
+  s_samples : int;
+}
+(** Complete estimator state ([min_rto]/[max_rto] are configuration). *)
+
+val capture : t -> state
+
+val restore : t -> state -> unit

@@ -207,6 +207,70 @@ let in_flight_window t = t.next_seq - t.high_ack
 
 let pipe t = in_flight_window t - t.sacked_cnt - t.lost_cnt + t.rexmit_out
 
+type entry_state = {
+  e_seq : int;
+  e_sacked : bool;
+  e_lost : bool;
+  e_rexmitted : bool;
+  e_rexmit_time : float;
+}
+
+type state = {
+  s_entries : entry_state list;  (* ascending seq *)
+  s_high_ack : int;
+  s_next_seq : int;
+  s_highest_sacked : int;
+  s_sacked_cnt : int;
+  s_lost_cnt : int;
+  s_rexmit_out : int;
+  s_loss_floor : int;
+}
+
+let capture t =
+  let es =
+    Hashtbl.fold
+      (fun seq (e : entry) acc ->
+        {
+          e_seq = seq;
+          e_sacked = e.sacked;
+          e_lost = e.lost;
+          e_rexmitted = e.rexmitted;
+          e_rexmit_time = e.rexmit_time;
+        }
+        :: acc)
+      t.entries []
+  in
+  {
+    s_entries = List.sort (fun a b -> Int.compare a.e_seq b.e_seq) es;
+    s_high_ack = t.high_ack;
+    s_next_seq = t.next_seq;
+    s_highest_sacked = t.highest_sacked;
+    s_sacked_cnt = t.sacked_cnt;
+    s_lost_cnt = t.lost_cnt;
+    s_rexmit_out = t.rexmit_out;
+    s_loss_floor = t.loss_floor;
+  }
+
+let restore t st =
+  Hashtbl.reset t.entries;
+  List.iter
+    (fun e ->
+      Hashtbl.replace t.entries e.e_seq
+        {
+          sacked = e.e_sacked;
+          lost = e.e_lost;
+          rexmitted = e.e_rexmitted;
+          rexmit_time = e.e_rexmit_time;
+        })
+    st.s_entries;
+  t.high_ack <- st.s_high_ack;
+  t.next_seq <- st.s_next_seq;
+  t.highest_sacked <- st.s_highest_sacked;
+  t.sacked_cnt <- st.s_sacked_cnt;
+  t.lost_cnt <- st.s_lost_cnt;
+  t.rexmit_out <- st.s_rexmit_out;
+  t.loss_floor <- st.s_loss_floor
+
 let check_invariants t =
   let sacked = ref 0 and lost = ref 0 and rexmit = ref 0 in
   Hashtbl.iter

@@ -48,6 +48,7 @@ type t = {
   mutable in_recovery : bool;
   mutable recover_point : int;
   mutable timer : Sim.Scheduler.event_id option;
+  mutable start_event : Sim.Scheduler.event_id option;
   (* statistics *)
   cwnd_avg : Stats.Time_avg.t;
   rtt : Stats.Welford.t ref;
@@ -313,6 +314,7 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       in_recovery = false;
       recover_point = 0;
       timer = None;
+      start_event = None;
       cwnd_avg = Stats.Time_avg.create ~start ~value:params.init_cwnd;
       rtt = ref (Stats.Welford.create ());
       sent_new = 0;
@@ -353,7 +355,100 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       | _ -> ());
   (* Random sub-RTT stagger avoids artificial start synchronisation. *)
   let stagger = Sim.Rng.float (Net.Network.fork_rng net) 0.1 in
-  ignore
-    (Sim.Scheduler.schedule_at (Net.Network.scheduler net)
-       (start +. stagger) (fun () -> try_send t));
+  t.start_event <-
+    Some
+      (Sim.Scheduler.schedule_at (Net.Network.scheduler net) (start +. stagger)
+         (fun () ->
+           t.start_event <- None;
+           try_send t));
   t
+
+(* --- checkpoint/restore -------------------------------------------- *)
+
+type state = {
+  s_sb : Scoreboard.state;
+  s_rto : Rto.state;
+  s_receiver : Receiver.state;
+  s_cwnd : float;
+  s_ssthresh : float;
+  s_in_recovery : bool;
+  s_recover_point : int;
+  s_timer : Sim.Scheduler.event_id option;
+  s_start_event : Sim.Scheduler.event_id option;
+  s_cwnd_avg : Stats.Time_avg.state;
+  s_rtt : Stats.Welford.state;
+  s_sent_new : int;
+  s_retransmits : int;
+  s_window_cuts : int;
+  s_timeouts : int;
+  s_meas_time : float;
+  s_meas_delivered : int;
+  s_meas_sent_new : int;
+  s_meas_retransmits : int;
+  s_meas_window_cuts : int;
+  s_meas_timeouts : int;
+  s_completed_at : float option;
+}
+
+let capture t =
+  {
+    s_sb = Scoreboard.capture t.sb;
+    s_rto = Rto.capture t.rto;
+    s_receiver = Receiver.capture t.receiver;
+    s_cwnd = t.cwnd;
+    s_ssthresh = t.ssthresh;
+    s_in_recovery = t.in_recovery;
+    s_recover_point = t.recover_point;
+    s_timer = t.timer;
+    s_start_event = t.start_event;
+    s_cwnd_avg = Stats.Time_avg.capture t.cwnd_avg;
+    s_rtt = Stats.Welford.capture !(t.rtt);
+    s_sent_new = t.sent_new;
+    s_retransmits = t.retransmits;
+    s_window_cuts = t.window_cuts;
+    s_timeouts = t.timeouts;
+    s_meas_time = t.meas_time;
+    s_meas_delivered = t.meas_delivered;
+    s_meas_sent_new = t.meas_sent_new;
+    s_meas_retransmits = t.meas_retransmits;
+    s_meas_window_cuts = t.meas_window_cuts;
+    s_meas_timeouts = t.meas_timeouts;
+    s_completed_at = t.completed_at;
+  }
+
+let restore t st =
+  Scoreboard.restore t.sb st.s_sb;
+  Rto.restore t.rto st.s_rto;
+  Receiver.restore t.receiver st.s_receiver;
+  t.cwnd <- st.s_cwnd;
+  t.ssthresh <- st.s_ssthresh;
+  t.in_recovery <- st.s_in_recovery;
+  t.recover_point <- st.s_recover_point;
+  t.timer <- st.s_timer;
+  t.start_event <- st.s_start_event;
+  let sched = Net.Network.scheduler t.net in
+  (match st.s_timer with
+  | None -> ()
+  | Some id ->
+      Sim.Scheduler.rearm sched ~id (fun () ->
+          t.timer <- None;
+          on_timeout t));
+  (match st.s_start_event with
+  | None -> ()
+  | Some id ->
+      Sim.Scheduler.rearm sched ~id (fun () ->
+          t.start_event <- None;
+          try_send t));
+  Stats.Time_avg.restore t.cwnd_avg st.s_cwnd_avg;
+  Stats.Welford.restore !(t.rtt) st.s_rtt;
+  t.sent_new <- st.s_sent_new;
+  t.retransmits <- st.s_retransmits;
+  t.window_cuts <- st.s_window_cuts;
+  t.timeouts <- st.s_timeouts;
+  t.meas_time <- st.s_meas_time;
+  t.meas_delivered <- st.s_meas_delivered;
+  t.meas_sent_new <- st.s_meas_sent_new;
+  t.meas_retransmits <- st.s_meas_retransmits;
+  t.meas_window_cuts <- st.s_meas_window_cuts;
+  t.meas_timeouts <- st.s_meas_timeouts;
+  t.completed_at <- st.s_completed_at

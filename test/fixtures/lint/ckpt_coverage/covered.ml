@@ -1,0 +1,9 @@
+(* Mutable run state whose interface exports the capture/restore pair:
+   checkpoints can carry it, so ckpt-coverage stays silent. *)
+
+type t = { mutable count : int }
+
+let create () = { count = 0 }
+let bump t = t.count <- t.count + 1
+let capture t = t.count
+let restore t count = t.count <- count

@@ -1,0 +1,6 @@
+type t
+
+val create : unit -> t
+val bump : t -> unit
+val capture : t -> int
+val restore : t -> int -> unit

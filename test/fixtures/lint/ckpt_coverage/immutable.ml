@@ -1,0 +1,8 @@
+(* A record without mutable fields holds no run state the checkpoint
+   could miss; the rule must not fire here. *)
+
+type t = { label : string; weight : float }
+
+let create label weight = { label; weight }
+let label t = t.label
+let weight t = t.weight

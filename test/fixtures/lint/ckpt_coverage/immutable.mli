@@ -1,0 +1,5 @@
+type t
+
+val create : string -> float -> t
+val label : t -> string
+val weight : t -> float

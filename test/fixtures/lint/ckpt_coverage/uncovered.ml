@@ -1,0 +1,8 @@
+(* Mutable run state with no capture/restore in the interface: the
+   ckpt-coverage rule must fire, anchored at the mutable field. *)
+
+type t = { mutable count : int; label : string }
+
+let create label = { count = 0; label }
+let bump t = t.count <- t.count + 1
+let read t = (t.label, t.count)

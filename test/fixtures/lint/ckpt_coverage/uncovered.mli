@@ -1,0 +1,5 @@
+type t
+
+val create : string -> t
+val bump : t -> unit
+val read : t -> string * int

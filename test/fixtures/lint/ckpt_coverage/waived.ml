@@ -1,0 +1,8 @@
+(* lint: allow-file ckpt-coverage -- ephemeral diagnostic counter, never
+   part of a checkpoint *)
+
+type t = { mutable hits : int }
+
+let create () = { hits = 0 }
+let hit t = t.hits <- t.hits + 1
+let hits t = t.hits

@@ -1,0 +1,5 @@
+type t
+
+val create : unit -> t
+val hit : t -> unit
+val hits : t -> int

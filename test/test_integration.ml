@@ -184,6 +184,95 @@ let test_invariants_do_not_perturb_run () =
       Alcotest.(check string) "byte-identical exported metrics" plain_json
         checked_json)
 
+let test_checkpoint_restore_byte_identical () =
+  (* The ISSUE's core acceptance: a run restored from a checkpoint at
+     T/2 and driven to T must be byte-identical — exported registry
+     JSON, event journal, fairness numbers — to the uninterrupted run.
+     Also checks that writing checkpoints is passive (the checkpointed
+     run itself equals the plain run). *)
+  let config =
+    {
+      (Experiments.Sharing.default_config ~gateway:Experiments.Scenario.Droptail
+         ~case:Experiments.Tree.L4_all)
+      with
+      Experiments.Sharing.duration = 40.0;
+      warmup = 10.0;
+      seed = 7;
+    }
+  in
+  let render registry =
+    Runner.Json.to_string (Runner.Report.registry_json registry)
+  in
+  (* Uninterrupted instrumented reference. *)
+  let reg0 = Obs.Registry.create () in
+  let j0 = Ckpt.Journal.create () in
+  Ckpt.Journal.attach j0 reg0;
+  let r0 = Experiments.Sharing.run ~registry:reg0 config in
+  let json0 = render reg0 in
+  (* Same run, writing a checkpoint every 10 s. *)
+  let dir = Filename.temp_file "rla_ckpt_integ" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let reg1 = Obs.Registry.create () in
+      let j1 = Ckpt.Journal.create () in
+      let r1 =
+        Ckpt.Sharing_ckpt.run_with_checkpoints ~registry:reg1 ~journal:j1
+          ~every:10.0 ~dir ~prefix:"integ" config
+      in
+      Alcotest.(check string) "checkpointing is passive (registry JSON)" json0
+        (render reg1);
+      Alcotest.(check bool) "checkpointing is passive (journal)" true
+        (Ckpt.Journal.diff j0 j1 = None);
+      Alcotest.(check (float 0.0)) "checkpointing is passive (ratio)"
+        r0.Experiments.Sharing.ratio r1.Experiments.Sharing.ratio;
+      (* Restore the T/2 checkpoint and run to T. *)
+      let path =
+        Ckpt.Sharing_ckpt.checkpoint_file ~dir ~prefix:"integ" ~time:20.0
+      in
+      Alcotest.(check bool) "t=20 checkpoint exists" true (Sys.file_exists path);
+      match Ckpt.Sharing_ckpt.load ~path with
+      | Error e -> Alcotest.fail (Ckpt.Sharing_ckpt.error_to_string e)
+      | Ok loaded ->
+          let r2 = Ckpt.Sharing_ckpt.resume_run loaded in
+          let reg2 =
+            match loaded.Ckpt.Sharing_ckpt.registry with
+            | Some reg -> reg
+            | None -> Alcotest.fail "restored run lost its registry"
+          in
+          Alcotest.(check string) "restored run: byte-identical registry JSON"
+            json0 (render reg2);
+          (match loaded.Ckpt.Sharing_ckpt.journal with
+          | None -> Alcotest.fail "restored run lost its journal"
+          | Some j2 -> (
+              match Ckpt.Journal.diff j0 j2 with
+              | None -> ()
+              | Some d ->
+                  Alcotest.failf
+                    "restored journal diverges at entry %d (%s vs %s)"
+                    d.Ckpt.Journal.index
+                    (match d.Ckpt.Journal.a with
+                    | Some e -> Ckpt.Journal.entry_to_string e
+                    | None -> "<end>")
+                    (match d.Ckpt.Journal.b with
+                    | Some e -> Ckpt.Journal.entry_to_string e
+                    | None -> "<end>")));
+          Alcotest.(check int) "restored run: same congestion signals"
+            r0.Experiments.Sharing.rla.Rla.Sender.congestion_signals
+            r2.Experiments.Sharing.rla.Rla.Sender.congestion_signals;
+          Alcotest.(check (float 0.0)) "restored run: same RLA send rate"
+            r0.Experiments.Sharing.rla.Rla.Sender.send_rate
+            r2.Experiments.Sharing.rla.Rla.Sender.send_rate;
+          Alcotest.(check (float 0.0)) "restored run: same fairness ratio"
+            r0.Experiments.Sharing.ratio r2.Experiments.Sharing.ratio)
+
 let test_generalized_rla_helps_diff_rtt () =
   (* Without RTT scaling the nearby receivers' signals cut the window
      as often as the distant ones'; the generalized variant should give
@@ -321,5 +410,7 @@ let () =
           Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_run;
           Alcotest.test_case "invariants passive" `Slow
             test_invariants_do_not_perturb_run;
+          Alcotest.test_case "checkpoint/restore byte-identical" `Slow
+            test_checkpoint_restore_byte_identical;
         ] );
     ]

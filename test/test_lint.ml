@@ -81,6 +81,24 @@ let test_unused_export () =
   Alcotest.(check int) "strict mode promotes warnings" 1
     (Lint.Driver.exit_code ~strict:true fs)
 
+let test_ckpt_coverage () =
+  let fs = run [ fx "ckpt_coverage" ] in
+  (* Only uncovered.ml fires: covered.ml exports the pair, waived.ml
+     carries an allow-file annotation, immutable.ml has no mutable
+     field. *)
+  check_count fs ~rule:"ckpt-coverage" 1;
+  match
+    List.find_opt (fun (f : Lint.Finding.t) -> f.rule = "ckpt-coverage") fs
+  with
+  | None -> Alcotest.fail "expected a ckpt-coverage finding"
+  | Some f ->
+      Alcotest.(check string) "flags the uncovered module" "uncovered.ml"
+        (Filename.basename f.file);
+      (* Anchored at the mutable field, not line 1. *)
+      Alcotest.(check int) "mutable-field line" 4 f.line;
+      Alcotest.(check bool) "advisory severity" true
+        (f.severity = Lint.Finding.Warning)
+
 (* --- suppression and annotation integrity -------------------------- *)
 
 let test_suppressions_honoured () =
@@ -196,6 +214,7 @@ let () =
           Alcotest.test_case "mli-required" `Quick test_mli_required;
           Alcotest.test_case "parse-error" `Quick test_parse_error;
           Alcotest.test_case "unused-export" `Quick test_unused_export;
+          Alcotest.test_case "ckpt-coverage" `Quick test_ckpt_coverage;
         ] );
       ( "suppression",
         [
