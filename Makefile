@@ -16,7 +16,8 @@ INV_DIR ?= /tmp/rla_invariant_smoke
 CKPT_DIR ?= /tmp/rla_ckpt_smoke
 
 .PHONY: all build test lint smoke trace-smoke churn-smoke \
-  invariant-smoke ckpt-smoke check ci bench bench-churn bench-perf clean
+  invariant-smoke ckpt-smoke check ci bench bench-churn bench-perf \
+  bench-trend clean
 
 all: build
 
@@ -92,7 +93,7 @@ ckpt-smoke: build
 
 check: build test smoke
 
-ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke
+ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke bench-trend
 
 bench:
 	dune exec bench/main.exe
@@ -101,8 +102,18 @@ bench-churn: build
 	dune exec bin/rla_sweep.exe -- --churn --cases 1,3 --seeds 2 \
 	  --duration 120 --warmup 40 --jobs 2 --json BENCH_churn.json
 
+# Runs the perf scenarios, rewrites BENCH_perf.json, and appends one
+# line to the append-only BENCH_perf_history.jsonl trend record.
 bench-perf: build
 	dune exec bench/perf.exe -- BENCH_perf.json
+
+# Regression gate (wired into `make ci`): compares the checked-in
+# BENCH_perf.json against the best comparable run (same duration/seed)
+# in BENCH_perf_history.jsonl and fails on a >10% events/s drop.
+# Pure comparison — no simulation runs.  Tolerance override:
+# RLA_BENCH_TREND_TOLERANCE=0.2 make bench-trend
+bench-trend: build
+	dune exec bench/trend.exe -- BENCH_perf.json BENCH_perf_history.jsonl
 
 clean:
 	dune clean

@@ -116,4 +116,28 @@ let () =
   output_string oc (Runner.Json.to_string doc);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "wrote %s\n%!" json_path
+  Printf.printf "wrote %s\n%!" json_path;
+  (* Append-only trend history: every run adds one line (the same
+     document plus a wall-clock stamp) to <name>_history.jsonl next to
+     the JSON; `make bench-trend` gates regressions against the best
+     line whose duration/seed match.  Lines are never rewritten, so the
+     file is a permanent record of this machine's runs. *)
+  let history_path = Filename.remove_extension json_path ^ "_history.jsonl" in
+  let line =
+    Runner.Json.Obj
+      [
+        ("recorded_at", Runner.Json.Float (Unix.gettimeofday ()));
+        ("bench", Runner.Json.String "perf");
+        ("duration_s", Runner.Json.Float duration);
+        ("warmup_s", Runner.Json.Float warmup);
+        ("seed", Runner.Json.Int seed);
+        ("scenarios", Runner.Json.List rows);
+      ]
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 history_path
+  in
+  output_string oc (Runner.Json.to_string line);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "appended %s\n%!" history_path

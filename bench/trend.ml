@@ -1,0 +1,143 @@
+(* Perf trend gate (`make bench-trend`): compare the checked-in
+   BENCH_perf.json against the best run recorded in
+   BENCH_perf_history.jsonl and fail on a events/s regression beyond
+   the tolerance (default 10%, RLA_BENCH_TREND_TOLERANCE overrides).
+
+   Pure comparison — no simulation runs — so the gate is cheap enough
+   for `make ci`.  History lines only gate scenarios measured under the
+   same duration and seed; an empty or missing history passes (there is
+   nothing to regress against yet).
+
+   Usage: trend.exe [BENCH_perf.json [BENCH_perf_history.jsonl]] *)
+
+let tolerance =
+  match Sys.getenv_opt "RLA_BENCH_TREND_TOLERANCE" with
+  | None -> 0.10
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 && f < 1.0 -> f
+      | _ ->
+          Printf.eprintf
+            "rla-bench-trend: RLA_BENCH_TREND_TOLERANCE=%S is not a fraction \
+             in [0, 1); using 0.10\n\
+             %!"
+            s;
+          0.10)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+(* (duration, seed, [(scenario, events/s)]) of one perf document. *)
+let parse_doc ~path json =
+  let open Runner.Json in
+  let num field j =
+    match Option.bind (member field j) to_float_opt with
+    | Some f -> f
+    | None -> fail "%s: missing numeric %S field" path field
+  in
+  let duration = num "duration_s" json in
+  let seed = num "seed" json in
+  let scenarios =
+    match member "scenarios" json with
+    | Some (List rows) ->
+        List.map
+          (fun row ->
+            match Option.bind (member "name" row) to_string_opt with
+            | None -> fail "%s: scenario row without a name" path
+            | Some name -> (name, num "events_per_s" row))
+          rows
+    | _ -> fail "%s: missing \"scenarios\" list" path
+  in
+  (duration, seed, scenarios)
+
+let () =
+  let current_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_perf.json"
+  in
+  let history_path =
+    if Array.length Sys.argv > 2 then Sys.argv.(2)
+    else Filename.remove_extension current_path ^ "_history.jsonl"
+  in
+  if not (Sys.file_exists current_path) then
+    fail "rla-bench-trend: %s not found (run `make bench-perf` first)"
+      current_path;
+  let cur_duration, cur_seed, current =
+    parse_doc ~path:current_path
+      (try Runner.Json.of_string (String.trim (read_file current_path))
+       with Runner.Json.Parse_error e ->
+         fail "rla-bench-trend: %s: %s" current_path e)
+  in
+  let history_lines =
+    if not (Sys.file_exists history_path) then []
+    else
+      String.split_on_char '\n' (read_file history_path)
+      |> List.filter (fun l -> String.trim l <> "")
+  in
+  if history_lines = [] then begin
+    Printf.printf
+      "bench-trend: no history at %s — nothing to compare (run `make \
+       bench-perf` to record a baseline)\n\
+       %!"
+      history_path;
+    exit 0
+  end;
+  (* Best events/s per scenario over comparable history lines. *)
+  let best : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let comparable = ref 0 in
+  List.iteri
+    (fun i line ->
+      match Runner.Json.of_string line with
+      | exception Runner.Json.Parse_error e ->
+          fail "rla-bench-trend: %s line %d: %s" history_path (i + 1) e
+      | json ->
+          let duration, seed, rows = parse_doc ~path:history_path json in
+          if duration = cur_duration && seed = cur_seed then begin
+            incr comparable;
+            List.iter
+              (fun (name, eps) ->
+                match Hashtbl.find_opt best name with
+                | Some b when b >= eps -> ()
+                | _ -> Hashtbl.replace best name eps)
+              rows
+          end)
+    history_lines;
+  if !comparable = 0 then begin
+    Printf.printf
+      "bench-trend: %d history line(s) but none with duration %g / seed %g — \
+       nothing to compare\n\
+       %!"
+      (List.length history_lines) cur_duration cur_seed;
+    exit 0
+  end;
+  let failures = ref 0 in
+  List.iter
+    (fun (name, eps) ->
+      match Hashtbl.find_opt best name with
+      | None ->
+          Printf.printf "  %-16s %10.0f ev/s  (new scenario, no history)\n" name
+            eps
+      | Some b ->
+          let floor = b *. (1.0 -. tolerance) in
+          let verdict = if eps < floor then "REGRESSION" else "ok" in
+          if eps < floor then incr failures;
+          Printf.printf
+            "  %-16s %10.0f ev/s  best %10.0f  floor %10.0f  %s\n" name eps b
+            floor verdict)
+    current;
+  if !failures > 0 then
+    fail
+      "bench-trend: %d scenario(s) regressed more than %.0f%% below the best \
+       recorded run"
+      !failures (tolerance *. 100.0)
+  else
+    Printf.printf
+      "bench-trend OK (%d scenario(s) within %.0f%% of best over %d \
+       comparable run(s))\n\
+       %!"
+      (List.length current) (tolerance *. 100.0) !comparable

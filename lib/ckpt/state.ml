@@ -151,7 +151,9 @@ let r_packet r =
   let payload = r_payload r in
   let born = r_f64 r in
   let ecn = r_bool r in
-  { Net.Packet.uid; flow; src; dst; size; payload; born; ecn }
+  (* [refs] is not serialized: a deserialized packet is a private copy
+     with exactly one owner (the link state it is restored into). *)
+  { Net.Packet.uid; flow; src; dst; size; payload; born; ecn; refs = 1 }
 
 (* --- links / network ------------------------------------------------ *)
 

@@ -42,6 +42,8 @@ type t = {
   mutable rexmit_queue : (int * rexmit_target) list;
   queued : (int, unit) Hashtbl.t;
   mutable timer : Sim.Scheduler.event_id option;
+  mutable timeout_thunk : unit -> unit;
+      (* one closure shared by every (re)arm, not one per arm *)
   mutable start_event : Sim.Scheduler.event_id option;
   (* counters *)
   mutable num_trouble : int;
@@ -252,10 +254,7 @@ let rec arm_timer t =
     let id =
       Sim.Scheduler.schedule_after
         (Net.Network.scheduler t.net)
-        (Tcp.Rto.timeout t.rto)
-        (fun () ->
-          t.timer <- None;
-          on_timeout t)
+        (Tcp.Rto.timeout t.rto) t.timeout_thunk
     in
     t.timer <- Some id
   end
@@ -671,6 +670,7 @@ let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
       rexmit_queue = [];
       queued = Hashtbl.create 64;
       timer = None;
+      timeout_thunk = ignore;
       start_event = None;
       num_trouble = 1;
       window_cuts = 0;
@@ -696,6 +696,10 @@ let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
       taps = None;
     }
   in
+  t.timeout_thunk <-
+    (fun () ->
+      t.timer <- None;
+      on_timeout t);
   (match Net.Network.observer net with
   | None -> ()
   | Some reg ->
@@ -877,10 +881,7 @@ let restore t st =
   let sched = Net.Network.scheduler t.net in
   (match st.s_timer with
   | None -> ()
-  | Some id ->
-      Sim.Scheduler.rearm sched ~id (fun () ->
-          t.timer <- None;
-          on_timeout t));
+  | Some id -> Sim.Scheduler.rearm sched ~id t.timeout_thunk);
   (match st.s_start_event with
   | None -> ()
   | Some id ->

@@ -14,17 +14,33 @@ type stats = {
   marked : int;
 }
 
+(* The link owns one packet reference for everything it holds (buffer,
+   in service, on the wire) and settles it on every exit path: drops
+   release back to the pool, deliveries transfer the reference to the
+   [deliver] callback.
+
+   Event closures are shared, not per-packet: the link is strictly FIFO
+   (the delivery clamp in [propagate] plus in-order event ids), so the
+   next tx completion always concerns [in_service] and the next
+   delivery always concerns the front of the [wire] ring.  One
+   [tx_thunk] and one [deliver_thunk] per link replace a closure (and a
+   ref cell) per packet. *)
 type t = {
   id : string;
   sched : Sim.Scheduler.t;
   rng : Sim.Rng.t;
+  pool : Packet.Pool.t;
   mutable config : config;
   disc : Queue_disc.t;
-  buffer : Packet.t Queue.t;
+  buffer : Packet.t Ring.t;
   deliver : Packet.t -> unit;
-  (* Packets past serialization, keyed by their delivery event id, so a
-     checkpoint can re-arm every delivery still on the wire. *)
-  inflight : (Sim.Scheduler.event_id, Packet.t) Hashtbl.t;
+  (* Packets past serialization in delivery order, with their delivery
+     event ids (ascending), so a checkpoint can re-arm every delivery
+     still on the wire. *)
+  wire_ids : int Ring.t;
+  wire_pkts : Packet.t Ring.t;
+  mutable tx_thunk : unit -> unit;
+  mutable deliver_thunk : unit -> unit;
   mutable busy : bool;
   mutable in_service : Packet.t option;
   mutable tx_event : Sim.Scheduler.event_id option;
@@ -49,56 +65,11 @@ and taps = {
   delivered_c : Obs.Registry.counter;
 }
 
-let create ~sched ~rng ~id config ~deliver =
-  if config.bandwidth_bps <= 0.0 then
-    invalid_arg "Link.create: bandwidth must be positive";
-  if config.prop_delay < 0.0 then
-    invalid_arg "Link.create: negative propagation delay";
-  {
-    id;
-    sched;
-    rng;
-    config;
-    disc = Queue_disc.create config.queue ~capacity:config.capacity ~rng;
-    buffer = Queue.create ();
-    deliver;
-    inflight = Hashtbl.create 16;
-    busy = false;
-    in_service = None;
-    tx_event = None;
-    up = true;
-    down_since = 0.0;
-    downtime_acc = 0.0;
-    last_delivery = 0.0;
-    offered = 0;
-    dropped = 0;
-    delivered = 0;
-    bytes_delivered = 0;
-    marked = 0;
-    drop_hook = None;
-    taps = None;
-  }
-
-let set_registry t reg =
-  t.taps <-
-    Option.map
-      (fun r ->
-        {
-          reg = r;
-          qlen_s = Obs.Registry.series r (Printf.sprintf "link.%s.qlen" t.id);
-          drops_c = Obs.Registry.counter r (Printf.sprintf "link.%s.drops" t.id);
-          marks_c = Obs.Registry.counter r (Printf.sprintf "link.%s.marks" t.id);
-          delivered_c =
-            Obs.Registry.counter r (Printf.sprintf "link.%s.delivered" t.id);
-        })
-      reg;
-  Queue_disc.set_registry t.disc reg ~id:t.id
-
 let id t = t.id
 
 let config t = t.config
 
-let qlen t = Queue.length t.buffer
+let qlen t = Ring.length t.buffer
 
 let busy t = t.busy
 
@@ -140,8 +111,9 @@ let count_drop t pkt =
         ~time:(Sim.Scheduler.now t.sched)
         ~source:(Printf.sprintf "link.%s" t.id)
         ~event:"drop"
-        ~value:(float_of_int (Queue.length t.buffer)));
-  match t.drop_hook with None -> () | Some hook -> hook pkt
+        ~value:(float_of_int (Ring.length t.buffer)));
+  (match t.drop_hook with None -> () | Some hook -> hook pkt);
+  Packet.Pool.release t.pool pkt
 
 (* Deliver after propagation (+ optional phase jitter of up to one
    service time, section 3.1 of the paper).  The jitter is drawn
@@ -152,9 +124,12 @@ let count_drop t pkt =
    runtime reconfiguration: shrinking [prop_delay] or growing
    [bandwidth_bps] mid-run cannot schedule a delivery before one
    already on the wire. *)
-let deliver_inflight t id pkt =
-  Hashtbl.remove t.inflight id;
-  t.deliver pkt
+let deliver_front t =
+  match (Ring.pop t.wire_ids, Ring.pop t.wire_pkts) with
+  | Some _, Some pkt -> t.deliver pkt
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Link %s: delivery fired with an empty wire" t.id)
 
 let propagate t pkt =
   let jitter =
@@ -176,29 +151,28 @@ let propagate t pkt =
           t.id at t.last_delivery
           (Sim.Scheduler.now t.sched));
   t.last_delivery <- at;
-  (* The event id is only known once scheduled; the closure dereferences
-     it at fire time, strictly after this binding completes. *)
-  let rid = ref (-1) in
-  let id =
-    Sim.Scheduler.schedule_at t.sched at (fun () ->
-        deliver_inflight t !rid pkt)
-  in
-  rid := id;
-  Hashtbl.replace t.inflight id pkt
+  let eid = Sim.Scheduler.schedule_at t.sched at t.deliver_thunk in
+  Ring.push t.wire_ids eid;
+  Ring.push t.wire_pkts pkt
 
-let rec complete_tx t pkt () =
-  t.tx_event <- None;
-  t.in_service <- None;
-  t.delivered <- t.delivered + 1;
-  t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
-  (match t.taps with
-  | None -> ()
-  | Some taps -> Obs.Registry.incr taps.delivered_c);
-  propagate t pkt;
-  start_transmission t
+let rec complete_tx t =
+  match t.in_service with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Link %s: tx completion with nothing in service" t.id)
+  | Some pkt ->
+      t.tx_event <- None;
+      t.in_service <- None;
+      t.delivered <- t.delivered + 1;
+      t.bytes_delivered <- t.bytes_delivered + pkt.Packet.size;
+      (match t.taps with
+      | None -> ()
+      | Some taps -> Obs.Registry.incr taps.delivered_c);
+      propagate t pkt;
+      start_transmission t
 
 and start_transmission t =
-  match Queue.take_opt t.buffer with
+  match Ring.pop t.buffer with
   | None ->
       t.busy <- false;
       Queue_disc.on_empty t.disc ~now:(Sim.Scheduler.now t.sched)
@@ -206,15 +180,69 @@ and start_transmission t =
       t.busy <- true;
       t.in_service <- Some pkt;
       let tx = service_time t pkt.Packet.size in
-      t.tx_event <- Some (Sim.Scheduler.schedule_after t.sched tx (complete_tx t pkt))
+      t.tx_event <- Some (Sim.Scheduler.schedule_after t.sched tx t.tx_thunk)
+
+let create ~sched ~rng ~pool ~id config ~deliver =
+  if config.bandwidth_bps <= 0.0 then
+    invalid_arg "Link.create: bandwidth must be positive";
+  if config.prop_delay < 0.0 then
+    invalid_arg "Link.create: negative propagation delay";
+  let t =
+    {
+      id;
+      sched;
+      rng;
+      pool;
+      config;
+      disc = Queue_disc.create config.queue ~capacity:config.capacity ~rng;
+      buffer = Ring.create ~dummy:Packet.Pool.dummy_pkt;
+      deliver;
+      wire_ids = Ring.create ~dummy:(-1);
+      wire_pkts = Ring.create ~dummy:Packet.Pool.dummy_pkt;
+      tx_thunk = ignore;
+      deliver_thunk = ignore;
+      busy = false;
+      in_service = None;
+      tx_event = None;
+      up = true;
+      down_since = 0.0;
+      downtime_acc = 0.0;
+      last_delivery = 0.0;
+      offered = 0;
+      dropped = 0;
+      delivered = 0;
+      bytes_delivered = 0;
+      marked = 0;
+      drop_hook = None;
+      taps = None;
+    }
+  in
+  t.tx_thunk <- (fun () -> complete_tx t);
+  t.deliver_thunk <- (fun () -> deliver_front t);
+  t
+
+let set_registry t reg =
+  t.taps <-
+    Option.map
+      (fun r ->
+        {
+          reg = r;
+          qlen_s = Obs.Registry.series r (Printf.sprintf "link.%s.qlen" t.id);
+          drops_c = Obs.Registry.counter r (Printf.sprintf "link.%s.drops" t.id);
+          marks_c = Obs.Registry.counter r (Printf.sprintf "link.%s.marks" t.id);
+          delivered_c =
+            Obs.Registry.counter r (Printf.sprintf "link.%s.delivered" t.id);
+        })
+      reg;
+  Queue_disc.set_registry t.disc reg ~id:t.id
 
 let check_occupancy t =
   if !Sim.Invariant.enabled then
     Sim.Invariant.require
-      (Queue.length t.buffer <= Queue_disc.capacity t.disc)
+      (Ring.length t.buffer <= Queue_disc.capacity t.disc)
       (fun () ->
         Printf.sprintf "Link %s: occupancy %d exceeds capacity %d" t.id
-          (Queue.length t.buffer)
+          (Ring.length t.buffer)
           (Queue_disc.capacity t.disc))
 
 let send t pkt =
@@ -227,39 +255,55 @@ let send t pkt =
   else begin
     let now = Sim.Scheduler.now t.sched in
     let decision =
-      Queue_disc.on_arrival t.disc ~now ~qlen:(Queue.length t.buffer)
+      Queue_disc.on_arrival t.disc ~now ~qlen:(Ring.length t.buffer)
     in
     (match t.taps with
     | None -> ()
     | Some taps -> (
         Obs.Series.add taps.qlen_s ~time:now
-          (float_of_int (Queue.length t.buffer));
+          (float_of_int (Ring.length t.buffer));
         match decision with
         | `Drop ->
             Obs.Registry.incr taps.drops_c;
             Obs.Registry.emit taps.reg ~time:now
               ~source:(Printf.sprintf "link.%s" t.id)
               ~event:"drop"
-              ~value:(float_of_int (Queue.length t.buffer))
+              ~value:(float_of_int (Ring.length t.buffer))
         | `Mark ->
             Obs.Registry.incr taps.marks_c;
             Obs.Registry.emit taps.reg ~time:now
               ~source:(Printf.sprintf "link.%s" t.id)
               ~event:"mark"
-              ~value:(float_of_int (Queue.length t.buffer))
+              ~value:(float_of_int (Ring.length t.buffer))
         | `Admit -> ()));
     match decision with
     | `Drop -> begin
         t.dropped <- t.dropped + 1;
-        match t.drop_hook with None -> () | Some hook -> hook pkt
+        (match t.drop_hook with None -> () | Some hook -> hook pkt);
+        Packet.Pool.release t.pool pkt
       end
     | `Admit ->
-        Queue.add pkt t.buffer;
+        Ring.push t.buffer pkt;
         check_occupancy t;
         if not t.busy then start_transmission t
     | `Mark ->
         t.marked <- t.marked + 1;
-        Queue.add { pkt with Packet.ecn = true } t.buffer;
+        (* Mark in place when this link is the sole owner; a packet
+           shared by a multicast fan-out gets a private marked copy
+           (same uid) so sibling branches keep the unmarked original. *)
+        let marked_pkt =
+          if pkt.Packet.refs = 1 then begin
+            pkt.Packet.ecn <- true;
+            pkt
+          end
+          else begin
+            let c = Packet.Pool.acquire_copy t.pool pkt in
+            c.Packet.ecn <- true;
+            Packet.Pool.release t.pool pkt;
+            c
+          end
+        in
+        Ring.push t.buffer marked_pkt;
         check_occupancy t;
         if not t.busy then start_transmission t
   end
@@ -298,9 +342,14 @@ let set_down t =
         count_drop t pkt);
     t.busy <- false;
     (* Everything queued behind it is flushed into the drop count. *)
-    while not (Queue.is_empty t.buffer) do
-      count_drop t (Queue.take t.buffer)
-    done;
+    let rec flush () =
+      match Ring.pop t.buffer with
+      | None -> ()
+      | Some pkt ->
+          count_drop t pkt;
+          flush ()
+    in
+    flush ();
     if was_busy then Queue_disc.on_empty t.disc ~now:(Sim.Scheduler.now t.sched)
   end
 
@@ -334,17 +383,28 @@ type state = {
   s_disc : Queue_disc.state;
 }
 
+(* Captured packets are private copies: live packets are recycled
+   through the pool as the simulation advances, so a state that shared
+   records with the running link would be silently rewritten.  The
+   copies are plain records with one reference, valid whether the state
+   is serialized or restored in-memory later. *)
+let snapshot_pkt (p : Packet.t) = { p with Packet.refs = 1 }
+
 let capture t =
+  let wire =
+    List.map2
+      (fun id pkt -> (id, snapshot_pkt pkt))
+      (Ring.capture t.wire_ids)
+      (Ring.capture t.wire_pkts)
+  in
   {
     s_bandwidth_bps = t.config.bandwidth_bps;
     s_prop_delay = t.config.prop_delay;
-    s_buffer = List.of_seq (Queue.to_seq t.buffer);
+    s_buffer = List.map snapshot_pkt (Ring.capture t.buffer);
     s_busy = t.busy;
-    s_in_service = t.in_service;
+    s_in_service = Option.map snapshot_pkt t.in_service;
     s_tx_event = t.tx_event;
-    s_inflight =
-      Hashtbl.fold (fun id pkt acc -> (id, pkt) :: acc) t.inflight []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b);
+    s_inflight = wire;
     s_up = t.up;
     s_down_since = t.down_since;
     s_downtime_acc = t.downtime_acc;
@@ -360,7 +420,9 @@ let capture t =
 
 (* Must run after [Sim.Scheduler.restore]: the tx-completion and every
    in-flight delivery re-arm under their original event ids.  The RNG
-   is set once here — the queue discipline shares the same generator. *)
+   is set once here — the queue discipline shares the same generator.
+   Installed packets are copies of the state's (the state stays
+   pristine if restored again). *)
 let restore t st =
   t.config <-
     {
@@ -368,23 +430,21 @@ let restore t st =
       bandwidth_bps = st.s_bandwidth_bps;
       prop_delay = st.s_prop_delay;
     };
-  Queue.clear t.buffer;
-  List.iter (fun pkt -> Queue.add pkt t.buffer) st.s_buffer;
+  Ring.restore t.buffer (List.map snapshot_pkt st.s_buffer);
   t.busy <- st.s_busy;
-  t.in_service <- st.s_in_service;
+  t.in_service <- Option.map snapshot_pkt st.s_in_service;
   t.tx_event <- st.s_tx_event;
-  (match (st.s_tx_event, st.s_in_service) with
-  | Some id, Some pkt -> Sim.Scheduler.rearm t.sched ~id (complete_tx t pkt)
+  (match (st.s_tx_event, t.in_service) with
+  | Some id, Some _ -> Sim.Scheduler.rearm t.sched ~id t.tx_thunk
   | Some id, None ->
       invalid_arg
         (Printf.sprintf "Link.restore: %s: tx event %d with nothing in service"
            t.id id)
   | None, _ -> ());
-  Hashtbl.reset t.inflight;
+  Ring.restore t.wire_ids (List.map fst st.s_inflight);
+  Ring.restore t.wire_pkts (List.map (fun (_, p) -> snapshot_pkt p) st.s_inflight);
   List.iter
-    (fun (id, pkt) ->
-      Hashtbl.replace t.inflight id pkt;
-      Sim.Scheduler.rearm t.sched ~id (fun () -> deliver_inflight t id pkt))
+    (fun (id, _) -> Sim.Scheduler.rearm t.sched ~id t.deliver_thunk)
     st.s_inflight;
   t.up <- st.s_up;
   t.down_since <- st.s_down_since;

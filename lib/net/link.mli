@@ -41,14 +41,21 @@ type stats = {
 val create :
   sched:Sim.Scheduler.t ->
   rng:Sim.Rng.t ->
+  pool:Packet.Pool.t ->
   id:string ->
   config ->
   deliver:(Packet.t -> unit) ->
   t
+(** [pool] receives every packet the link drops; admitted packets carry
+    their reference through to the [deliver] callback, which assumes
+    ownership. *)
 
 val send : t -> Packet.t -> unit
 (** Offer a packet; drops are counted, not signalled to the caller
-    (endpoints learn about losses end-to-end, as in the real network). *)
+    (endpoints learn about losses end-to-end, as in the real network).
+    The caller's reference transfers to the link: a dropped packet is
+    released back to the pool after the drop hook runs, a delivered one
+    is handed on to the [deliver] callback. *)
 
 val id : t -> string
 

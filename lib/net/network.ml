@@ -1,6 +1,7 @@
 type t = {
   sched : Sim.Scheduler.t;
   root_rng : Sim.Rng.t;
+  pool : Packet.Pool.t;
   trace : Sim.Trace.t;
   mutable nodes : Node.t array;
   mutable n_nodes : int;
@@ -22,6 +23,7 @@ let create ?(seed = 1) () =
   {
     sched = Sim.Scheduler.create ();
     root_rng = Sim.Rng.create seed;
+    pool = Packet.Pool.create ();
     trace = Sim.Trace.create ();
     nodes = [||];
     n_nodes = 0;
@@ -40,6 +42,8 @@ let scheduler t = t.sched
 
 let rng t = t.root_rng
 
+let pool t = t.pool
+
 let fork_rng t = Sim.Rng.split t.root_rng
 
 let trace t = t.trace
@@ -55,7 +59,7 @@ let now t = Sim.Scheduler.now t.sched
 
 let add_node t =
   let id = t.n_nodes in
-  let node = Node.create id in
+  let node = Node.create ~pool:t.pool id in
   if t.n_nodes = Array.length t.nodes then begin
     let grown = Array.make (Stdlib.max 8 (2 * t.n_nodes)) node in
     Array.blit t.nodes 0 grown 0 t.n_nodes;
@@ -83,7 +87,7 @@ let one_way t a b config =
   let dst_node = node t b in
   let id = Printf.sprintf "%d->%d" a b in
   let link =
-    Link.create ~sched:t.sched ~rng:(fork_rng t) ~id config
+    Link.create ~sched:t.sched ~rng:(fork_rng t) ~pool:t.pool ~id config
       ~deliver:(fun pkt -> Node.receive dst_node pkt)
   in
   Hashtbl.replace t.directed (a, b) link;
@@ -219,7 +223,7 @@ let fresh_group t =
 let make_packet t ~flow ~src ~dst ~size ~payload =
   let uid = t.next_uid in
   t.next_uid <- uid + 1;
-  { Packet.uid; flow; src; dst; size; payload; born = now t; ecn = false }
+  Packet.Pool.acquire t.pool ~uid ~flow ~src ~dst ~size ~payload ~born:(now t)
 
 let send t pkt = Node.receive (node t pkt.Packet.src) pkt
 

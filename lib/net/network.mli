@@ -15,6 +15,10 @@ val scheduler : t -> Sim.Scheduler.t
 val rng : t -> Sim.Rng.t
 (** The root RNG; prefer {!fork_rng} for components. *)
 
+val pool : t -> Packet.Pool.t
+(** The network-wide packet pool; every node and link recycles through
+    it. *)
+
 val fork_rng : t -> Sim.Rng.t
 (** An independent RNG stream. *)
 
@@ -80,10 +84,13 @@ val make_packet :
   size:int ->
   payload:Packet.payload ->
   Packet.t
-(** Allocate a packet stamped with the current time and a fresh uid. *)
+(** A pooled packet stamped with the current time and a fresh uid; the
+    caller owns its single reference (normally settled by passing it to
+    {!send}). *)
 
 val send : t -> Packet.t -> unit
-(** Inject a packet at its source node. *)
+(** Inject a packet at its source node; consumes the caller's packet
+    reference. *)
 
 val run_until : t -> float -> unit
 

@@ -1,5 +1,6 @@
 type t = {
   id : Packet.addr;
+  pool : Packet.Pool.t;
   routes : (Packet.addr, Link.t) Hashtbl.t;
   mcast : (Packet.group, Link.t list ref) Hashtbl.t;
   groups : (Packet.group, unit) Hashtbl.t;
@@ -7,9 +8,10 @@ type t = {
   mutable undeliverable : int;
 }
 
-let create id =
+let create ~pool id =
   {
     id;
+    pool;
     routes = Hashtbl.create 16;
     mcast = Hashtbl.create 4;
     groups = Hashtbl.create 4;
@@ -41,21 +43,39 @@ let attach t ~flow handler = Hashtbl.replace t.handlers flow handler
 
 let detach t ~flow = Hashtbl.remove t.handlers flow
 
+(* Handlers may read the packet for the duration of the call only; the
+   caller still owns the reference and releases (or forwards) it after
+   the handler returns. *)
 let deliver_local t pkt =
   match Hashtbl.find_opt t.handlers pkt.Packet.flow with
   | Some handler -> handler pkt
   | None -> t.undeliverable <- t.undeliverable + 1
 
+(* [receive] owns one reference to [pkt] and settles it on every path:
+   terminal deliveries (and undeliverable packets) release it back to
+   the pool, each forwarding [Link.send] consumes one reference, and a
+   multicast fan-out over [n] links retains [n - 1] extra references
+   up front so every branch owns its own claim on the shared record. *)
 let receive t pkt =
   match pkt.Packet.dst with
-  | Packet.Unicast a when a = t.id -> deliver_local t pkt
+  | Packet.Unicast a when a = t.id ->
+      deliver_local t pkt;
+      Packet.Pool.release t.pool pkt
   | Packet.Unicast a -> (
       match route t ~dest:a with
       | Some link -> Link.send link pkt
-      | None -> t.undeliverable <- t.undeliverable + 1)
-  | Packet.Multicast g ->
+      | None ->
+          t.undeliverable <- t.undeliverable + 1;
+          Packet.Pool.release t.pool pkt)
+  | Packet.Multicast g -> (
       if joined t ~group:g then deliver_local t pkt;
-      List.iter (fun link -> Link.send link pkt) (mcast_routes t ~group:g)
+      match mcast_routes t ~group:g with
+      | [] -> Packet.Pool.release t.pool pkt
+      | [ link ] -> Link.send link pkt
+      | first :: rest ->
+          List.iter (fun _ -> Packet.Pool.retain pkt) rest;
+          Link.send first pkt;
+          List.iter (fun link -> Link.send link pkt) rest)
 
 let undeliverable t = t.undeliverable
 

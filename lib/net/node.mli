@@ -7,7 +7,9 @@
 
 type t
 
-val create : Packet.addr -> t
+val create : pool:Packet.Pool.t -> Packet.addr -> t
+(** [pool] settles the references of packets this node terminates
+    (local delivery, undeliverable). *)
 
 val id : t -> Packet.addr
 
@@ -35,7 +37,12 @@ val detach : t -> flow:Packet.flow -> unit
 
 val receive : t -> Packet.t -> unit
 (** Entry point for packets arriving at (or originating from) this
-    node: local delivery and/or forwarding. *)
+    node: local delivery and/or forwarding.  Consumes the caller's
+    packet reference: terminal packets are released back to the pool
+    after the flow handler returns (handlers must not stash the
+    record), forwarded ones transfer their reference to the links —
+    a multicast fan-out retains one extra reference per additional
+    branch first. *)
 
 val undeliverable : t -> int
 (** Packets that reached this node but had no handler and no route. *)

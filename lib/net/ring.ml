@@ -1,0 +1,76 @@
+(* Growable circular FIFO backed by a single array.
+
+   Unlike [Stdlib.Queue] there is no per-element cell allocation: push
+   and pop touch one array slot each, so the link hot path (enqueue,
+   dequeue, wire tracking) stops allocating per packet.  Capacity is a
+   power of two so the index wrap is a mask, and popped slots are
+   overwritten with the caller-supplied dummy so a drained ring keeps
+   no element reachable. *)
+
+type 'a t = {
+  mutable buf : 'a array;
+  mutable head : int;  (* index of the front element *)
+  mutable len : int;
+  dummy : 'a;
+}
+
+let initial_capacity = 16
+
+let create ~dummy = { buf = [||]; head = 0; len = 0; dummy }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  if t.len = cap then begin
+    let new_cap = if cap = 0 then initial_capacity else 2 * cap in
+    let buf = Array.make new_cap t.dummy in
+    for i = 0 to t.len - 1 do
+      buf.(i) <- t.buf.((t.head + i) land (cap - 1))
+    done;
+    t.buf <- buf;
+    t.head <- 0
+  end
+
+let push t x =
+  grow t;
+  let mask = Array.length t.buf - 1 in
+  t.buf.((t.head + t.len) land mask) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.buf.(t.head) in
+    t.buf.(t.head) <- t.dummy;
+    t.head <- (t.head + 1) land (Array.length t.buf - 1);
+    t.len <- t.len - 1;
+    Some x
+  end
+
+let peek t = if t.len = 0 then None else Some t.buf.(t.head)
+
+let clear t =
+  let mask = Array.length t.buf - 1 in
+  for i = 0 to t.len - 1 do
+    t.buf.((t.head + i) land mask) <- t.dummy
+  done;
+  t.head <- 0;
+  t.len <- 0
+
+let iter t ~f =
+  let mask = Array.length t.buf - 1 in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) land mask)
+  done
+
+let capture t =
+  let xs = ref [] in
+  iter t ~f:(fun x -> xs := x :: !xs);
+  List.rev !xs
+
+let restore t xs =
+  clear t;
+  List.iter (fun x -> push t x) xs

@@ -20,3 +20,26 @@ type t =
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Parsing}
+
+    Recursive-descent reader for the documents this module emits (and
+    standard JSON generally), so tooling — e.g. the bench-trend gate —
+    can read its own output back without an external dependency. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON document; raises {!Parse_error} on malformed input
+    or trailing characters.  Numbers with a fraction or exponent come
+    back as [Float], others as [Int]; [Verbatim] is never produced. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] as a float. *)
+
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option

@@ -1,79 +1,121 @@
 (* Array-based binary min-heap.  Ordering is lexicographic on
    (priority, sequence number) so that insertions at equal priority pop
-   in FIFO order — required for deterministic event scheduling. *)
+   in FIFO order — required for deterministic event scheduling.
 
-type 'a entry = { prio : float; seq : int; value : 'a }
+   The layout is a structure of arrays: priorities live in an unboxed
+   [float array], tie-break counters in an [int array], and values in a
+   uniform pointer array.  Sift operations therefore compare raw floats
+   and ints without chasing a boxed entry record per element, and
+   adding an element allocates nothing beyond amortized array growth.
+
+   Values are stored through [Obj.repr] in a uniform (non-flat) array
+   created from an immediate, so the representation is safe for every
+   ['a] including [float] (floats are stored boxed, never unboxed, and
+   all accesses go through the uniform-array path).  Vacated slots are
+   overwritten with the immediate dummy on [pop], [clear] and
+   [restore], so a drained heap keeps no value (and hence no closure,
+   packet or sender captured by one) reachable. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prios : float array;
+  mutable seqs : int array;
+  mutable vals : Obj.t array;
   mutable size : int;
   mutable next_seq : int;
 }
 
 let initial_capacity = 64
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let dummy : Obj.t = Obj.repr 0
+
+let create () =
+  { prios = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let lt a b =
-  match Float.compare a.prio b.prio with
-  | 0 -> Int.compare a.seq b.seq < 0
-  | c -> c < 0
+(* (prio, seq) at index [i] precedes index [j]. *)
+let lt t i j =
+  let pi = Array.unsafe_get t.prios i and pj = Array.unsafe_get t.prios j in
+  if pi < pj then true
+  else if pi > pj then false
+  else Array.unsafe_get t.seqs i < Array.unsafe_get t.seqs j
 
-let grow t entry =
-  let cap = Array.length t.data in
+let grow t =
+  let cap = Array.length t.prios in
   if t.size = cap then begin
     let new_cap = if cap = 0 then initial_capacity else 2 * cap in
-    let data = Array.make new_cap entry in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
+    let prios = Array.make new_cap 0.0 in
+    let seqs = Array.make new_cap 0 in
+    let vals = Array.make new_cap dummy in
+    Array.blit t.prios 0 prios 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.prios <- prios;
+    t.seqs <- seqs;
+    t.vals <- vals
   end
 
-let rec sift_up t i =
-  if i > 0 then begin
+(* Sifts are hole-based: instead of swapping three arrays at every
+   level, the moving element's (prio, seq) stay in registers while
+   displaced entries are pulled into the hole, and the caller writes
+   the moving element once at the returned index.  Both loops are
+   tail-recursive, so the hot path allocates nothing.  Unsafe accesses
+   are in-bounds by construction ([grow] ran / indices < [t.size]). *)
+
+(* Final index for an element [(prio, seq)] inserted at hole [i],
+   pulling larger parents down as it ascends. *)
+let rec sift_up_hole t ~prio ~seq i =
+  if i = 0 then 0
+  else begin
     let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
+    let pp = Array.unsafe_get t.prios parent in
+    if prio < pp || (prio = pp && seq < Array.unsafe_get t.seqs parent) then begin
+      Array.unsafe_set t.prios i pp;
+      Array.unsafe_set t.seqs i (Array.unsafe_get t.seqs parent);
+      Array.unsafe_set t.vals i (Array.unsafe_get t.vals parent);
+      sift_up_hole t ~prio ~seq parent
     end
+    else i
   end
 
-let rec sift_down t i =
+(* Final index for an element [(prio, seq)] descending from hole [i],
+   pulling the smaller child up at each level. *)
+let rec sift_down_hole t ~prio ~seq i =
   let left = (2 * i) + 1 in
-  let right = left + 1 in
-  let smallest = ref i in
-  if left < t.size && lt t.data.(left) t.data.(!smallest) then smallest := left;
-  if right < t.size && lt t.data.(right) t.data.(!smallest) then
-    smallest := right;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+  if left >= t.size then i
+  else begin
+    let right = left + 1 in
+    let c = if right < t.size && lt t right left then right else left in
+    let cp = Array.unsafe_get t.prios c in
+    if cp < prio || (cp = prio && Array.unsafe_get t.seqs c < seq) then begin
+      Array.unsafe_set t.prios i cp;
+      Array.unsafe_set t.seqs i (Array.unsafe_get t.seqs c);
+      Array.unsafe_set t.vals i (Array.unsafe_get t.vals c);
+      sift_down_hole t ~prio ~seq c
+    end
+    else i
   end
+
+let push t ~prio ~seq value =
+  grow t;
+  let v = Obj.repr value in
+  let i = sift_up_hole t ~prio ~seq t.size in
+  t.size <- t.size + 1;
+  Array.unsafe_set t.prios i prio;
+  Array.unsafe_set t.seqs i seq;
+  Array.unsafe_set t.vals i v
 
 let add t ~prio value =
-  let entry = { prio; seq = t.next_seq; value } in
-  t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.data.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  push t ~prio ~seq value
 
 (* Restore path: re-insert an element under its original tie-break
    counter so that a restored heap pops in exactly the original order.
    The caller owns seq uniqueness; [next_seq] is left untouched. *)
-let add_with_seq t ~prio ~seq value =
-  let entry = { prio; seq; value } in
-  grow t entry;
-  t.data.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+let add_with_seq t ~prio ~seq value = push t ~prio ~seq value
 
 let next_seq t = t.next_seq
 
@@ -82,55 +124,88 @@ let set_next_seq t n = t.next_seq <- n
 let capture t =
   let xs = ref [] in
   for i = 0 to t.size - 1 do
-    let e = t.data.(i) in
-    xs := (e.prio, e.seq, e.value) :: !xs
+    xs := (t.prios.(i), t.seqs.(i), (Obj.obj t.vals.(i) : 'a)) :: !xs
   done;
   List.sort
     (fun (p1, s1, _) (p2, s2, _) ->
       match Float.compare p1 p2 with 0 -> Int.compare s1 s2 | c -> c)
     !xs
 
+let clear t =
+  t.prios <- [||];
+  t.seqs <- [||];
+  t.vals <- [||];
+  t.size <- 0
+
 let restore t ~next_seq entries =
-  t.data <- [||];
-  t.size <- 0;
-  List.iter (fun (prio, seq, value) -> add_with_seq t ~prio ~seq value) entries;
+  clear t;
+  List.iter (fun (prio, seq, value) -> push t ~prio ~seq value) entries;
   t.next_seq <- next_seq
 
-let min_prio t = if t.size = 0 then None else Some t.data.(0).prio
+let min_prio t = if t.size = 0 then None else Some t.prios.(0)
+
+let top_prio t =
+  if t.size = 0 then invalid_arg "Heap.top_prio: empty heap";
+  t.prios.(0)
 
 let peek t =
   if t.size = 0 then None
-  else
-    let e = t.data.(0) in
-    Some (e.prio, e.value)
+  else Some (t.prios.(0), (Obj.obj t.vals.(0) : 'a))
+
+let top_seq t =
+  if t.size = 0 then invalid_arg "Heap.top_seq: empty heap";
+  t.seqs.(0)
+
+(* Allocation-free root removal for the scheduler's fire loop: the
+   caller reads (prio, seq) via [top_prio]/[top_seq] first, so only the
+   value crosses the call.  The former last element descends from the
+   root hole; its vacated slot is cleared so the popped (or moved)
+   value never stays reachable from the backing array. *)
+let pop_top t =
+  if t.size = 0 then invalid_arg "Heap.pop_top: empty heap";
+  let prio = Array.unsafe_get t.prios 0 in
+  let seq = Array.unsafe_get t.seqs 0 in
+  let value : 'a = Obj.obj (Array.unsafe_get t.vals 0) in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    let mp = Array.unsafe_get t.prios last in
+    let ms = Array.unsafe_get t.seqs last in
+    let mv = Array.unsafe_get t.vals last in
+    Array.unsafe_set t.vals last dummy;
+    let i = sift_down_hole t ~prio:mp ~seq:ms 0 in
+    Array.unsafe_set t.prios i mp;
+    Array.unsafe_set t.seqs i ms;
+    Array.unsafe_set t.vals i mv;
+    (* Stable-order backstop: everything still in the heap was >= the
+       popped root (in (prio, seq) order), so the new root must be too. *)
+    if !Invariant.enabled then
+      Invariant.require
+        (not (t.prios.(0) < prio || (t.prios.(0) = prio && t.seqs.(0) < seq)))
+        (fun () ->
+          Printf.sprintf
+            "Heap.pop: successor (%g, #%d) precedes popped entry (%g, #%d)"
+            t.prios.(0) t.seqs.(0) prio seq)
+  end
+  else Array.unsafe_set t.vals 0 dummy;
+  value
+
+let pop_entry t =
+  if t.size = 0 then None
+  else begin
+    let prio = t.prios.(0) in
+    let seq = t.seqs.(0) in
+    Some (prio, seq, pop_top t)
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let e = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    (* Stable-order backstop: everything still in the heap was >= the
-       popped root (in (prio, seq) order), so the new root must be too. *)
-    if !Invariant.enabled && t.size > 0 then
-      Invariant.require
-        (not (lt t.data.(0) e))
-        (fun () ->
-          Printf.sprintf
-            "Heap.pop: successor (%g, #%d) precedes popped entry (%g, #%d)"
-            t.data.(0).prio t.data.(0).seq e.prio e.seq);
-    Some (e.prio, e.value)
+    let prio = t.prios.(0) in
+    Some (prio, pop_top t)
   end
-
-let clear t =
-  t.data <- [||];
-  t.size <- 0
 
 let iter t ~f =
   for i = 0 to t.size - 1 do
-    let e = t.data.(i) in
-    f e.prio e.value
+    f t.prios.(i) (Obj.obj t.vals.(i) : 'a)
   done

@@ -3,7 +3,14 @@
     The heap is the core of the discrete-event scheduler: events are
     ordered by simulated time, and events scheduled for the same time
     fire in insertion order (the monotone counter breaks ties), which
-    keeps simulations deterministic. *)
+    keeps simulations deterministic.
+
+    The backing store is a structure of arrays (unboxed priorities,
+    unboxed counters, uniform value slots), so the hot sift path never
+    follows a per-element pointer and insertion allocates nothing
+    beyond amortized growth.  Slots vacated by {!pop} (and the whole
+    store on {!clear}/{!restore}) are overwritten, so a drained heap
+    retains no reference to any value it ever held. *)
 
 type 'a t
 
@@ -22,8 +29,28 @@ val add : 'a t -> prio:float -> 'a -> unit
 val min_prio : 'a t -> float option
 (** Priority of the minimum element, if any. *)
 
+val top_prio : 'a t -> float
+(** Priority of the minimum element.  Unlike {!min_prio} this does not
+    allocate an option; raises [Invalid_argument] on an empty heap, so
+    callers on the hot path pair it with {!is_empty}. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum element with its priority. *)
+
+val top_seq : 'a t -> int
+(** Tie-break counter of the minimum element; raises [Invalid_argument]
+    on an empty heap. *)
+
+val pop_top : 'a t -> 'a
+(** Remove the minimum element and return only its value, allocating
+    nothing — the hot-path combination with {!top_prio}/{!top_seq}.
+    Raises [Invalid_argument] on an empty heap. *)
+
+val pop_entry : 'a t -> (float * int * 'a) option
+(** Like {!pop} but also returns the element's tie-break counter.  The
+    scheduler relies on this: its event ids advance in lockstep with
+    the heap counter, so the counter of a popped event {e is} its id
+    and no per-event id record needs allocating. *)
 
 val peek : 'a t -> (float * 'a) option
 (** Return the minimum element without removing it. *)

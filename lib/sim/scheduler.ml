@@ -1,12 +1,18 @@
-type event = { id : int; action : unit -> unit }
-
 type event_id = int
 
-(* [pending_ids] holds exactly the ids that are scheduled and neither
-   fired nor cancelled; it is the single source of truth for both
-   [cancel] and [pending], so cancelling a fired, unknown or
-   already-cancelled id cannot drift the pending count or leak table
-   entries. *)
+(* The heap stores the event closures directly: event ids and the
+   heap's tie-break counter both advance in lockstep from zero (and the
+   restore path re-inserts under seq = id), so the counter of a popped
+   entry IS the event id and no per-event id record is allocated. *)
+
+(* Pending-or-not is one bit per event id in a growable bitmap —
+   [Bytes] indexed by id — rather than a hash table: ids are dense and
+   never reused, so the bitmap gives branch-cheap O(1) schedule, fire
+   and cancel with no per-event allocation, at one bit per id ever
+   issued.  [pending_count] is maintained on every transition, so
+   cancelling a fired, unknown or already-cancelled id cannot drift the
+   pending count (cancel is a strict no-op unless the bit is set). *)
+
 (* Cached observability handles; [None] (the default) keeps the hot
    path to a single match.  Probing never schedules events, so the
    simulation is bit-identical with or without a registry. *)
@@ -21,8 +27,9 @@ type taps = {
    its fire time until the component that owns the event re-attaches a
    closure via [rearm]. *)
 type t = {
-  queue : event Heap.t;
-  pending_ids : (int, unit) Hashtbl.t;
+  queue : (unit -> unit) Heap.t;
+  mutable flags : Bytes.t;  (* bit id = event id is pending *)
+  mutable pending_count : int;
   rearm_times : (int, float) Hashtbl.t;
   mutable clock : float;
   mutable next_id : int;
@@ -30,16 +37,46 @@ type t = {
   mutable taps : taps option;
 }
 
+let initial_flag_bytes = 1024
+
 let create () =
   {
     queue = Heap.create ();
-    pending_ids = Hashtbl.create 64;
+    flags = Bytes.make initial_flag_bytes '\000';
+    pending_count = 0;
     rearm_times = Hashtbl.create 16;
     clock = 0.0;
     next_id = 0;
     fired = 0;
     taps = None;
   }
+
+let flag_is_set t id =
+  let byte = id lsr 3 in
+  byte < Bytes.length t.flags
+  && Char.code (Bytes.unsafe_get t.flags byte) land (1 lsl (id land 7)) <> 0
+
+let ensure_flag_capacity t id =
+  let byte = id lsr 3 in
+  let len = Bytes.length t.flags in
+  if byte >= len then begin
+    let new_len = Stdlib.max (2 * len) (byte + 1) in
+    let grown = Bytes.make new_len '\000' in
+    Bytes.blit t.flags 0 grown 0 len;
+    t.flags <- grown
+  end
+
+let set_flag t id =
+  ensure_flag_capacity t id;
+  let byte = id lsr 3 in
+  Bytes.unsafe_set t.flags byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.flags byte) lor (1 lsl (id land 7))))
+
+let clear_flag t id =
+  let byte = id lsr 3 in
+  Bytes.unsafe_set t.flags byte
+    (Char.chr
+       (Char.code (Bytes.unsafe_get t.flags byte) land lnot (1 lsl (id land 7))))
 
 let set_registry t reg =
   t.taps <-
@@ -55,64 +92,90 @@ let set_registry t reg =
 let now t = t.clock
 
 let schedule_at t time action =
+  if not (Float.is_finite time) then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule_at: fire time %g is not finite" time);
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Scheduler.schedule_at: %g is in the past (now %g)" time
          t.clock);
   let id = t.next_id in
   t.next_id <- id + 1;
-  Heap.add t.queue ~prio:time { id; action };
-  Hashtbl.replace t.pending_ids id ();
+  Heap.add t.queue ~prio:time action;
+  set_flag t id;
+  t.pending_count <- t.pending_count + 1;
   id
 
-let schedule_after t delay action = schedule_at t (t.clock +. delay) action
+let schedule_after t delay action =
+  if not (Float.is_finite delay) then
+    invalid_arg
+      (Printf.sprintf "Scheduler.schedule_after: delay %g is not finite" delay);
+  schedule_at t (t.clock +. delay) action
 
-let cancel t id = Hashtbl.remove t.pending_ids id
+let cancel t id =
+  if id >= 0 && id < t.next_id && flag_is_set t id then begin
+    clear_flag t id;
+    t.pending_count <- t.pending_count - 1
+  end
 
-(* Pop one event; returns false when the queue is exhausted or the next
-   event lies beyond [horizon].  Cancelled events are skipped lazily on
-   pop. *)
+(* Pop one event.  [`Fired] executed an event, [`Skipped] discarded a
+   lazily-cancelled entry, [`Done] means the queue is exhausted or the
+   next event lies beyond [horizon].  Only [`Fired] counts against
+   run_until_empty's budget: a cancel-heavy run must still fire
+   [max_events] real events. *)
 let step t horizon =
-  match Heap.peek t.queue with
-  | None -> false
-  | Some (time, _) when time > horizon -> false
-  | Some _ -> (
-      match Heap.pop t.queue with
-      | None -> false
-      | Some (time, ev) ->
-          if Hashtbl.mem t.pending_ids ev.id then begin
-            Hashtbl.remove t.pending_ids ev.id;
-            if !Invariant.enabled then
-              Invariant.require (time >= t.clock) (fun () ->
-                  Printf.sprintf
-                    "Scheduler.step: event %d fires at %g, before the clock %g"
-                    ev.id time t.clock);
-            t.clock <- time;
-            t.fired <- t.fired + 1;
-            (match t.taps with
-            | None -> ()
-            | Some taps ->
-                Obs.Registry.incr taps.events_fired_c;
-                Obs.Registry.set taps.clock_g time;
-                Obs.Series.add taps.heartbeat ~time (float_of_int t.fired));
-            ev.action ();
-            true
-          end
-          else true)
+  if Heap.is_empty t.queue then `Done
+  else begin
+    let time = Heap.top_prio t.queue in
+    if time > horizon then `Done
+    else begin
+      (* Read (time, id) off the root, then pop just the closure —
+         this path allocates nothing per event. *)
+      let id = Heap.top_seq t.queue in
+      let action = Heap.pop_top t.queue in
+      if flag_is_set t id then begin
+          clear_flag t id;
+          t.pending_count <- t.pending_count - 1;
+          if !Invariant.enabled then
+            Invariant.require (time >= t.clock) (fun () ->
+                Printf.sprintf
+                  "Scheduler.step: event %d fires at %g, before the clock %g"
+                  id time t.clock);
+          t.clock <- time;
+          t.fired <- t.fired + 1;
+          (match t.taps with
+          | None -> ()
+          | Some taps ->
+              Obs.Registry.incr taps.events_fired_c;
+              Obs.Registry.set taps.clock_g time;
+              Obs.Series.add taps.heartbeat ~time (float_of_int t.fired));
+          action ();
+          `Fired
+        end
+        else `Skipped
+    end
+  end
 
 let run_until t horizon =
-  while step t horizon do
-    ()
+  let continue = ref true in
+  while !continue do
+    match step t horizon with `Fired | `Skipped -> () | `Done -> continue := false
   done;
   if horizon > t.clock then t.clock <- horizon
 
 let run_until_empty t ~max_events =
   let budget = ref max_events in
-  while !budget > 0 && step t infinity do
-    decr budget
+  let continue = ref (max_events > 0) in
+  while !continue do
+    match step t infinity with
+    | `Fired ->
+        decr budget;
+        if !budget <= 0 then continue := false
+    | `Skipped -> ()
+    | `Done -> continue := false
   done
 
-let pending t = Hashtbl.length t.pending_ids
+let pending t = t.pending_count
 
 let events_fired t = t.fired
 
@@ -128,25 +191,29 @@ type state = {
 (* Closures cannot be serialized, so a captured scheduler records only
    which events are pending and when they fire.  On restore each owning
    component re-attaches its closure through [rearm]; heap tie-break
-   counters equal event ids in normal operation (both advance in
-   lockstep from zero), so re-inserting under seq = id reproduces the
-   original pop order exactly.  Cancelled-but-unpopped heap entries are
-   deliberately dropped: skipping them is side-effect-free. *)
+   counters equal event ids (both advance in lockstep from zero), so
+   re-inserting under seq = id reproduces the original pop order
+   exactly.  Cancelled-but-unpopped heap entries are deliberately
+   dropped: skipping them is side-effect-free. *)
 let capture t =
-  let pend = ref [] in
-  Heap.iter t.queue ~f:(fun prio ev ->
-      if Hashtbl.mem t.pending_ids ev.id then pend := (ev.id, prio) :: !pend);
+  let pend =
+    List.filter_map
+      (fun (prio, seq, _) -> if flag_is_set t seq then Some (seq, prio) else None)
+      (Heap.capture t.queue)
+  in
   {
     s_clock = t.clock;
     s_next_id = t.next_id;
     s_fired = t.fired;
-    s_pending = List.sort (fun (a, _) (b, _) -> Int.compare a b) !pend;
+    s_pending = List.sort (fun (a, _) (b, _) -> Int.compare a b) pend;
   }
 
 let restore t st =
   Heap.clear t.queue;
   Heap.set_next_seq t.queue st.s_next_id;
-  Hashtbl.reset t.pending_ids;
+  Bytes.fill t.flags 0 (Bytes.length t.flags) '\000';
+  ensure_flag_capacity t st.s_next_id;
+  t.pending_count <- 0;
   Hashtbl.reset t.rearm_times;
   t.clock <- st.s_clock;
   t.next_id <- st.s_next_id;
@@ -160,8 +227,9 @@ let rearm t ~id action =
         (Printf.sprintf "Scheduler.rearm: event %d is not awaiting restore" id)
   | Some at ->
       Hashtbl.remove t.rearm_times id;
-      Heap.add_with_seq t.queue ~prio:at ~seq:id { id; action };
-      Hashtbl.replace t.pending_ids id ()
+      Heap.add_with_seq t.queue ~prio:at ~seq:id action;
+      set_flag t id;
+      t.pending_count <- t.pending_count + 1
 
 let unrestored t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.rearm_times []

@@ -19,10 +19,12 @@ val now : t -> float
 
 val schedule_at : t -> float -> (unit -> unit) -> event_id
 (** [schedule_at t time f] fires [f] at absolute [time].  Scheduling in
-    the past raises [Invalid_argument]. *)
+    the past, or at a non-finite time (NaN or infinite, which would
+    poison the heap ordering), raises [Invalid_argument]. *)
 
 val schedule_after : t -> float -> (unit -> unit) -> event_id
-(** [schedule_after t delay f] fires [f] [delay] seconds from now. *)
+(** [schedule_after t delay f] fires [f] [delay] seconds from now.
+    Raises [Invalid_argument] on a negative or non-finite delay. *)
 
 val cancel : t -> event_id -> unit
 (** Cancel a pending event.  Cancelling an event that already fired,

@@ -1,12 +1,27 @@
-type entry = {
-  mutable sacked : bool;
-  mutable lost : bool;
-  mutable rexmitted : bool;
-  mutable rexmit_time : float;
-}
+(* Ring-buffer scoreboard.  The only live per-packet state is for
+   sequence numbers in the half-open window [high_ack, next_seq), so
+   the per-packet flags live in a power-of-two ring indexed by
+   [seq land (cap - 1)] — a [Bytes] of flag bits plus a parallel
+   [float array] of retransmit times — instead of a hash table.  Every
+   flag read/update is then one byte access with no hashing and no
+   entry allocation, which matters because the sender consults the
+   board several times per ack.
+
+   Slot reuse is sound because the window never exceeds [cap]
+   (register_send grows the ring first) and a slot is zeroed whenever
+   its sequence number leaves the window (advance_cum), so a zero flag
+   byte is exactly "no entry" in the old hash-table representation. *)
+
+let f_sacked = 0b001
+
+let f_lost = 0b010
+
+let f_rexmitted = 0b100
 
 type t = {
-  entries : (int, entry) Hashtbl.t;
+  mutable flags : Bytes.t;
+  mutable rexmit_time : float array;
+  mutable cap : int;  (* power of two; always >= window *)
   mutable high_ack : int;
   mutable next_seq : int;
   mutable highest_sacked : int;
@@ -16,10 +31,14 @@ type t = {
   mutable loss_floor : int;  (* below this, loss detection already ran *)
 }
 
+let initial_cap = 256
+
 let create ?(start = 0) () =
   if start < 0 then invalid_arg "Scoreboard.create: negative start";
   {
-    entries = Hashtbl.create 256;
+    flags = Bytes.make initial_cap '\000';
+    rexmit_time = Array.make initial_cap 0.0;
+    cap = initial_cap;
     high_ack = start;
     next_seq = start;
     highest_sacked = start - 1;
@@ -35,46 +54,58 @@ let next_seq t = t.next_seq
 
 let highest_sacked t = t.highest_sacked
 
+let slot t seq = seq land (t.cap - 1)
+
+let get_flags t seq = Char.code (Bytes.unsafe_get t.flags (slot t seq))
+
+let set_flags t seq f = Bytes.unsafe_set t.flags (slot t seq) (Char.unsafe_chr f)
+
+let clear_slot t seq =
+  set_flags t seq 0;
+  t.rexmit_time.(slot t seq) <- 0.0
+
+let in_window t seq = seq >= t.high_ack && seq < t.next_seq
+
+let ensure_capacity t window =
+  if window > t.cap then begin
+    let new_cap = ref t.cap in
+    while window > !new_cap do
+      new_cap := 2 * !new_cap
+    done;
+    let flags = Bytes.make !new_cap '\000' in
+    let times = Array.make !new_cap 0.0 in
+    let mask = !new_cap - 1 in
+    for seq = t.high_ack to t.next_seq - 1 do
+      Bytes.set flags (seq land mask) (Bytes.get t.flags (slot t seq));
+      times.(seq land mask) <- t.rexmit_time.(slot t seq)
+    done;
+    t.flags <- flags;
+    t.rexmit_time <- times;
+    t.cap <- !new_cap
+  end
+
 let register_send t =
   let s = t.next_seq in
+  ensure_capacity t (s + 1 - t.high_ack);
+  (* A freshly entering sequence number starts flagless; its slot was
+     zeroed when the previous occupant left the window. *)
   t.next_seq <- s + 1;
   s
 
-let entry t seq =
-  match Hashtbl.find_opt t.entries seq with
-  | Some e -> e
-  | None ->
-      let e =
-        { sacked = false; lost = false; rexmitted = false; rexmit_time = 0.0 }
-      in
-      Hashtbl.replace t.entries seq e;
-      e
+let is_sacked t seq = in_window t seq && get_flags t seq land f_sacked <> 0
 
-let is_sacked t seq =
-  match Hashtbl.find_opt t.entries seq with
-  | Some e -> e.sacked
-  | None -> false
+let is_lost t seq = in_window t seq && get_flags t seq land f_lost <> 0
 
-let is_lost t seq =
-  match Hashtbl.find_opt t.entries seq with Some e -> e.lost | None -> false
-
-let is_rexmitted t seq =
-  match Hashtbl.find_opt t.entries seq with
-  | Some e -> e.rexmitted
-  | None -> false
+let is_rexmitted t seq = in_window t seq && get_flags t seq land f_rexmitted <> 0
 
 let sack_one t seq =
-  if seq >= t.high_ack && seq < t.next_seq then begin
-    let e = entry t seq in
-    if e.sacked then false
+  if in_window t seq then begin
+    let f = get_flags t seq in
+    if f land f_sacked <> 0 then false
     else begin
-      if e.lost then t.lost_cnt <- t.lost_cnt - 1;
-      if e.rexmitted then begin
-        t.rexmit_out <- t.rexmit_out - 1;
-        e.rexmitted <- false
-      end;
-      e.lost <- false;
-      e.sacked <- true;
+      if f land f_lost <> 0 then t.lost_cnt <- t.lost_cnt - 1;
+      if f land f_rexmitted <> 0 then t.rexmit_out <- t.rexmit_out - 1;
+      set_flags t seq f_sacked;
       t.sacked_cnt <- t.sacked_cnt + 1;
       if seq > t.highest_sacked then t.highest_sacked <- seq;
       true
@@ -102,34 +133,49 @@ let advance_cum_seqs t ack =
     let ack = Stdlib.min ack t.next_seq in
     let fresh = ref [] in
     for seq = t.high_ack to ack - 1 do
-      (match Hashtbl.find_opt t.entries seq with
-      | None -> fresh := seq :: !fresh
-      | Some e ->
-          if e.sacked then t.sacked_cnt <- t.sacked_cnt - 1
-          else begin
-            fresh := seq :: !fresh;
-            if e.lost then t.lost_cnt <- t.lost_cnt - 1;
-            if e.rexmitted then t.rexmit_out <- t.rexmit_out - 1
-          end);
-      Hashtbl.remove t.entries seq
+      let f = get_flags t seq in
+      if f land f_sacked <> 0 then t.sacked_cnt <- t.sacked_cnt - 1
+      else begin
+        fresh := seq :: !fresh;
+        if f land f_lost <> 0 then t.lost_cnt <- t.lost_cnt - 1;
+        if f land f_rexmitted <> 0 then t.rexmit_out <- t.rexmit_out - 1
+      end;
+      clear_slot t seq
     done;
     t.high_ack <- ack;
     if t.loss_floor < ack then t.loss_floor <- ack;
     List.rev !fresh
   end
 
+(* Counting variant of {!advance_cum_seqs}: same transition, no list
+   built.  Returns how far the cumulative point moved (previously
+   SACKed positions count as newly acknowledged too). *)
 let advance_cum t ack =
-  let before = t.high_ack in
-  ignore (advance_cum_seqs t ack);
-  Stdlib.max 0 (t.high_ack - before)
+  if ack <= t.high_ack then 0
+  else begin
+    let ack = Stdlib.min ack t.next_seq in
+    let before = t.high_ack in
+    for seq = before to ack - 1 do
+      let f = get_flags t seq in
+      if f land f_sacked <> 0 then t.sacked_cnt <- t.sacked_cnt - 1
+      else begin
+        if f land f_lost <> 0 then t.lost_cnt <- t.lost_cnt - 1;
+        if f land f_rexmitted <> 0 then t.rexmit_out <- t.rexmit_out - 1
+      end;
+      clear_slot t seq
+    done;
+    t.high_ack <- ack;
+    if t.loss_floor < ack then t.loss_floor <- ack;
+    ack - before
+  end
 
 let mark_lost t seq =
-  if seq < t.high_ack || seq >= t.next_seq then false
+  if not (in_window t seq) then false
   else begin
-    let e = entry t seq in
-    if e.sacked || e.lost then false
+    let f = get_flags t seq in
+    if f land (f_sacked lor f_lost) <> 0 then false
     else begin
-      e.lost <- true;
+      set_flags t seq (f lor f_lost);
       t.lost_cnt <- t.lost_cnt + 1;
       true
     end
@@ -149,20 +195,36 @@ let detect_losses t ~dupthresh =
   end;
   List.rev !result
 
+(* One traversal per ack instead of one for the cumulative advance, one
+   per SACK block and one for loss detection rebuilding lists between
+   the steps; the sender's hot ack path calls this. *)
+let process_ack t ~cum_ack ~blocks ~dupthresh =
+  let newly_cum = advance_cum t cum_ack in
+  let newly_sacked = ref 0 in
+  List.iter
+    (fun (lo, hi) -> newly_sacked := !newly_sacked + mark_sacked t ~lo ~hi)
+    blocks;
+  let losses = detect_losses t ~dupthresh in
+  (newly_cum, !newly_sacked, losses)
+
 let mark_all_lost t =
   let marked = ref 0 in
   for seq = t.high_ack to t.next_seq - 1 do
-    let e = entry t seq in
-    if e.rexmitted then begin
-      (* The retransmission is presumed lost as well; allow resending. *)
-      e.rexmitted <- false;
-      t.rexmit_out <- t.rexmit_out - 1
-    end;
-    if (not e.sacked) && not e.lost then begin
-      e.lost <- true;
+    let f = get_flags t seq in
+    let f =
+      if f land f_rexmitted <> 0 then begin
+        (* The retransmission is presumed lost as well; allow resending. *)
+        t.rexmit_out <- t.rexmit_out - 1;
+        f land lnot f_rexmitted
+      end
+      else f
+    in
+    if f land (f_sacked lor f_lost) = 0 then begin
+      set_flags t seq (f lor f_lost);
       t.lost_cnt <- t.lost_cnt + 1;
       incr marked
     end
+    else set_flags t seq f
   done;
   !marked
 
@@ -172,36 +234,38 @@ let next_retransmit t =
   let rec scan seq =
     if seq >= t.next_seq then None
     else
-      match Hashtbl.find_opt t.entries seq with
-      | Some e when e.lost && not e.rexmitted -> Some seq
-      | _ -> scan (seq + 1)
+      let f = get_flags t seq in
+      if f land f_lost <> 0 && f land f_rexmitted = 0 then Some seq
+      else scan (seq + 1)
   in
   if t.lost_cnt - t.rexmit_out <= 0 then None else scan t.high_ack
 
 let mark_retransmitted ?(at = 0.0) t seq =
-  let e = entry t seq in
-  if not e.lost then invalid_arg "Scoreboard.mark_retransmitted: not lost";
-  if e.rexmitted then
+  if not (is_lost t seq) then
+    invalid_arg "Scoreboard.mark_retransmitted: not lost";
+  if get_flags t seq land f_rexmitted <> 0 then
     invalid_arg "Scoreboard.mark_retransmitted: already retransmitted";
-  e.rexmitted <- true;
-  e.rexmit_time <- at;
+  set_flags t seq (get_flags t seq lor f_rexmitted);
+  t.rexmit_time.(slot t seq) <- at;
   t.rexmit_out <- t.rexmit_out + 1
 
 let expire_rexmits t ~before =
   (* A retransmission older than [before] is presumed lost itself: the
      packet becomes eligible for another retransmission without waiting
      for the (much costlier) global timeout. *)
-  let stale = ref [] in
-  Hashtbl.iter
-    (fun seq e ->
-      if e.rexmitted && e.rexmit_time < before then stale := (seq, e) :: !stale)
-    t.entries;
-  List.iter
-    (fun (_, e) ->
-      e.rexmitted <- false;
-      t.rexmit_out <- t.rexmit_out - 1)
-    !stale;
-  List.sort Int.compare (List.map fst !stale)
+  if t.rexmit_out = 0 then []
+  else begin
+    let stale = ref [] in
+    for seq = t.next_seq - 1 downto t.high_ack do
+      let f = get_flags t seq in
+      if f land f_rexmitted <> 0 && t.rexmit_time.(slot t seq) < before then begin
+        set_flags t seq (f land lnot f_rexmitted);
+        t.rexmit_out <- t.rexmit_out - 1;
+        stale := seq :: !stale
+      end
+    done;
+    !stale
+  end
 
 let in_flight_window t = t.next_seq - t.high_ack
 
@@ -226,22 +290,28 @@ type state = {
   s_loss_floor : int;
 }
 
+(* Slots with a zero flag byte are exactly the sequence numbers the old
+   hash-table representation had no entry for (an entry was only ever
+   created together with at least one flag), so capturing the non-zero
+   slots in ascending window order reproduces the historical state
+   byte-for-byte. *)
 let capture t =
-  let es =
-    Hashtbl.fold
-      (fun seq (e : entry) acc ->
+  let es = ref [] in
+  for seq = t.next_seq - 1 downto t.high_ack do
+    let f = get_flags t seq in
+    if f <> 0 then
+      es :=
         {
           e_seq = seq;
-          e_sacked = e.sacked;
-          e_lost = e.lost;
-          e_rexmitted = e.rexmitted;
-          e_rexmit_time = e.rexmit_time;
+          e_sacked = f land f_sacked <> 0;
+          e_lost = f land f_lost <> 0;
+          e_rexmitted = f land f_rexmitted <> 0;
+          e_rexmit_time = t.rexmit_time.(slot t seq);
         }
-        :: acc)
-      t.entries []
-  in
+        :: !es
+  done;
   {
-    s_entries = List.sort (fun a b -> Int.compare a.e_seq b.e_seq) es;
+    s_entries = !es;
     s_high_ack = t.high_ack;
     s_next_seq = t.next_seq;
     s_highest_sacked = t.highest_sacked;
@@ -252,19 +322,21 @@ let capture t =
   }
 
 let restore t st =
-  Hashtbl.reset t.entries;
-  List.iter
-    (fun e ->
-      Hashtbl.replace t.entries e.e_seq
-        {
-          sacked = e.e_sacked;
-          lost = e.e_lost;
-          rexmitted = e.e_rexmitted;
-          rexmit_time = e.e_rexmit_time;
-        })
-    st.s_entries;
   t.high_ack <- st.s_high_ack;
   t.next_seq <- st.s_next_seq;
+  ensure_capacity t (st.s_next_seq - st.s_high_ack);
+  Bytes.fill t.flags 0 t.cap '\000';
+  Array.fill t.rexmit_time 0 t.cap 0.0;
+  List.iter
+    (fun e ->
+      let f =
+        (if e.e_sacked then f_sacked else 0)
+        lor (if e.e_lost then f_lost else 0)
+        lor if e.e_rexmitted then f_rexmitted else 0
+      in
+      set_flags t e.e_seq f;
+      t.rexmit_time.(slot t e.e_seq) <- e.e_rexmit_time)
+    st.s_entries;
   t.highest_sacked <- st.s_highest_sacked;
   t.sacked_cnt <- st.s_sacked_cnt;
   t.lost_cnt <- st.s_lost_cnt;
@@ -273,15 +345,14 @@ let restore t st =
 
 let check_invariants t =
   let sacked = ref 0 and lost = ref 0 and rexmit = ref 0 in
-  Hashtbl.iter
-    (fun seq e ->
-      assert (seq >= t.high_ack && seq < t.next_seq);
-      assert (not (e.sacked && e.lost));
-      if e.rexmitted then assert e.lost;
-      if e.sacked then incr sacked;
-      if e.lost then incr lost;
-      if e.rexmitted then incr rexmit)
-    t.entries;
+  for seq = t.high_ack to t.next_seq - 1 do
+    let f = get_flags t seq in
+    assert (not (f land f_sacked <> 0 && f land f_lost <> 0));
+    if f land f_rexmitted <> 0 then assert (f land f_lost <> 0);
+    if f land f_sacked <> 0 then incr sacked;
+    if f land f_lost <> 0 then incr lost;
+    if f land f_rexmitted <> 0 then incr rexmit
+  done;
   assert (!sacked = t.sacked_cnt);
   assert (!lost = t.lost_cnt);
   assert (!rexmit = t.rexmit_out);

@@ -52,6 +52,20 @@ val detect_losses : t -> dupthresh:int -> int list
 (** Newly lost packets (ascending), marking them lost as a side
     effect. *)
 
+val process_ack :
+  t ->
+  cum_ack:int ->
+  blocks:(int * int) list ->
+  dupthresh:int ->
+  int * int * int list
+(** One-pass ack processing for the sender hot path: advance the
+    cumulative point, apply the SACK blocks (half-open [(lo, hi)]
+    ranges) and run loss detection in a single call, without building
+    the intermediate per-step sequence lists.  Returns
+    [(newly_cum_acked, newly_sacked, new_losses)] — exactly what the
+    separate {!advance_cum} / {!mark_sacked} / {!detect_losses} calls
+    would have produced. *)
+
 val mark_lost : t -> int -> bool
 (** Force-mark one packet lost (used on timeout); [false] if it was
     already lost or SACKed. *)

@@ -48,6 +48,9 @@ type t = {
   mutable in_recovery : bool;
   mutable recover_point : int;
   mutable timer : Sim.Scheduler.event_id option;
+  (* One shared closure for every RTO (re)arm — the timer is re-armed
+     on each delivering ack, so a per-arm closure is hot-path litter. *)
+  mutable timeout_thunk : unit -> unit;
   mutable start_event : Sim.Scheduler.event_id option;
   (* statistics *)
   cwnd_avg : Stats.Time_avg.t;
@@ -185,9 +188,7 @@ let rec arm_timer t =
   if t.timer = None && t.completed_at = None then begin
     let sched = Net.Network.scheduler t.net in
     let id =
-      Sim.Scheduler.schedule_after sched (Rto.timeout t.rto) (fun () ->
-          t.timer <- None;
-          on_timeout t)
+      Sim.Scheduler.schedule_after sched (Rto.timeout t.rto) t.timeout_thunk
     in
     t.timer <- Some id
   end
@@ -264,12 +265,14 @@ let on_ack t ~cum_ack ~blocks ~echo ~ece =
   (match t.taps with
   | None -> ()
   | Some taps -> Obs.Series.add taps.srtt_s ~time:(now t) (Rto.srtt t.rto));
-  let newly = Scoreboard.advance_cum t.sb cum_ack in
-  List.iter
-    (fun { Wire.block_lo; block_hi } ->
-      ignore (Scoreboard.mark_sacked t.sb ~lo:block_lo ~hi:block_hi))
-    blocks;
-  let losses = Scoreboard.detect_losses t.sb ~dupthresh:t.params.dupthresh in
+  let newly, _, losses =
+    Scoreboard.process_ack t.sb ~cum_ack
+      ~blocks:
+        (List.map
+           (fun { Wire.block_lo; block_hi } -> (block_lo, block_hi))
+           blocks)
+      ~dupthresh:t.params.dupthresh
+  in
   if newly > 0 then begin
     restart_timer t;
     if t.in_recovery && Scoreboard.high_ack t.sb >= t.recover_point then
@@ -314,6 +317,7 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       in_recovery = false;
       recover_point = 0;
       timer = None;
+      timeout_thunk = ignore;
       start_event = None;
       cwnd_avg = Stats.Time_avg.create ~start ~value:params.init_cwnd;
       rtt = ref (Stats.Welford.create ());
@@ -331,6 +335,10 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       taps = None;
     }
   in
+  t.timeout_thunk <-
+    (fun () ->
+      t.timer <- None;
+      on_timeout t);
   (match Net.Network.observer net with
   | None -> ()
   | Some reg ->
@@ -429,10 +437,7 @@ let restore t st =
   let sched = Net.Network.scheduler t.net in
   (match st.s_timer with
   | None -> ()
-  | Some id ->
-      Sim.Scheduler.rearm sched ~id (fun () ->
-          t.timer <- None;
-          on_timeout t));
+  | Some id -> Sim.Scheduler.rearm sched ~id t.timeout_thunk);
   (match st.s_start_event with
   | None -> ()
   | Some id ->

@@ -291,6 +291,7 @@ let gen_packet =
         payload;
         born;
         ecn;
+        refs = 1;
       })
 
 let gen_link_state =

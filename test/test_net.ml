@@ -33,11 +33,87 @@ let test_packet_pp () =
       payload = Net.Packet.Raw;
       born = 0.0;
       ecn = false;
+      refs = 1;
     }
   in
   let s = Format.asprintf "%a" Net.Packet.pp pkt in
   Alcotest.(check bool) "mentions flow" true
     (String.length s > 0 && String.contains s '2')
+
+(* ------------------------------------------------------------------ *)
+(* Packet pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type Net.Packet.payload += Probe
+
+let test_pool_acquire_release_recycles () =
+  let pool = Net.Packet.Pool.create () in
+  let p =
+    Net.Packet.Pool.acquire pool ~uid:7 ~flow:1 ~src:0
+      ~dst:(Net.Packet.Unicast 2) ~size:1000 ~payload:Probe ~born:0.5
+  in
+  Alcotest.(check int) "one reference" 1 p.Net.Packet.refs;
+  Alcotest.(check bool) "ecn starts false" false p.Net.Packet.ecn;
+  Alcotest.(check int) "fresh record" 1 (Net.Packet.Pool.allocated pool);
+  Net.Packet.Pool.release pool p;
+  Alcotest.(check int) "free after release" 1 (Net.Packet.Pool.free_count pool);
+  (* The protocol header must not stay alive in the free list. *)
+  Alcotest.(check bool) "payload reset on release" true
+    (p.Net.Packet.payload = Net.Packet.Raw);
+  let q =
+    Net.Packet.Pool.acquire pool ~uid:8 ~flow:2 ~src:1
+      ~dst:(Net.Packet.Unicast 3) ~size:500 ~payload:Net.Packet.Raw ~born:1.0
+  in
+  Alcotest.(check bool) "record recycled" true (p == q);
+  Alcotest.(check int) "recycle counted" 1 (Net.Packet.Pool.recycled pool);
+  Alcotest.(check int) "no second allocation" 1 (Net.Packet.Pool.allocated pool);
+  Alcotest.(check int) "uid rewritten" 8 q.Net.Packet.uid;
+  Alcotest.(check int) "free list drained" 0 (Net.Packet.Pool.free_count pool)
+
+let test_pool_refcounts () =
+  let pool = Net.Packet.Pool.create () in
+  let p =
+    Net.Packet.Pool.acquire pool ~uid:1 ~flow:0 ~src:0
+      ~dst:(Net.Packet.Unicast 1) ~size:100 ~payload:Net.Packet.Raw ~born:0.0
+  in
+  Net.Packet.Pool.retain p;
+  Net.Packet.Pool.retain p;
+  Alcotest.(check int) "three references" 3 p.Net.Packet.refs;
+  Net.Packet.Pool.release pool p;
+  Net.Packet.Pool.release pool p;
+  Alcotest.(check int) "still owned" 0 (Net.Packet.Pool.free_count pool);
+  Net.Packet.Pool.release pool p;
+  Alcotest.(check int) "freed on last release" 1
+    (Net.Packet.Pool.free_count pool);
+  Alcotest.(check bool) "double release rejected" true
+    (try
+       Net.Packet.Pool.release pool p;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "retain on dead packet rejected" true
+    (try
+       Net.Packet.Pool.retain p;
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_acquire_copy () =
+  let pool = Net.Packet.Pool.create () in
+  let p =
+    Net.Packet.Pool.acquire pool ~uid:42 ~flow:3 ~src:1
+      ~dst:(Net.Packet.Multicast 0) ~size:1500 ~payload:Net.Packet.Raw
+      ~born:2.0
+  in
+  (* Shared packet: a congestion mark must copy, not mutate. *)
+  Net.Packet.Pool.retain p;
+  let c = Net.Packet.Pool.acquire_copy pool p in
+  Alcotest.(check bool) "distinct record" true (not (p == c));
+  Alcotest.(check int) "same uid" 42 c.Net.Packet.uid;
+  Alcotest.(check int) "same size" 1500 c.Net.Packet.size;
+  check_float "same born" 2.0 c.Net.Packet.born;
+  Alcotest.(check int) "copy has one reference" 1 c.Net.Packet.refs;
+  Alcotest.(check int) "original refs untouched" 2 p.Net.Packet.refs;
+  c.Net.Packet.ecn <- true;
+  Alcotest.(check bool) "original unmarked" false p.Net.Packet.ecn
 
 (* ------------------------------------------------------------------ *)
 (* RED                                                                *)
@@ -201,6 +277,7 @@ let make_packet ?(uid = 0) ?(size = 1000) () =
     payload = Net.Packet.Raw;
     born = 0.0;
     ecn = false;
+    refs = 1;
   }
 
 let test_link_ecn_marks_packet () =
@@ -225,7 +302,7 @@ let test_link_ecn_marks_packet () =
     }
   in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l" config
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l" config
       ~deliver:(fun pkt -> got_ecn := pkt.Net.Packet.ecn :: !got_ecn)
   in
   (* With w_q = 1 and max_p = 1 the average jumps straight to the queue
@@ -237,12 +314,69 @@ let test_link_ecn_marks_packet () =
   Alcotest.(check bool) "some packets marked" true (List.mem true !got_ecn);
   Alcotest.(check bool) "mark counted" true ((Net.Link.stats link).Net.Link.marked > 0)
 
+let test_link_mark_copies_shared_packet () =
+  (* A packet shared with another owner (multicast sibling, here the
+     test) must be marked on a private copy with the same uid; the
+     retained original stays unmarked. *)
+  let sched = Sim.Scheduler.create () in
+  let pool = Net.Packet.Pool.create () in
+  let delivered = ref [] in
+  let config =
+    {
+      Net.Link.bandwidth_bps = 8_000_000.0;
+      prop_delay = 0.001;
+      queue =
+        Net.Queue_disc.Red_gateway
+          {
+            (Net.Red.default_params ~mean_pkt_time:0.001) with
+            Net.Red.ecn = true;
+            min_th = 0.0;
+            max_th = 10.0;
+            max_p = 1.0;
+            w_q = 1.0;
+          };
+      capacity = 100;
+      phase_jitter = false;
+    }
+  in
+  let link =
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool ~id:"l" config
+      ~deliver:(fun pkt ->
+        delivered := (pkt.Net.Packet.uid, pkt.Net.Packet.ecn) :: !delivered;
+        Net.Packet.Pool.release pool pkt)
+  in
+  let held = ref [] in
+  for i = 1 to 10 do
+    let pkt =
+      Net.Packet.Pool.acquire pool ~uid:i ~flow:0 ~src:0
+        ~dst:(Net.Packet.Unicast 1) ~size:1000 ~payload:Net.Packet.Raw
+        ~born:0.0
+    in
+    Net.Packet.Pool.retain pkt;
+    held := pkt :: !held;
+    Net.Link.send link pkt
+  done;
+  Sim.Scheduler.run_until sched 1.0;
+  let marked = List.filter (fun (_, ecn) -> ecn) !delivered in
+  Alcotest.(check bool) "some packets marked" true (marked <> []);
+  (* Every retained original is still unmarked: the link marked copies. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "original unmarked" false p.Net.Packet.ecn;
+      Net.Packet.Pool.release pool p)
+    !held;
+  (* Marked deliveries kept the original uid (1..10). *)
+  List.iter
+    (fun (uid, _) ->
+      Alcotest.(check bool) "uid preserved" true (uid >= 1 && uid <= 10))
+    marked
+
 let test_link_delivery_timing () =
   let sched = Sim.Scheduler.create () in
   let arrivals = ref [] in
   (* 8 Mbps -> a 1000-byte packet serializes in 1 ms; +10 ms propagation. *)
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ())
       ~deliver:(fun _ -> arrivals := Sim.Scheduler.now sched :: !arrivals)
   in
@@ -257,7 +391,7 @@ let test_link_serializes () =
   let sched = Sim.Scheduler.create () in
   let arrivals = ref [] in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ())
       ~deliver:(fun pkt -> arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
   in
@@ -275,7 +409,7 @@ let test_link_droptail_overflow () =
   let sched = Sim.Scheduler.create () in
   let delivered = ref 0 in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ~capacity:5 ())
       ~deliver:(fun _ -> incr delivered)
   in
@@ -294,7 +428,7 @@ let test_link_drop_hook () =
   let sched = Sim.Scheduler.create () in
   let dropped_uids = ref [] in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ~capacity:1 ())
       ~deliver:(fun _ -> ())
   in
@@ -312,7 +446,7 @@ let test_link_phase_jitter_bounded () =
   let arrivals = ref [] in
   let config = { (droptail_config ()) with Net.Link.phase_jitter = true } in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 5) ~id:"l" config
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 5) ~pool:(Net.Packet.Pool.create ()) ~id:"l" config
       ~deliver:(fun _ -> arrivals := Sim.Scheduler.now sched :: !arrivals)
   in
   Net.Link.send link (make_packet ());
@@ -335,7 +469,7 @@ let test_link_fifo_under_jitter () =
       let arrivals = ref [] in
       let config = { (droptail_config ~capacity:100 ()) with Net.Link.phase_jitter = true } in
       let link =
-        Net.Link.create ~sched ~rng:(Sim.Rng.create seed) ~id:"l" config
+        Net.Link.create ~sched ~rng:(Sim.Rng.create seed) ~pool:(Net.Packet.Pool.create ()) ~id:"l" config
           ~deliver:(fun pkt ->
             arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
       in
@@ -363,7 +497,7 @@ let test_link_down_drops_and_restores () =
   let sched = Sim.Scheduler.create () in
   let arrivals = ref [] in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ())
       ~deliver:(fun pkt ->
         arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
@@ -409,7 +543,7 @@ let test_link_down_drops_and_restores () =
 let test_link_down_idempotent () =
   let sched = Sim.Scheduler.create () in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ()) ~deliver:(fun _ -> ())
   in
   Net.Link.set_down link;
@@ -424,7 +558,7 @@ let test_link_reconfig_keeps_fifo () =
   let sched = Sim.Scheduler.create () in
   let arrivals = ref [] in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ())
       ~deliver:(fun pkt ->
         arrivals := (pkt.Net.Packet.uid, Sim.Scheduler.now sched) :: !arrivals)
@@ -453,7 +587,7 @@ let test_link_reconfig_keeps_fifo () =
 let test_link_reconfig_validation () =
   let sched = Sim.Scheduler.create () in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ()) ~deliver:(fun _ -> ())
   in
   Alcotest.(check bool) "zero bandwidth rejected" true
@@ -466,7 +600,7 @@ let test_link_reconfig_validation () =
 let test_link_stats_reset () =
   let sched = Sim.Scheduler.create () in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
       (droptail_config ()) ~deliver:(fun _ -> ())
   in
   Net.Link.send link (make_packet ());
@@ -481,7 +615,7 @@ let test_link_invalid_config () =
   Alcotest.(check bool) "zero bandwidth rejected" true
     (try
        ignore
-         (Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"l"
+         (Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"l"
             { (droptail_config ()) with Net.Link.bandwidth_bps = 0.0 }
             ~deliver:(fun _ -> ()));
        false
@@ -492,7 +626,7 @@ let test_link_invalid_config () =
 (* ------------------------------------------------------------------ *)
 
 let test_node_local_dispatch () =
-  let node = Net.Node.create 7 in
+  let node = Net.Node.create ~pool:(Net.Packet.Pool.create ()) 7 in
   let got = ref [] in
   Net.Node.attach node ~flow:1 (fun pkt -> got := pkt.Net.Packet.uid :: !got);
   Net.Node.receive node
@@ -500,7 +634,7 @@ let test_node_local_dispatch () =
   Alcotest.(check (list int)) "delivered to handler" [ 9 ] !got
 
 let test_node_undeliverable () =
-  let node = Net.Node.create 7 in
+  let node = Net.Node.create ~pool:(Net.Packet.Pool.create ()) 7 in
   Net.Node.receive node
     { (make_packet ()) with Net.Packet.dst = Net.Packet.Unicast 7; flow = 99 };
   Net.Node.receive node
@@ -508,7 +642,7 @@ let test_node_undeliverable () =
   Alcotest.(check int) "no handler, no route" 2 (Net.Node.undeliverable node)
 
 let test_node_detach () =
-  let node = Net.Node.create 0 in
+  let node = Net.Node.create ~pool:(Net.Packet.Pool.create ()) 0 in
   let got = ref 0 in
   Net.Node.attach node ~flow:1 (fun _ -> incr got);
   Net.Node.detach node ~flow:1;
@@ -517,7 +651,7 @@ let test_node_detach () =
   Alcotest.(check int) "detached" 0 !got
 
 let test_node_multicast_membership () =
-  let node = Net.Node.create 3 in
+  let node = Net.Node.create ~pool:(Net.Packet.Pool.create ()) 3 in
   Alcotest.(check bool) "not joined" false (Net.Node.joined node ~group:1);
   Net.Node.join node ~group:1;
   Alcotest.(check bool) "joined" true (Net.Node.joined node ~group:1);
@@ -529,9 +663,9 @@ let test_node_multicast_membership () =
 
 let test_node_mcast_route_dedup () =
   let sched = Sim.Scheduler.create () in
-  let node = Net.Node.create 0 in
+  let node = Net.Node.create ~pool:(Net.Packet.Pool.create ()) 0 in
   let link =
-    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~id:"x" (droptail_config ())
+    Net.Link.create ~sched ~rng:(Sim.Rng.create 1) ~pool:(Net.Packet.Pool.create ()) ~id:"x" (droptail_config ())
       ~deliver:(fun _ -> ())
   in
   Net.Node.add_mcast_route node ~group:1 link;
@@ -683,6 +817,38 @@ let test_network_neighbors_order () =
   Alcotest.(check (list int)) "unknown node empty" []
     (Net.Network.neighbors net 999)
 
+let test_network_pool_recycles_after_delivery () =
+  (* End-to-end pool accounting: once every packet of a burst is
+     delivered, all records sit in the free list, and the next burst is
+     served from it without fresh allocation. *)
+  let net, a, _, c = build_line () in
+  let pool = Net.Network.pool net in
+  let got = ref 0 in
+  Net.Node.attach (Net.Network.node net c) ~flow:0 (fun _ -> incr got);
+  let burst () =
+    for _ = 1 to 5 do
+      let pkt =
+        Net.Network.make_packet net ~flow:0 ~src:a ~dst:(Net.Packet.Unicast c)
+          ~size:1000 ~payload:Net.Packet.Raw
+      in
+      Net.Network.send net pkt
+    done
+  in
+  burst ();
+  Net.Network.run_until net 1.0;
+  Alcotest.(check int) "first burst delivered" 5 !got;
+  Alcotest.(check int) "all records back in the free list"
+    (Net.Packet.Pool.allocated pool)
+    (Net.Packet.Pool.free_count pool);
+  let allocated_before = Net.Packet.Pool.allocated pool in
+  burst ();
+  Net.Network.run_until net 2.0;
+  Alcotest.(check int) "second burst delivered" 10 !got;
+  Alcotest.(check int) "no new allocations" allocated_before
+    (Net.Packet.Pool.allocated pool);
+  Alcotest.(check bool) "recycling happened" true
+    (Net.Packet.Pool.recycled pool > 0)
+
 let test_network_node_lookup () =
   let net = Net.Network.create ~seed:1 () in
   let a = Net.Network.add_node net in
@@ -698,6 +864,13 @@ let () =
         [
           Alcotest.test_case "dest strings" `Quick test_packet_dest_strings;
           Alcotest.test_case "pp" `Quick test_packet_pp;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "acquire/release recycles" `Quick
+            test_pool_acquire_release_recycles;
+          Alcotest.test_case "refcounts" `Quick test_pool_refcounts;
+          Alcotest.test_case "acquire_copy" `Quick test_pool_acquire_copy;
         ] );
       ( "red",
         [
@@ -724,6 +897,8 @@ let () =
         [
           Alcotest.test_case "delivery timing" `Quick test_link_delivery_timing;
           Alcotest.test_case "ecn marks packet" `Quick test_link_ecn_marks_packet;
+          Alcotest.test_case "mark copies shared packet" `Quick
+            test_link_mark_copies_shared_packet;
           Alcotest.test_case "serialization" `Quick test_link_serializes;
           Alcotest.test_case "droptail overflow" `Quick test_link_droptail_overflow;
           Alcotest.test_case "drop hook" `Quick test_link_drop_hook;
@@ -762,6 +937,8 @@ let () =
           Alcotest.test_case "self loop" `Quick test_network_duplex_self_loop;
           Alcotest.test_case "determinism" `Quick test_network_determinism;
           Alcotest.test_case "neighbors order" `Quick test_network_neighbors_order;
+          Alcotest.test_case "pool recycles after delivery" `Quick
+            test_network_pool_recycles_after_delivery;
           Alcotest.test_case "node lookup" `Quick test_network_node_lookup;
         ] );
     ]

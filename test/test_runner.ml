@@ -146,6 +146,59 @@ let test_json_float_roundtrip () =
             f (float_of_string s))
     [ 0.1; 1.0 /. 3.0; 2.492776886035313; 1e-9; 123456.789; 54.0 ]
 
+let test_json_parse_roundtrip () =
+  (* The bench-trend gate reads perf documents back with [of_string];
+     emit → parse must be the identity on everything the emitter
+     produces (minus [Verbatim] and non-finite floats). *)
+  let doc =
+    Runner.Json.Obj
+      [
+        ("name", Runner.Json.String "x\"y\\z\n");
+        ("n", Runner.Json.Int (-3));
+        ("f", Runner.Json.Float 0.25);
+        ("whole", Runner.Json.Float 54.0);
+        ("ok", Runner.Json.Bool true);
+        ("no", Runner.Json.Bool false);
+        ("nil", Runner.Json.Null);
+        ( "xs",
+          Runner.Json.List
+            [
+              Runner.Json.Int 1;
+              Runner.Json.Obj [ ("k", Runner.Json.String "v") ];
+            ] );
+      ]
+  in
+  Alcotest.(check bool) "emit/parse identity" true
+    (Runner.Json.of_string (Runner.Json.to_string doc) = doc)
+
+let test_json_parse_accessors () =
+  let j = Runner.Json.of_string {| {"a": 1, "b": 2.5, "c": "s", "d": 1e2} |} in
+  Alcotest.(check (option int)) "int member" (Some 1)
+    (Option.bind (Runner.Json.member "a" j) Runner.Json.to_int_opt);
+  Alcotest.(check (option (float 0.0))) "float member" (Some 2.5)
+    (Option.bind (Runner.Json.member "b" j) Runner.Json.to_float_opt);
+  Alcotest.(check (option (float 0.0))) "int as float" (Some 1.0)
+    (Option.bind (Runner.Json.member "a" j) Runner.Json.to_float_opt);
+  Alcotest.(check (option string)) "string member" (Some "s")
+    (Option.bind (Runner.Json.member "c" j) Runner.Json.to_string_opt);
+  Alcotest.(check (option (float 0.0))) "exponent is float" (Some 100.0)
+    (Option.bind (Runner.Json.member "d" j) Runner.Json.to_float_opt);
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (Runner.Json.member "zz" j) Runner.Json.to_int_opt)
+
+let test_json_parse_errors () =
+  let rejects s =
+    try
+      ignore (Runner.Json.of_string s);
+      false
+    with Runner.Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage" true (rejects "{} x");
+  Alcotest.(check bool) "unterminated string" true (rejects "\"abc");
+  Alcotest.(check bool) "bare word" true (rejects "flase");
+  Alcotest.(check bool) "missing colon" true (rejects "{\"a\" 1}");
+  Alcotest.(check bool) "empty input" true (rejects "")
+
 let () =
   Alcotest.run "runner"
     [
@@ -168,5 +221,8 @@ let () =
         [
           Alcotest.test_case "emitter" `Quick test_json_emitter;
           Alcotest.test_case "float roundtrip" `Quick test_json_float_roundtrip;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse accessors" `Quick test_json_parse_accessors;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
         ] );
     ]

@@ -132,6 +132,69 @@ let prop_heap_length =
       done;
       !ok && Sim.Heap.is_empty h)
 
+let test_heap_pop_entry_seqs () =
+  let h = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.add h ~prio:1.0 v) [ "a"; "b"; "c" ];
+  let rec drain acc =
+    match Sim.Heap.pop_entry h with
+    | None -> List.rev acc
+    | Some entry -> drain (entry :: acc)
+  in
+  Alcotest.(check (list (triple (float 0.0) int string)))
+    "pop_entry returns insertion counters"
+    [ (1.0, 0, "a"); (1.0, 1, "b"); (1.0, 2, "c") ]
+    (drain [])
+
+let test_heap_top_prio () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "raises on empty" true
+    (try
+       ignore (Sim.Heap.top_prio h);
+       false
+     with Invalid_argument _ -> true);
+  Sim.Heap.add h ~prio:2.0 "x";
+  Sim.Heap.add h ~prio:1.0 "y";
+  check_float "min priority" 1.0 (Sim.Heap.top_prio h);
+  Alcotest.(check int) "read-only" 2 (Sim.Heap.length h)
+
+(* The regression behind the SoA rewrite: popping used to leave the
+   vacated slot pointing at the old element, pinning it until a later
+   push happened to overwrite the slot.  Fill, drain, collect: every
+   value must be collectable (observed through weak pointers) while
+   the heap itself is still live. *)
+let heap_live_after_drain prios =
+  let n = List.length prios in
+  let h = Sim.Heap.create () in
+  let w = Weak.create (max n 1) in
+  List.iteri
+    (fun i p ->
+      let v = ref i in
+      Weak.set w i (Some v);
+      Sim.Heap.add h ~prio:p v)
+    prios;
+  let rec drain () =
+    match Sim.Heap.pop h with Some _ -> drain () | None -> ()
+  in
+  drain ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check w i then incr live
+  done;
+  (* Keep [h] reachable past the major collection: if the heap itself
+     were collectable the check would pass even with leaky slots. *)
+  assert (Sim.Heap.is_empty h);
+  !live
+
+let test_heap_drained_retains_no_values () =
+  Alcotest.(check int) "no values pinned after drain" 0
+    (heap_live_after_drain [ 5.0; 1.0; 3.0; 2.0; 4.0 ])
+
+let prop_heap_drained_retains_no_values =
+  QCheck.Test.make ~name:"drained heap retains no values" ~count:100
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun prios -> heap_live_after_drain prios = 0)
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -409,6 +472,54 @@ let test_sched_run_until_empty_bounded () =
   Sim.Scheduler.run_until_empty s ~max_events:50;
   Alcotest.(check int) "bounded by max_events" 50 !count
 
+let test_sched_rejects_nonfinite () =
+  let s = Sim.Scheduler.create () in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "schedule_at nan" true
+    (raises (fun () ->
+         ignore (Sim.Scheduler.schedule_at s Float.nan (fun () -> ()))));
+  Alcotest.(check bool) "schedule_at +inf" true
+    (raises (fun () ->
+         ignore (Sim.Scheduler.schedule_at s Float.infinity (fun () -> ()))));
+  Alcotest.(check bool) "schedule_at -inf" true
+    (raises (fun () ->
+         ignore (Sim.Scheduler.schedule_at s Float.neg_infinity (fun () -> ()))));
+  Alcotest.(check bool) "schedule_after nan" true
+    (raises (fun () ->
+         ignore (Sim.Scheduler.schedule_after s Float.nan (fun () -> ()))));
+  Alcotest.(check bool) "schedule_after +inf" true
+    (raises (fun () ->
+         ignore (Sim.Scheduler.schedule_after s Float.infinity (fun () -> ()))));
+  (* The rejection must leave the scheduler untouched. *)
+  Alcotest.(check int) "nothing pending" 0 (Sim.Scheduler.pending s);
+  let ok = ref false in
+  ignore (Sim.Scheduler.schedule_at s 1.0 (fun () -> ok := true));
+  Sim.Scheduler.run_until s 2.0;
+  Alcotest.(check bool) "finite time still works" true !ok
+
+(* Regression: [run_until_empty ~max_events] used to charge the budget
+   for cancelled events it lazily discarded from the heap, so a
+   cancel-heavy run could stop far short of [max_events] real firings.
+   The budget must count fired events only. *)
+let test_sched_max_events_ignores_cancelled () =
+  let s = Sim.Scheduler.create () in
+  let fired = ref 0 in
+  let ids =
+    List.init 20 (fun i ->
+        Sim.Scheduler.schedule_at s (float_of_int (i + 1)) (fun () ->
+            incr fired))
+  in
+  (* Cancel the 10 earliest, so every skip precedes every real firing;
+     under the buggy accounting zero events would fire. *)
+  List.iteri (fun i id -> if i < 10 then Sim.Scheduler.cancel s id) ids;
+  Sim.Scheduler.run_until_empty s ~max_events:5;
+  Alcotest.(check int) "five real events fired" 5 !fired;
+  Alcotest.(check int) "events_fired counter" 5 (Sim.Scheduler.events_fired s);
+  Alcotest.(check int) "five survivors pending" 5 (Sim.Scheduler.pending s);
+  (* The remaining budget-less drain still works. *)
+  Sim.Scheduler.run_until_empty s ~max_events:100;
+  Alcotest.(check int) "rest fired" 10 !fired
+
 (* Model-based cancel property: schedule events on a small integer
    time grid (forcing ties), cancel an arbitrary subset twice
    (double-cancel), run to a mid-horizon, cancel a second arbitrary
@@ -536,9 +647,14 @@ let () =
           Alcotest.test_case "clear" `Quick test_heap_clear;
           Alcotest.test_case "iter" `Quick test_heap_iter;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "pop_entry seqs" `Quick test_heap_pop_entry_seqs;
+          Alcotest.test_case "top_prio" `Quick test_heap_top_prio;
+          Alcotest.test_case "drained retains no values" `Quick
+            test_heap_drained_retains_no_values;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
           QCheck_alcotest.to_alcotest prop_heap_stable_order;
           QCheck_alcotest.to_alcotest prop_heap_length;
+          QCheck_alcotest.to_alcotest prop_heap_drained_retains_no_values;
         ] );
       ( "rng",
         [
@@ -572,6 +688,10 @@ let () =
           Alcotest.test_case "zero delay" `Quick test_sched_zero_delay_event;
           Alcotest.test_case "counters" `Quick test_sched_counters;
           Alcotest.test_case "run_until_empty" `Quick test_sched_run_until_empty;
+          Alcotest.test_case "rejects non-finite times" `Quick
+            test_sched_rejects_nonfinite;
+          Alcotest.test_case "max_events ignores cancelled" `Quick
+            test_sched_max_events_ignores_cancelled;
           Alcotest.test_case "run_until_empty bounded" `Quick
             test_sched_run_until_empty_bounded;
           QCheck_alcotest.to_alcotest prop_sched_cancel_survivors;
