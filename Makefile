@@ -14,10 +14,11 @@ TRACE_CSV ?= /tmp/rla_trace_smoke.csv
 CHURN_DIR ?= /tmp/rla_churn_smoke
 INV_DIR ?= /tmp/rla_invariant_smoke
 CKPT_DIR ?= /tmp/rla_ckpt_smoke
+PAR_DIR ?= /tmp/rla_par_smoke
 
 .PHONY: all build test lint smoke trace-smoke churn-smoke \
-  invariant-smoke ckpt-smoke check ci bench bench-churn bench-perf \
-  bench-trend clean
+  invariant-smoke ckpt-smoke par-smoke check ci bench bench-churn \
+  bench-perf bench-scale bench-trend clean
 
 all: build
 
@@ -91,9 +92,32 @@ ckpt-smoke: build
 	@cmp $(CKPT_DIR)/plain.json $(CKPT_DIR)/restored.json
 	@echo "ckpt smoke OK (checkpointed and restored runs byte-identical)"
 
+# Sharded-run determinism: the scale experiment's report must be
+# byte-identical for --shards 1, 2 and 4 (the shard structure is fixed
+# by the partition; worker domains must not be observable), and the
+# checkpoint flags must be rejected with the typed error (exit 2).
+par-smoke: build
+	@mkdir -p $(PAR_DIR)
+	dune exec bin/rla_sim.exe -- scale --fanout 5 --depth 3 --duration 4 \
+	  --shards 1 > $(PAR_DIR)/s1.txt
+	dune exec bin/rla_sim.exe -- scale --fanout 5 --depth 3 --duration 4 \
+	  --shards 2 > $(PAR_DIR)/s2.txt
+	dune exec bin/rla_sim.exe -- scale --fanout 5 --depth 3 --duration 4 \
+	  --shards 4 > $(PAR_DIR)/s4.txt
+	@cmp $(PAR_DIR)/s1.txt $(PAR_DIR)/s2.txt
+	@cmp $(PAR_DIR)/s1.txt $(PAR_DIR)/s4.txt
+	@dune exec bin/rla_sim.exe -- scale --fanout 5 --depth 3 --duration 4 \
+	  --shards 2 --checkpoint-every 10 --checkpoint-dir $(PAR_DIR)/ck \
+	  > /dev/null 2> $(PAR_DIR)/ck_err.txt; \
+	  status=$$?; test $$status -eq 2 \
+	  && grep -q 'not checkpointable' $(PAR_DIR)/ck_err.txt \
+	  || { echo "par-smoke: expected checkpoint rejection (exit 2), got $$status"; exit 1; }
+	@echo "par smoke OK (byte-identical across --shards, checkpoint rejected)"
+
 check: build test smoke
 
-ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke bench-trend
+ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke \
+  par-smoke bench-trend
 
 bench:
 	dune exec bench/main.exe
@@ -107,13 +131,22 @@ bench-churn: build
 bench-perf: build
 	dune exec bench/perf.exe -- BENCH_perf.json
 
+# Sharded-scaling bench: events/s and speedup at --shards 1/2/4/8 on
+# the 10648-receiver tree, rewritten to BENCH_scale.json with one line
+# appended to BENCH_scale_history.jsonl (same trend protocol as
+# bench-perf).  RLA_BENCH_SCALE_DURATION / RLA_BENCH_SCALE_FANOUT
+# shrink it for quick local runs.
+bench-scale: build
+	dune exec bench/scale.exe -- BENCH_scale.json
+
 # Regression gate (wired into `make ci`): compares the checked-in
-# BENCH_perf.json against the best comparable run (same duration/seed)
-# in BENCH_perf_history.jsonl and fails on a >10% events/s drop.
-# Pure comparison — no simulation runs.  Tolerance override:
-# RLA_BENCH_TREND_TOLERANCE=0.2 make bench-trend
+# BENCH_perf.json / BENCH_scale.json against the best comparable run
+# (same duration/seed) in their history files and fails on a >10%
+# events/s drop.  Pure comparison — no simulation runs.  Tolerance
+# override: RLA_BENCH_TREND_TOLERANCE=0.2 make bench-trend
 bench-trend: build
 	dune exec bench/trend.exe -- BENCH_perf.json BENCH_perf_history.jsonl
+	dune exec bench/trend.exe -- BENCH_scale.json BENCH_scale_history.jsonl
 
 clean:
 	dune clean

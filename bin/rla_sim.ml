@@ -147,6 +147,30 @@ let run_scaling ~duration ~seed =
   in
   Experiments.Scaling.print ppf points
 
+(* Sharded scaling through the conservative parallel engine.  [shards]
+   is the worker-domain count: the shard structure itself is fixed by
+   the topology partition (fanout+1 parts), so the printed report is
+   byte-identical for every --shards value — that invariance is what
+   `make par-smoke` checks.  Checkpoint flags are rejected up front
+   with the typed Par.Scenario error. *)
+let run_scale ~fanout ~depth ~shards ~duration ~seed ~ckpt =
+  let config =
+    {
+      Experiments.Scaling.default_sharded_config with
+      Experiments.Scaling.fanout;
+      depth;
+      workers = shards;
+      duration;
+      warmup = duration /. 4.0;
+      seed;
+    }
+  in
+  match Experiments.Scaling.run_sharded ?checkpoint:ckpt config with
+  | Ok r -> Experiments.Scaling.print_sharded ppf r
+  | Error e ->
+      Printf.eprintf "rla_sim: %s\n" (Par.Scenario.error_to_string e);
+      exit 2
+
 let run_shortflows ~duration ~seed =
   let results =
     List.map
@@ -218,6 +242,7 @@ let experiments =
     ("sec52", `Sec52);
     ("sec31", `Sec31);
     ("scaling", `Scaling);
+    ("scale", `Scale);
     ("shortflows", `Shortflows);
     ("ecn", `Ecn);
     ("eq1", `Eq1);
@@ -228,7 +253,7 @@ let experiments =
     ("all", `All);
   ]
 
-let dispatch which ~duration ~seed ~steps ~ckpt =
+let dispatch which ~duration ~seed ~steps ~ckpt ~shards ~fanout ~depth =
   match which with
   | `Fig4 -> run_fig4 ()
   | `Fig5 -> run_fig5 ~seed ~steps
@@ -239,6 +264,7 @@ let dispatch which ~duration ~seed ~steps ~ckpt =
   | `Sec52 -> run_sec52 ~duration ~seed
   | `Sec31 -> run_sec31 ~duration ~seed
   | `Scaling -> run_scaling ~duration ~seed
+  | `Scale -> run_scale ~fanout ~depth ~shards ~duration ~seed ~ckpt
   | `Shortflows -> run_shortflows ~duration ~seed
   | `Ecn -> run_ecn ~duration ~seed
   | `Eq1 -> run_eq1 ~duration ~seed
@@ -284,6 +310,25 @@ let seed_arg =
 let steps_arg =
   let doc = "Steps for the Monte-Carlo models (fig5, prop)." in
   Arg.(value & opt int 200_000 & info [ "steps" ] ~docv:"STEPS" ~doc)
+
+let shards_arg =
+  let doc =
+    "Worker domains for the sharded $(b,scale) experiment.  The shard \
+     structure is fixed by the topology, so results are byte-identical \
+     for any value; only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let fanout_arg =
+  let doc =
+    "Tree fanout for $(b,scale) (receivers = fanout^depth; the default \
+     22 x 3 gives 10648)."
+  in
+  Arg.(value & opt int 22 & info [ "fanout" ] ~docv:"K" ~doc)
+
+let depth_arg =
+  let doc = "Tree depth for $(b,scale) (>= 2)." in
+  Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
 
 let ckpt_every_arg =
   let doc =
@@ -332,7 +377,8 @@ let run_restore ~path ~ckpt =
         [ result ];
       0
 
-let main which duration seed steps ckpt_every ckpt_dir restore =
+let main which duration seed steps shards fanout depth ckpt_every ckpt_dir
+    restore =
   let ckpt =
     match (ckpt_every, ckpt_dir) with
     | Some every, Some dir ->
@@ -357,7 +403,7 @@ let main which duration seed steps ckpt_every ckpt_dir restore =
         "rla_sim: an EXPERIMENT argument is required (or use --restore)\n";
       2
   | None, Some which ->
-      dispatch which ~duration ~seed ~steps ~ckpt;
+      dispatch which ~duration ~seed ~steps ~ckpt ~shards ~fanout ~depth;
       0
 
 let cmd =
@@ -369,7 +415,8 @@ let cmd =
   let term =
     Term.(
       const main $ which_arg $ duration_arg $ seed_arg $ steps_arg
-      $ ckpt_every_arg $ ckpt_dir_arg $ restore_arg)
+      $ shards_arg $ fanout_arg $ depth_arg $ ckpt_every_arg $ ckpt_dir_arg
+      $ restore_arg)
   in
   Cmd.v (Cmd.info "rla_sim" ~doc) term
 

@@ -84,6 +84,121 @@ let run_churn_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
   Runner.Report.write_file ~path:json_path json;
   Format.fprintf ppf "wrote %s@." json_path
 
+(* --- sharded-scaling sweep ------------------------------------------ *)
+
+let parse_shards s =
+  let parse_one part =
+    match int_of_string_opt (String.trim part) with
+    | Some i when i >= 1 -> i
+    | _ ->
+        raise
+          (Invalid_argument
+             (Printf.sprintf
+                "--shards: %S is not a worker count >= 1 (expected e.g. \
+                 \"1,2,4\")"
+                part))
+  in
+  match String.split_on_char ',' s |> List.map parse_one with
+  | [] -> raise (Invalid_argument "--shards: empty list")
+  | shards -> shards
+
+(* One sharded scale run per worker count, sequentially — the workers
+   knob already owns the machine's domains, so pooling runs on top
+   would only oversubscribe.  The fairness tables must be
+   byte-identical across the whole list (fixed-shard determinism); the
+   JSON mirrors bench/scale.exe's shape so `bench/trend.exe` can gate
+   it. *)
+let run_scale_sweep ~shards_list ~fanout ~depth ~duration ~warmup ~seed
+    ~json_path =
+  let config workers =
+    {
+      Experiments.Scaling.default_sharded_config with
+      Experiments.Scaling.fanout;
+      depth;
+      workers;
+      duration;
+      warmup;
+      seed;
+    }
+  in
+  let runs =
+    List.map
+      (fun workers ->
+        let t0 = Unix.gettimeofday () in
+        match Experiments.Scaling.run_sharded (config workers) with
+        | Error e -> raise (Invalid_argument (Par.Scenario.error_to_string e))
+        | Ok r -> (workers, Unix.gettimeofday () -. t0, r))
+      shards_list
+  in
+  (match runs with
+  | [] -> ()
+  | (_, _, first) :: rest ->
+      if
+        not
+          (List.for_all
+             (fun (_, _, r) ->
+               String.equal first.Par.Scenario.fairness_table
+                 r.Par.Scenario.fairness_table)
+             rest)
+      then
+        raise
+          (Invalid_argument
+             "sharded results diverged across --shards — determinism bug"));
+  (match runs with
+  | (_, _, r) :: _ ->
+      Format.fprintf ppf
+        "@.Sharded scaling sweep — %d shards, %d receivers, lookahead %g s@."
+        r.Par.Scenario.shards r.Par.Scenario.n_receivers
+        r.Par.Scenario.lookahead
+  | [] -> ());
+  let base_wall = match runs with (_, w, _) :: _ -> w | [] -> 1.0 in
+  Format.fprintf ppf "%8s %10s %12s %14s %8s@." "shards" "wall s" "events"
+    "events/s" "speedup";
+  List.iter
+    (fun (workers, wall_s, (r : Par.Scenario.result)) ->
+      Format.fprintf ppf "%8d %10.2f %12d %14.0f %8.2f@." workers wall_s
+        r.Par.Scenario.events_fired
+        (float_of_int r.Par.Scenario.events_fired /. wall_s)
+        (base_wall /. wall_s))
+    runs;
+  Format.fprintf ppf "fairness tables byte-identical across %d shard count(s)@."
+    (List.length runs);
+  let rows =
+    List.map
+      (fun (workers, wall_s, (r : Par.Scenario.result)) ->
+        Runner.Json.Obj
+          [
+            ( "name",
+              Runner.Json.String
+                (Printf.sprintf "kary%dx%d/shards%d" fanout depth workers) );
+            ("workers", Runner.Json.Int workers);
+            ("shards", Runner.Json.Int r.Par.Scenario.shards);
+            ("receivers", Runner.Json.Int r.Par.Scenario.n_receivers);
+            ("rounds", Runner.Json.Int r.Par.Scenario.rounds);
+            ("lookahead_s", Runner.Json.Float r.Par.Scenario.lookahead);
+            ("wall_s", Runner.Json.Float wall_s);
+            ("events_fired", Runner.Json.Int r.Par.Scenario.events_fired);
+            ( "events_per_s",
+              Runner.Json.Float
+                (float_of_int r.Par.Scenario.events_fired /. wall_s) );
+            ("speedup", Runner.Json.Float (base_wall /. wall_s));
+          ])
+      runs
+  in
+  let json =
+    Runner.Json.Obj
+      [
+        ("bench", Runner.Json.String "scale");
+        ("duration_s", Runner.Json.Float duration);
+        ("warmup_s", Runner.Json.Float warmup);
+        ("seed", Runner.Json.Int seed);
+        ("cores", Runner.Json.Int (Domain.recommended_domain_count ()));
+        ("scenarios", Runner.Json.List rows);
+      ]
+  in
+  Runner.Report.write_file ~path:json_path json;
+  Format.fprintf ppf "wrote %s@." json_path
+
 (* --- resumable plain sweep ------------------------------------------ *)
 
 (* Finished rows are persisted to <json>.partial, one "label\tjson" line
@@ -246,14 +361,28 @@ let run_plain_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
     Format.fprintf ppf "wrote %s@." json_path
   end
 
-let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~json_path
-    ~resume ~halt_after ~deterministic =
-  let case_indices = parse_cases cases in
-  if seeds < 1 then raise (Invalid_argument "--seeds: must be >= 1");
-  if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
+let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~scale
+    ~shards ~fanout ~depth ~json_path ~resume ~halt_after ~deterministic =
   if duration <= 0.0 then raise (Invalid_argument "--duration: must be > 0");
   if warmup < 0.0 || warmup >= duration then
     raise (Invalid_argument "--warmup: must be in [0, duration)");
+  if scale then begin
+    if churn || resume || halt_after <> None || deterministic then
+      raise
+        (Invalid_argument
+           "--scale combines only with --shards/--fanout/--depth plus the \
+            duration/warmup/seed/json options");
+    if fanout < 2 then raise (Invalid_argument "--fanout: must be >= 2");
+    if depth < 2 then raise (Invalid_argument "--depth: must be >= 2");
+    let shards_list = parse_shards shards in
+    let json_path = Option.value json_path ~default:"rla_scale.json" in
+    run_scale_sweep ~shards_list ~fanout ~depth ~duration ~warmup ~seed
+      ~json_path
+  end
+  else begin
+  let case_indices = parse_cases cases in
+  if seeds < 1 then raise (Invalid_argument "--seeds: must be >= 1");
+  if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
   (match halt_after with
   | Some n when n < 1 -> raise (Invalid_argument "--halt-after: must be >= 1")
   | _ -> ());
@@ -280,6 +409,7 @@ let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~json_path
   else
     run_plain_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
       ~json_path ~resume ~halt_after ~deterministic
+  end
 
 open Cmdliner
 
@@ -316,6 +446,32 @@ let duration_arg =
 let warmup_arg =
   let doc = "Discarded measurement prefix, seconds (must be < duration)." in
   Arg.(value & opt float 100.0 & info [ "warmup" ] ~docv:"SECONDS" ~doc)
+
+let scale_arg =
+  let doc =
+    "Sweep the sharded 10k-receiver scaling scenario over the \
+     $(b,--shards) list instead of the sharing cases (fairness tables \
+     must come out byte-identical — the shard structure is fixed by \
+     the topology, worker domains are not observable).  Defaults to \
+     $(b,rla_scale.json); the checked-in BENCH_scale.json is owned by \
+     `make bench-scale`."
+  in
+  Arg.(value & flag & info [ "scale" ] ~doc)
+
+let shards_arg =
+  let doc = "Comma-separated worker-domain counts for $(b,--scale)." in
+  Arg.(value & opt string "1,2,4" & info [ "shards" ] ~docv:"LIST" ~doc)
+
+let fanout_arg =
+  let doc =
+    "Tree fanout for $(b,--scale) (receivers = fanout^depth; 22 x 3 \
+     gives 10648)."
+  in
+  Arg.(value & opt int 22 & info [ "fanout" ] ~docv:"K" ~doc)
+
+let depth_arg =
+  let doc = "Tree depth for $(b,--scale) (>= 2)." in
+  Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
 
 let churn_arg =
   let doc =
@@ -365,17 +521,19 @@ let cmd =
   in
   let term =
     Term.(
-      const (fun cases seeds seed gateway jobs duration warmup churn json_path
-                 resume halt_after deterministic ->
+      const (fun cases seeds seed gateway jobs duration warmup churn scale
+                 shards fanout depth json_path resume halt_after deterministic ->
           try
             run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn
-              ~json_path ~resume ~halt_after ~deterministic
+              ~scale ~shards ~fanout ~depth ~json_path ~resume ~halt_after
+              ~deterministic
           with Invalid_argument msg ->
             Format.eprintf "rla_sweep: %s@." msg;
             Stdlib.exit 2)
       $ cases_arg $ seeds_arg $ seed_arg $ gateway_arg $ jobs_arg
-      $ duration_arg $ warmup_arg $ churn_arg $ json_arg $ resume_arg
-      $ halt_after_arg $ deterministic_arg)
+      $ duration_arg $ warmup_arg $ churn_arg $ scale_arg $ shards_arg
+      $ fanout_arg $ depth_arg $ json_arg $ resume_arg $ halt_after_arg
+      $ deterministic_arg)
   in
   Cmd.v (Cmd.info "rla_sweep" ~doc) term
 

@@ -37,3 +37,11 @@ let is_essentially_fair gateway ~n ~rla_throughput ~tcp_throughput =
   let a, b = essential_bounds gateway ~n in
   let c = measured_ratio ~rla_throughput ~tcp_throughput in
   c > a && c < b
+
+let jain = function
+  | [] -> invalid_arg "Fairness.jain: empty allocation list"
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let sum = List.fold_left ( +. ) 0.0 xs in
+      let sumsq = List.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+      if sumsq <= 0.0 then 1.0 else sum *. sum /. (n *. sumsq)

@@ -37,3 +37,9 @@ val is_essentially_fair :
 val measured_ratio : rla_throughput:float -> tcp_throughput:float -> float
 (** The empirical [c] such that [rla = c * tcp]; [infinity] when the
     TCP throughput is zero. *)
+
+val jain : float list -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)] over per-branch
+    allocations: 1 when all equal, [1/n] when one branch takes
+    everything.  An all-zero allocation is treated as perfectly fair
+    (index 1).  Raises [Invalid_argument] on the empty list. *)

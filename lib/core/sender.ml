@@ -67,6 +67,13 @@ type t = {
   mutable meas_rexmits : int;
   mutable meas_sent_new : int;
   mutable meas_signals_per : int array;
+  (* Derived O(1) aggregates over the active scoreboards (see
+     [recompute_min_ack]/[recompute_pipes]); never captured — restore
+     recomputes them. *)
+  mutable mla_value : int;  (* min active high_ack *)
+  mutable mla_count : int;  (* active boards sitting at [mla_value] *)
+  mutable pipe_counts : int array;  (* active boards per pipe value *)
+  mutable pipe_max : int;
   mutable taps : taps option;
 }
 
@@ -105,10 +112,75 @@ let fold_active t f init =
     (fun acc r -> if Rcv_state.active r then f acc r else acc)
     init t.rcvrs
 
-let min_last_ack t =
-  fold_active t
-    (fun acc r -> Stdlib.min acc (Tcp.Scoreboard.high_ack (Rcv_state.board r)))
-    max_int
+(* [min_last_ack]/[max_pipe] gate every window-room check — once per
+   new packet and retransmission — so the original O(n) folds cost
+   O(n^2) per ack on large groups.  They are kept as exact caches
+   instead: every scoreboard mutation site below refreshes them
+   incrementally, and [create]/[restore]/membership changes recompute
+   from scratch.  The caches are derived state only — the captured
+   state format is unchanged and the values always equal the folds. *)
+
+let recompute_min_ack t =
+  let v =
+    fold_active t
+      (fun acc r -> Stdlib.min acc (Tcp.Scoreboard.high_ack (Rcv_state.board r)))
+      max_int
+  in
+  t.mla_value <- v;
+  t.mla_count <-
+    fold_active t
+      (fun acc r ->
+        if Tcp.Scoreboard.high_ack (Rcv_state.board r) = v then acc + 1 else acc)
+      0
+
+(* An active board's cumulative ack moved [before -> after].  [before]
+   can never be below the cached minimum, so only a departure from the
+   minimum bucket can change it. *)
+let note_high_ack_advance t ~before ~after =
+  if after <> before && before = t.mla_value then begin
+    t.mla_count <- t.mla_count - 1;
+    if t.mla_count <= 0 then recompute_min_ack t
+  end
+
+let pipe_bucket_incr t p =
+  if p >= Array.length t.pipe_counts then begin
+    let grown =
+      Array.make (Stdlib.max (p + 1) (Stdlib.max 8 (2 * Array.length t.pipe_counts))) 0
+    in
+    Array.blit t.pipe_counts 0 grown 0 (Array.length t.pipe_counts);
+    t.pipe_counts <- grown
+  end;
+  t.pipe_counts.(p) <- t.pipe_counts.(p) + 1;
+  if p > t.pipe_max then t.pipe_max <- p
+
+let pipe_bucket_decr t p =
+  t.pipe_counts.(p) <- t.pipe_counts.(p) - 1;
+  if p = t.pipe_max && t.pipe_counts.(p) = 0 then begin
+    let m = ref t.pipe_max in
+    while !m > 0 && t.pipe_counts.(!m) = 0 do
+      decr m
+    done;
+    t.pipe_max <- !m
+  end
+
+(* Incr before decr: when the pipe grows this raises the max directly
+   and the vacated bucket never triggers a downward scan. *)
+let note_pipe_change t ~before ~after =
+  if after <> before then begin
+    pipe_bucket_incr t after;
+    pipe_bucket_decr t before
+  end
+
+let recompute_pipes t =
+  Array.fill t.pipe_counts 0 (Array.length t.pipe_counts) 0;
+  t.pipe_max <- 0;
+  Array.iter
+    (fun r ->
+      if Rcv_state.active r then
+        pipe_bucket_incr t (Tcp.Scoreboard.pipe (Rcv_state.board r)))
+    t.rcvrs
+
+let min_last_ack t = t.mla_value
 
 let signals_per_receiver t =
   Array.to_list
@@ -198,12 +270,9 @@ let send_packet t ~seq ~dst ~rexmit =
   in
   Net.Network.send t.net pkt
 
-(* The slowest active branch limits the send rate: use the largest pipe
-   over the per-receiver scoreboards. *)
-let max_pipe t =
-  fold_active t
-    (fun acc r -> Stdlib.max acc (Tcp.Scoreboard.pipe (Rcv_state.board r)))
-    0
+(* The slowest active branch limits the send rate: the largest pipe
+   over the per-receiver scoreboards (cached, see above). *)
+let max_pipe t = t.pipe_max
 
 let send_rexmit t seq target =
   Hashtbl.remove t.queued seq;
@@ -230,7 +299,11 @@ let send_rexmit t seq target =
       if
         Tcp.Scoreboard.is_lost board seq
         && not (Tcp.Scoreboard.is_rexmitted board seq)
-      then Tcp.Scoreboard.mark_retransmitted ~at:(now t) board seq)
+      then begin
+        let p0 = Tcp.Scoreboard.pipe board in
+        Tcp.Scoreboard.mark_retransmitted ~at:(now t) board seq;
+        note_pipe_change t ~before:p0 ~after:(Tcp.Scoreboard.pipe board)
+      end)
     requesters;
   match target with
   | To_group ->
@@ -280,8 +353,17 @@ and try_send t =
         t.next_seq <- seq + 1;
         Array.iter
           (fun r ->
-            let s = Tcp.Scoreboard.register_send (Rcv_state.board r) in
-            assert (s = seq))
+            let board = Rcv_state.board r in
+            if Rcv_state.active r then begin
+              let p0 = Tcp.Scoreboard.pipe board in
+              let s = Tcp.Scoreboard.register_send board in
+              assert (s = seq);
+              note_pipe_change t ~before:p0 ~after:(Tcp.Scoreboard.pipe board)
+            end
+            else begin
+              let s = Tcp.Scoreboard.register_send board in
+              assert (s = seq)
+            end)
           t.rcvrs;
         Hashtbl.replace t.coverage seq
           { covered = 0; rexmitted = false; sent_at = now t };
@@ -306,6 +388,7 @@ and on_timeout t =
     Array.iter
       (fun r -> ignore (Tcp.Scoreboard.mark_all_lost (Rcv_state.board r)))
       t.rcvrs;
+    recompute_pipes t;
     t.rexmit_queue <- [];
     Hashtbl.reset t.queued;
     Hashtbl.reset t.pending;
@@ -421,6 +504,8 @@ let on_ack t r ~cum_ack ~blocks ~echo ~ece =
   Stats.Welford.add !(t.rtt_acks) rtt_sample;
   Tcp.Rto.sample t.rto rtt_sample;
   let board = Rcv_state.board r in
+  let high_ack0 = Tcp.Scoreboard.high_ack board in
+  let pipe0 = Tcp.Scoreboard.pipe board in
   let fresh_cum = Tcp.Scoreboard.advance_cum_seqs board cum_ack in
   let fresh_sacked =
     List.concat_map
@@ -461,6 +546,11 @@ let on_ack t r ~cum_ack ~blocks ~echo ~ece =
     | Some taps -> Obs.Registry.incr taps.signals_c);
     congestion_action t r
   end;
+  (* All of this ack's mutations to [board] are done; bring the cached
+     aggregates back in sync before [try_send] reads them. *)
+  note_high_ack_advance t ~before:high_ack0
+    ~after:(Tcp.Scoreboard.high_ack board);
+  note_pipe_change t ~before:pipe0 ~after:(Tcp.Scoreboard.pipe board);
   probe_flow t;
   try_send t
 
@@ -511,6 +601,8 @@ let drop_receiver t addr =
           Hashtbl.remove t.pending seq;
           if seq >= t.mra then schedule_rexmit_decision t seq)
         (List.sort Int.compare pending_seqs);
+      recompute_min_ack t;
+      recompute_pipes t;
       try_send t;
       true
 
@@ -559,6 +651,8 @@ let add_receiver t addr =
          frontier/window rules consistent. *)
       Hashtbl.iter (fun _ c -> c.covered <- c.covered + 1) t.coverage;
       recount_troubled t;
+      recompute_min_ack t;
+      recompute_pipes t;
       try_send t;
       true
 
@@ -628,18 +722,24 @@ let snapshot t =
            t.rcvrs);
   }
 
-let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
-    =
+let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0)
+    ?endpoints:endpoint_addrs ?(tree = `Install) () =
   if receivers = [] then invalid_arg "Sender.create: no receivers";
   let flow = Net.Network.fresh_flow net in
-  let group = Net.Network.fresh_group net in
-  Net.Network.install_multicast net ~group ~src ~members:receivers;
+  let group =
+    match tree with
+    | `Install ->
+        let group = Net.Network.fresh_group net in
+        Net.Network.install_multicast net ~group ~src ~members:receivers;
+        group
+    | `Preinstalled group -> group
+  in
   let endpoints =
     List.map
       (fun node ->
         Receiver.create ~net ~node ~flow ~sender:src
           ~ack_jitter:params.Params.ack_jitter ())
-      receivers
+      (Option.value endpoint_addrs ~default:receivers)
   in
   let start = Net.Network.now net +. start_at in
   let t =
@@ -693,9 +793,15 @@ let create ~net ~src ~receivers ?(params = Params.default) ?(start_at = 0.0) ()
       meas_rexmits = 0;
       meas_sent_new = 0;
       meas_signals_per = Array.make (List.length receivers) 0;
+      mla_value = 0;
+      mla_count = 0;
+      pipe_counts = [||];
+      pipe_max = 0;
       taps = None;
     }
   in
+  recompute_min_ack t;
+  recompute_pipes t;
   t.timeout_thunk <-
     (fun () ->
       t.timer <- None;
@@ -907,4 +1013,8 @@ let restore t st =
   t.meas_timeouts <- st.s_meas_timeouts;
   t.meas_rexmits <- st.s_meas_rexmits;
   t.meas_sent_new <- st.s_meas_sent_new;
-  t.meas_signals_per <- Array.of_list st.s_meas_signals_per
+  t.meas_signals_per <- Array.of_list st.s_meas_signals_per;
+  (* The cached aggregates are derived state: rebuild them from the
+     restored scoreboards. *)
+  recompute_min_ack t;
+  recompute_pipes t

@@ -25,12 +25,24 @@ val create :
   receivers:Net.Packet.addr list ->
   ?params:Params.t ->
   ?start_at:float ->
+  ?endpoints:Net.Packet.addr list ->
+  ?tree:[ `Install | `Preinstalled of Net.Packet.group ] ->
   unit ->
   t
 (** Allocates a flow and a multicast group, installs the distribution
     tree (so {!Net.Network.install_routes} must already have run),
     creates one {!Receiver} endpoint per receiver node and starts
     sending at [start_at] (default 0, plus a small random stagger).
+
+    Sharded runs override the defaults: [?tree:(`Preinstalled g)] skips
+    both group allocation and tree installation (the caller built the
+    distribution tree — possibly spanning several networks — and every
+    member has already joined [g]), and [?endpoints] restricts the
+    locally created {!Receiver} endpoints to the listed subset of
+    [receivers] (the rest live on other shards and are created there
+    with this sender's {!flow}).  The defaults ([`Install], all
+    receivers local) leave single-network behavior bit-identical to
+    before these options existed.
 
     If the network has a metrics registry installed
     ({!Net.Network.set_registry}) at creation time, the session

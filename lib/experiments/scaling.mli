@@ -34,3 +34,38 @@ type point = {
 val run : config -> point list
 
 val print : Format.formatter -> point list -> unit
+
+(** {2 Sharded scaling}
+
+    The 10k-receiver regime is out of reach for one event loop, so the
+    sharded variant drives a deep k-ary tree through the conservative
+    parallel engine ({!Par.Engine}): the partitioner cuts the slow
+    root links (one shard per branch plus the root), every leaf joins
+    the RLA session, and one competing TCP runs inside each branch.
+    Results are byte-identical for any [workers] value. *)
+
+type sharded_config = {
+  fanout : int;
+  depth : int;  (** >= 2: the TCP pairs need an interior branch hop. *)
+  workers : int;  (** Domains per barrier round; results-invariant. *)
+  share : float;  (** Per-branch fair share, pkt/s. *)
+  duration : float;
+  warmup : float;
+  seed : int;
+  rla_params : Rla.Params.t;
+}
+
+val default_sharded_config : sharded_config
+(** Fanout 22, depth 3: 10648 receivers on 11155 nodes across 23
+    shards with a 20 ms lookahead. *)
+
+val sharded_topo : sharded_config -> Net.Topo.t
+
+val run_sharded :
+  ?checkpoint:float * string ->
+  sharded_config ->
+  (Par.Scenario.result, Par.Scenario.error) Stdlib.result
+(** [checkpoint] is rejected with {!Par.Scenario.Checkpoint_unsupported}
+    (sharded runs are not checkpointable). *)
+
+val print_sharded : Format.formatter -> Par.Scenario.result -> unit

@@ -57,21 +57,35 @@ let set_registry t reg =
 
 let now t = Sim.Scheduler.now t.sched
 
-let add_node t =
-  let id = t.n_nodes in
-  let node = Node.create ~pool:t.pool id in
-  if t.n_nodes = Array.length t.nodes then begin
-    let grown = Array.make (Stdlib.max 8 (2 * t.n_nodes)) node in
+(* Sparse networks (shard-local slices of a global address space) fill
+   gap slots with an aliased filler node whose [Node.id] differs from
+   the slot index; [node] treats those slots as absent. *)
+let add_node_at t addr =
+  if addr < 0 then invalid_arg "Network.add_node_at: negative address";
+  if addr < t.n_nodes && Node.id t.nodes.(addr) = addr then
+    invalid_arg
+      (Printf.sprintf "Network.add_node_at: node %d already exists" addr);
+  let node = Node.create ~pool:t.pool addr in
+  if addr >= Array.length t.nodes then begin
+    let grown =
+      Array.make
+        (Stdlib.max 8 (Stdlib.max (addr + 1) (2 * Array.length t.nodes)))
+        node
+    in
     Array.blit t.nodes 0 grown 0 t.n_nodes;
     t.nodes <- grown
   end;
-  t.nodes.(t.n_nodes) <- node;
-  t.n_nodes <- t.n_nodes + 1;
+  t.nodes.(addr) <- node;
+  if addr >= t.n_nodes then t.n_nodes <- addr + 1;
   node
+
+let add_node t = add_node_at t t.n_nodes
 
 let node t addr =
   if addr < 0 || addr >= t.n_nodes then raise Not_found;
-  t.nodes.(addr)
+  let n = t.nodes.(addr) in
+  if Node.id n <> addr then raise Not_found;
+  n
 
 let node_count t = t.n_nodes
 
@@ -215,6 +229,14 @@ let fresh_flow t =
   t.next_flow <- f + 1;
   f
 
+let set_flow_base t base =
+  if base < t.next_flow then
+    invalid_arg
+      (Printf.sprintf
+         "Network.set_flow_base: base %d is below already-allocated flow %d"
+         base t.next_flow);
+  t.next_flow <- base
+
 let fresh_group t =
   let g = t.next_group in
   t.next_group <- g + 1;
@@ -226,6 +248,18 @@ let make_packet t ~flow ~src ~dst ~size ~payload =
   Packet.Pool.acquire t.pool ~uid ~flow ~src ~dst ~size ~payload ~born:(now t)
 
 let send t pkt = Node.receive (node t pkt.Packet.src) pkt
+
+(* Materialize a packet arriving from outside this network (another
+   shard of a parallel run): a fresh local uid, but the original flow,
+   endpoints, birth time and ECN state carried over.  Mirrors the
+   link-layer copy-on-write mark: the field is set while this side
+   holds the only reference. *)
+let import_packet t ~flow ~src ~dst ~size ~payload ~born ~ecn =
+  let uid = t.next_uid in
+  t.next_uid <- uid + 1;
+  let pkt = Packet.Pool.acquire t.pool ~uid ~flow ~src ~dst ~size ~payload ~born in
+  if ecn then pkt.Packet.ecn <- true;
+  pkt
 
 let run_until t horizon = Sim.Scheduler.run_until t.sched horizon
 
@@ -246,7 +280,16 @@ let capture t =
     s_next_flow = t.next_flow;
     s_next_group = t.next_group;
     s_next_uid = t.next_uid;
-    s_nodes = List.init t.n_nodes (fun i -> Node.capture t.nodes.(i));
+    s_nodes =
+      List.init t.n_nodes (fun i ->
+          let n = t.nodes.(i) in
+          if Node.id n <> i then
+            invalid_arg
+              (Printf.sprintf
+                 "Network.capture: address %d is a gap (sparse networks are \
+                  not capturable)"
+                 i);
+          Node.capture n);
     s_links = List.map Link.capture (links t);
   }
 

@@ -39,8 +39,15 @@ val now : t -> float
 val add_node : t -> Node.t
 (** Create a node with the next free address. *)
 
+val add_node_at : t -> Packet.addr -> Node.t
+(** Create a node at an explicit address, leaving any skipped addresses
+    as gaps ([node] raises [Not_found] for them).  This lets a shard of
+    a partitioned topology keep global addresses locally.  Sparse
+    networks cannot be captured (see {!capture}).  Raises
+    [Invalid_argument] if the address is negative or occupied. *)
+
 val node : t -> Packet.addr -> Node.t
-(** Raises [Not_found] for an unknown address. *)
+(** Raises [Not_found] for an unknown or gap address. *)
 
 val node_count : t -> int
 
@@ -74,6 +81,12 @@ val graft_multicast : t -> group:Packet.group -> src:Packet.addr -> member:Packe
 
 val fresh_flow : t -> Packet.flow
 
+val set_flow_base : t -> Packet.flow -> unit
+(** Raise the flow allocator so subsequent {!fresh_flow} calls start at
+    [base] — shards of a parallel run use disjoint bases so flow ids
+    stay globally unique.  Raises [Invalid_argument] if flows at or
+    beyond [base] were already allocated. *)
+
 val fresh_group : t -> Packet.group
 
 val make_packet :
@@ -91,6 +104,21 @@ val make_packet :
 val send : t -> Packet.t -> unit
 (** Inject a packet at its source node; consumes the caller's packet
     reference. *)
+
+val import_packet :
+  t ->
+  flow:Packet.flow ->
+  src:Packet.addr ->
+  dst:Packet.dest ->
+  size:int ->
+  payload:Packet.payload ->
+  born:float ->
+  ecn:bool ->
+  Packet.t
+(** Materialize a packet that originated on another network (a
+    different shard of a parallel run): a fresh local uid, with the
+    original flow, endpoints, birth time and ECN mark preserved.  The
+    caller owns the single reference. *)
 
 val run_until : t -> float -> unit
 
@@ -112,7 +140,9 @@ type state = {
 val capture : t -> state
 (** Pure read of all mutable network state.  The scheduler is captured
     separately ([Sim.Scheduler.capture]); topology is not serialized at
-    all — restore targets an identically rebuilt network. *)
+    all — restore targets an identically rebuilt network.  Raises
+    [Invalid_argument] on a sparse network (gap addresses from
+    {!add_node_at}): shard-local slices are not capturable. *)
 
 val restore : t -> state -> unit
 (** Overwrite mutable state on a network rebuilt by the same

@@ -1,0 +1,191 @@
+type edge = { u : int; v : int; config : Link.config }
+type t = { n : int; edges : edge list }
+
+let check_edges ~n edges =
+  let seen = Hashtbl.create (List.length edges * 2) in
+  List.iter
+    (fun e ->
+      if e.u = e.v then
+        invalid_arg (Printf.sprintf "Topo: self-loop at node %d" e.u);
+      if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
+        invalid_arg
+          (Printf.sprintf "Topo: edge (%d,%d) out of range [0,%d)" e.u e.v n);
+      let key = (Stdlib.min e.u e.v, Stdlib.max e.u e.v) in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Topo: duplicate edge (%d,%d)" e.u e.v);
+      Hashtbl.replace seen key ())
+    edges
+
+let of_edges ~n spec =
+  if n < 1 then invalid_arg "Topo.of_edges: n must be >= 1";
+  let edges = List.map (fun (u, v, config) -> { u; v; config }) spec in
+  check_edges ~n edges;
+  { n; edges }
+
+let level_config configs d =
+  configs.(Stdlib.min (d - 1) (Array.length configs - 1))
+
+let kary ~fanout ~depth ~configs =
+  if fanout < 2 then invalid_arg "Topo.kary: fanout must be >= 2";
+  if depth < 0 then invalid_arg "Topo.kary: depth must be >= 0";
+  if Array.length configs = 0 then invalid_arg "Topo.kary: configs is empty";
+  (* Nodes per level: fanout^d; node i's parent is (i-1)/fanout. *)
+  let n = ref 1 and level = ref 1 in
+  for _ = 1 to depth do
+    level := !level * fanout;
+    n := !n + !level
+  done;
+  let n = !n in
+  (* Depth of node i: the level whose index range contains i. *)
+  let edges = ref [] in
+  let first = ref 1 and width = ref fanout in
+  for d = 1 to depth do
+    for i = !first to !first + !width - 1 do
+      edges := { u = (i - 1) / fanout; v = i; config = level_config configs d }
+               :: !edges
+    done;
+    first := !first + !width;
+    width := !width * fanout
+  done;
+  { n; edges = List.rev !edges }
+
+let fat_tree ~k ~configs =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Topo.fat_tree: k must be even and >= 2";
+  if Array.length configs = 0 then invalid_arg "Topo.fat_tree: configs is empty";
+  let half = k / 2 in
+  let cores = half * half in
+  let layer l = configs.(Stdlib.min l (Array.length configs - 1)) in
+  (* Ids: cores [0,cores); pod p's aggs at cores + p*k + i, edges at
+     cores + p*k + half + i; hosts after all switches. *)
+  let agg p i = cores + (p * k) + i in
+  let edge_sw p i = cores + (p * k) + half + i in
+  let host_base = cores + (k * k) in
+  let host p e j = host_base + (p * half * half) + (e * half) + j in
+  let n = host_base + (k * half * half) in
+  let edges = ref [] in
+  for p = 0 to k - 1 do
+    for i = 0 to half - 1 do
+      (* Agg i of every pod connects to cores [i*half .. i*half+half-1]. *)
+      for c = 0 to half - 1 do
+        edges := { u = (i * half) + c; v = agg p i; config = layer 0 } :: !edges
+      done
+    done;
+    for e = 0 to half - 1 do
+      for i = 0 to half - 1 do
+        edges := { u = agg p i; v = edge_sw p e; config = layer 1 } :: !edges
+      done;
+      for j = 0 to half - 1 do
+        edges := { u = edge_sw p e; v = host p e j; config = layer 2 } :: !edges
+      done
+    done
+  done;
+  { n; edges = List.rev !edges }
+
+let random_graph ~seed ~n ~extra ~configs =
+  if n < 1 then invalid_arg "Topo.random_graph: n must be >= 1";
+  if extra < 0 then invalid_arg "Topo.random_graph: extra must be >= 0";
+  if Array.length configs = 0 then
+    invalid_arg "Topo.random_graph: configs is empty";
+  let rng = Sim.Rng.create seed in
+  let pick_config () = configs.(Sim.Rng.int rng (Array.length configs)) in
+  let present = Hashtbl.create (2 * (n + extra)) in
+  let key u v = (Stdlib.min u v, Stdlib.max u v) in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    let u = Sim.Rng.int rng v in
+    Hashtbl.replace present (key u v) ();
+    edges := { u; v; config = pick_config () } :: !edges
+  done;
+  (* Extra edges by bounded rejection sampling: deterministic for a
+     seed, and capped so dense graphs cannot loop forever. *)
+  if n > 1 then begin
+    let added = ref 0 and attempts = ref 0 in
+    let max_attempts = 10 * (extra + 1) in
+    while !added < extra && !attempts < max_attempts do
+      incr attempts;
+      let u = Sim.Rng.int rng n and v = Sim.Rng.int rng n in
+      if u <> v && not (Hashtbl.mem present (key u v)) then begin
+        Hashtbl.replace present (key u v) ();
+        edges := { u; v; config = pick_config () } :: !edges;
+        incr added
+      end
+    done
+  end;
+  { n; edges = List.rev !edges }
+
+let node_count t = t.n
+let edge_count t = List.length t.edges
+
+let neighbors t =
+  let adj = Array.make t.n [] in
+  List.iter
+    (fun e ->
+      adj.(e.u) <- e.v :: adj.(e.u);
+      adj.(e.v) <- e.u :: adj.(e.v))
+    t.edges;
+  Array.map List.rev adj
+
+let degrees t =
+  let deg = Array.make t.n 0 in
+  List.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    t.edges;
+  deg
+
+let leaves t =
+  let deg = degrees t in
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    if deg.(v) = 1 then acc := v :: !acc
+  done;
+  !acc
+
+let bfs_parents t ~root =
+  if root < 0 || root >= t.n then invalid_arg "Topo.bfs_parents: bad root";
+  let adj = neighbors t in
+  let parents = Array.make t.n (-1) in
+  parents.(root) <- root;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if parents.(v) < 0 then begin
+          parents.(v) <- u;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  parents
+
+let connected t =
+  let parents = bfs_parents t ~root:0 in
+  Array.for_all (fun p -> p >= 0) parents
+
+let path_to_root ~parents v =
+  if v < 0 || v >= Array.length parents || parents.(v) < 0 then
+    invalid_arg "Topo.path_to_root: unreachable node";
+  let rec up v acc = if parents.(v) = v then v :: acc else up parents.(v) (v :: acc) in
+  List.rev (up v [])
+
+let tree_path ~parents a b =
+  let pa = path_to_root ~parents a (* a .. root *) in
+  let pb = path_to_root ~parents b in
+  (* Strip the common suffix (toward the root), keeping the LCA once. *)
+  let ra = List.rev pa (* root .. a *) and rb = List.rev pb in
+  let rec strip ra rb lca =
+    match (ra, rb) with
+    | x :: ra', y :: rb' when x = y -> strip ra' rb' x
+    | _ -> (ra, rb, lca)
+  in
+  match (ra, rb) with
+  | x :: _, y :: _ when x <> y ->
+      invalid_arg "Topo.tree_path: nodes in different components"
+  | _ ->
+      let ta, tb, lca = strip ra rb (-1) in
+      (* ta runs lca-side .. a; reversed it runs a .. lca-exclusive. *)
+      List.rev ta @ (lca :: tb)

@@ -1,0 +1,66 @@
+type t = {
+  parts : int;
+  owner : int array;
+  members : int list array;
+  cut : Net.Topo.edge list;
+}
+
+let kruskal topo ~parts =
+  let n = Net.Topo.node_count topo in
+  if parts < 1 then invalid_arg "Partition.kruskal: parts must be >= 1";
+  if parts > n then invalid_arg "Partition.kruskal: more parts than nodes";
+  let parent = Array.init n (fun i -> i) in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let root = find parent.(i) in
+      parent.(i) <- root;
+      root
+    end
+  in
+  let edges = Array.of_list topo.Net.Topo.edges in
+  let order = Array.init (Array.length edges) (fun i -> i) in
+  (* Ascending delay, ties by edge index: a total order, so the sort
+     result is unique and the partition deterministic. *)
+  Array.sort
+    (fun a b ->
+      let da = edges.(a).Net.Topo.config.Net.Link.prop_delay in
+      let db = edges.(b).Net.Topo.config.Net.Link.prop_delay in
+      let c = Float.compare da db in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let components = ref n in
+  Array.iter
+    (fun i ->
+      if !components > parts then begin
+        let e = edges.(i) in
+        let ru = find e.Net.Topo.u and rv = find e.Net.Topo.v in
+        if ru <> rv then begin
+          parent.(ru) <- rv;
+          decr components
+        end
+      end)
+    order;
+  (* Number parts by smallest member node. *)
+  let label = Array.make n (-1) in
+  let owner = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    let r = find v in
+    if label.(r) < 0 then begin
+      label.(r) <- !next;
+      incr next
+    end;
+    owner.(v) <- label.(r)
+  done;
+  let k = !next in
+  let members = Array.make k [] in
+  for v = n - 1 downto 0 do
+    members.(owner.(v)) <- v :: members.(owner.(v))
+  done;
+  let cut =
+    List.filter
+      (fun e -> owner.(e.Net.Topo.u) <> owner.(e.Net.Topo.v))
+      topo.Net.Topo.edges
+  in
+  { parts = k; owner; members; cut }

@@ -1,0 +1,28 @@
+(** Topology partitioner for conservative parallel simulation.
+
+    The quality goal is the opposite of a classic min-cut balance: cut
+    edges become shard-boundary portals whose minimum propagation delay
+    is the engine's lookahead, so the partitioner should cut {e few,
+    high-latency} links.  {!kruskal} does exactly that: single-linkage
+    clustering that keeps merging the lowest-delay edges until the
+    requested number of components remains — the surviving cut is the
+    high-delay edge set. *)
+
+type t = {
+  parts : int;  (** Achieved part count (see {!kruskal}). *)
+  owner : int array;  (** Node -> part index, every node in exactly one. *)
+  members : int list array;  (** Part -> member nodes, ascending. *)
+  cut : Net.Topo.edge list;
+      (** Exactly the edges whose endpoints land in different parts, in
+          topology edge order. *)
+}
+
+val kruskal : Net.Topo.t -> parts:int -> t
+(** Merge edges in ascending [prop_delay] order (ties broken by edge
+    index) until [parts] components remain.  Parts are numbered by
+    their smallest member node, so the result is a pure function of the
+    topology and [parts] — independent of worker count or scheduling.
+    On a disconnected topology the achieved [parts] may exceed the
+    request (components are never joined by absent edges).  Raises
+    [Invalid_argument] if [parts < 1] or [parts] exceeds the node
+    count. *)
