@@ -15,10 +15,11 @@ CHURN_DIR ?= /tmp/rla_churn_smoke
 INV_DIR ?= /tmp/rla_invariant_smoke
 CKPT_DIR ?= /tmp/rla_ckpt_smoke
 PAR_DIR ?= /tmp/rla_par_smoke
+MF_DIR ?= /tmp/rla_meanfield_smoke
 
 .PHONY: all build test lint smoke trace-smoke churn-smoke \
-  invariant-smoke ckpt-smoke par-smoke check ci bench bench-churn \
-  bench-perf bench-scale bench-trend clean
+  invariant-smoke ckpt-smoke par-smoke meanfield-smoke check ci bench \
+  bench-churn bench-perf bench-scale bench-meanfield bench-trend clean
 
 all: build
 
@@ -114,10 +115,24 @@ par-smoke: build
 	  || { echo "par-smoke: expected checkpoint rejection (exit 2), got $$status"; exit 1; }
 	@echo "par smoke OK (byte-identical across --shards, checkpoint rejected)"
 
+# Mean-field cross-check: (1) the ODE solver must track the packet
+# simulator on a shortened 3-point run (the loose tolerance absorbs
+# the fairness-ratio noise of the short horizon; the full-length gate
+# is `rla_sim mfvalidate` with its defaults), and (2) a solver
+# trajectory CSV must be byte-identical across two invocations — the
+# solver is deterministic by construction (no RNG, no wall clock).
+meanfield-smoke: build
+	@mkdir -p $(MF_DIR)
+	dune exec bin/rla_sim.exe -- mfvalidate --duration 240 --mf-tol 0.35
+	dune exec bin/rla_sim.exe -- meanfield --mf-n 64 --csv $(MF_DIR)/a.csv
+	dune exec bin/rla_sim.exe -- meanfield --mf-n 64 --csv $(MF_DIR)/b.csv
+	@cmp $(MF_DIR)/a.csv $(MF_DIR)/b.csv
+	@echo "meanfield smoke OK (solver tracks the packet sim; CSV byte-identical)"
+
 check: build test smoke
 
 ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke \
-  par-smoke bench-trend
+  par-smoke meanfield-smoke bench-trend
 
 bench:
 	dune exec bench/main.exe
@@ -138,6 +153,12 @@ bench-perf: build
 # shrink it for quick local runs.
 bench-scale: build
 	dune exec bench/scale.exe -- BENCH_scale.json
+
+# Mean-field regime map: the (w_q, max_p, n) grid up to n = 10^6,
+# rewritten to BENCH_meanfield.json.  Byte-identical at any --jobs
+# (the payload pins jobs/wall_s), so the file is diffable in review.
+bench-meanfield: build
+	dune exec bin/rla_sweep.exe -- --meanfield --jobs 2 --json BENCH_meanfield.json
 
 # Regression gate (wired into `make ci`): compares the checked-in
 # BENCH_perf.json / BENCH_scale.json against the best comparable run

@@ -5,8 +5,11 @@
 
    Pure comparison — no simulation runs — so the gate is cheap enough
    for `make ci`.  History lines only gate scenarios measured under the
-   same duration and seed; an empty or missing history passes (there is
-   nothing to regress against yet).
+   same duration and seed, and — when the document records a "cores"
+   field (BENCH_scale does) — on a machine with the same core count:
+   parallel-speedup numbers from a different machine are noise, not a
+   baseline.  Lines without the field gate everywhere.  An empty or
+   missing history passes (there is nothing to regress against yet).
 
    Usage: trend.exe [BENCH_perf.json [BENCH_perf_history.jsonl]] *)
 
@@ -33,7 +36,8 @@ let read_file path =
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
-(* (duration, seed, [(scenario, events/s)]) of one perf document. *)
+(* (duration, seed, cores, [(scenario, events/s)]) of one document;
+   [cores] is [None] when the document does not record it. *)
 let parse_doc ~path json =
   let open Runner.Json in
   let num field j =
@@ -43,6 +47,7 @@ let parse_doc ~path json =
   in
   let duration = num "duration_s" json in
   let seed = num "seed" json in
+  let cores = Option.bind (member "cores" json) to_int_opt in
   let scenarios =
     match member "scenarios" json with
     | Some (List rows) ->
@@ -54,7 +59,7 @@ let parse_doc ~path json =
           rows
     | _ -> fail "%s: missing \"scenarios\" list" path
   in
-  (duration, seed, scenarios)
+  (duration, seed, cores, scenarios)
 
 let () =
   let current_path =
@@ -67,7 +72,8 @@ let () =
   if not (Sys.file_exists current_path) then
     fail "rla-bench-trend: %s not found (run `make bench-perf` first)"
       current_path;
-  let cur_duration, cur_seed, current =
+  let machine_cores = Domain.recommended_domain_count () in
+  let cur_duration, cur_seed, _cur_cores, current =
     parse_doc ~path:current_path
       (try Runner.Json.of_string (String.trim (read_file current_path))
        with Runner.Json.Parse_error e ->
@@ -96,16 +102,23 @@ let () =
       | exception Runner.Json.Parse_error e ->
           fail "rla-bench-trend: %s line %d: %s" history_path (i + 1) e
       | json ->
-          let duration, seed, rows = parse_doc ~path:history_path json in
-          if duration = cur_duration && seed = cur_seed then begin
-            incr comparable;
-            List.iter
-              (fun (name, eps) ->
-                match Hashtbl.find_opt best name with
-                | Some b when b >= eps -> ()
-                | _ -> Hashtbl.replace best name eps)
-              rows
-          end)
+          let duration, seed, cores, rows = parse_doc ~path:history_path json in
+          (match cores with
+          | Some c when c <> machine_cores ->
+              Printf.printf
+                "bench-trend: skipping %s line %d — recorded on a %d-core \
+                 machine, this one has %d\n"
+                history_path (i + 1) c machine_cores
+          | _ ->
+              if duration = cur_duration && seed = cur_seed then begin
+                incr comparable;
+                List.iter
+                  (fun (name, eps) ->
+                    match Hashtbl.find_opt best name with
+                    | Some b when b >= eps -> ()
+                    | _ -> Hashtbl.replace best name eps)
+                  rows
+              end))
     history_lines;
   if !comparable = 0 then begin
     Printf.printf

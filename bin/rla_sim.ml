@@ -212,6 +212,61 @@ let run_baseline ~duration ~seed =
   let results = Experiments.Baseline_fairness.run_matrix ~duration ~seed () in
   Experiments.Report.print_baseline_matrix ppf results
 
+(* Mean-field tier: integrate the ODE system at one regime-map point
+   and emit the trajectory (CSV to --csv, summary to stdout). *)
+let run_meanfield ~mf_n ~mf_w_q ~mf_max_p ~csv =
+  let point = { Meanfield.Regime.w_q = mf_w_q; max_p = mf_max_p; n = mf_n } in
+  let params = Meanfield.Regime.params_for point in
+  let r = Meanfield.Solver.run params in
+  Format.fprintf ppf
+    "Mean-field trajectory: n=%d w_q=%g max_p=%g@.verdict %s  queue %.2f  \
+     avg-queue %.2f  drop %.5f  amplitude %.3f%s@.rla-window %.2f  \
+     rla-rate %.1f  fairness-ratio %.3f  (%d steps to t=%.1f)@."
+    mf_n mf_w_q mf_max_p
+    (Meanfield.Solver.verdict_to_string r.Meanfield.Solver.verdict)
+    r.Meanfield.Solver.queue_mean r.Meanfield.Solver.avg_queue_mean
+    r.Meanfield.Solver.drop_mean r.Meanfield.Solver.amplitude
+    (match r.Meanfield.Solver.period with
+    | Some p -> Printf.sprintf "  period %.2fs" p
+    | None -> "")
+    r.Meanfield.Solver.rla_window r.Meanfield.Solver.rla_rate
+    r.Meanfield.Solver.fairness_ratio r.Meanfield.Solver.steps
+    r.Meanfield.Solver.t_end;
+  match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (Meanfield.Trajectory.to_csv_string r.Meanfield.Solver.trajectory);
+      close_out oc;
+      Format.fprintf ppf "trajectory written to %s@." path
+
+(* Unlike the other experiments, the validation's default horizon comes
+   from the experiment itself (640 s): the fairness ratio needs
+   hundreds of RLA loss events to time-average, so the generic 300 s
+   CLI default would be misleading here.  --duration still overrides
+   for quick smoke runs (pair it with a looser --mf-tol). *)
+let run_mfvalidate ?duration ?tolerance ~seed () =
+  let base = Experiments.Meanfield_validate.default_config in
+  let duration =
+    Option.value duration ~default:base.Experiments.Meanfield_validate.duration
+  in
+  let config =
+    {
+      base with
+      Experiments.Meanfield_validate.duration;
+      warmup =
+        Float.min base.Experiments.Meanfield_validate.warmup (duration /. 4.0);
+      seed;
+      tolerance =
+        Option.value tolerance
+          ~default:base.Experiments.Meanfield_validate.tolerance;
+    }
+  in
+  let result = Experiments.Meanfield_validate.run ~config () in
+  Experiments.Meanfield_validate.print ppf result;
+  if not result.Experiments.Meanfield_validate.pass then exit 1
+
 let run_ablate ~duration ~seed =
   let run ~title variants =
     Experiments.Report.print_ablation ppf ~title
@@ -250,10 +305,15 @@ let experiments =
     ("baseline", `Baseline);
     ("churn", `Churn);
     ("ablate", `Ablate);
+    ("meanfield", `Meanfield);
+    ("mfvalidate", `Mfvalidate);
     ("all", `All);
   ]
 
-let dispatch which ~duration ~seed ~steps ~ckpt ~shards ~fanout ~depth =
+let dispatch which ~duration ~mf_tol ~seed ~steps ~ckpt ~shards ~fanout ~depth
+    ~mf_n ~mf_w_q ~mf_max_p ~csv =
+  let mf_duration = duration in
+  let duration = Option.value duration ~default:300.0 in
   match which with
   | `Fig4 -> run_fig4 ()
   | `Fig5 -> run_fig5 ~seed ~steps
@@ -272,6 +332,9 @@ let dispatch which ~duration ~seed ~steps ~ckpt ~shards ~fanout ~depth =
   | `Baseline -> run_baseline ~duration ~seed
   | `Churn -> run_churn ~duration ~seed
   | `Ablate -> run_ablate ~duration ~seed
+  | `Meanfield -> run_meanfield ~mf_n ~mf_w_q ~mf_max_p ~csv
+  | `Mfvalidate ->
+      run_mfvalidate ?duration:mf_duration ?tolerance:mf_tol ~seed ()
   | `All ->
       run_fig4 ();
       run_fig5 ~seed ~steps;
@@ -300,8 +363,21 @@ let which_arg =
     value & pos 0 (some (enum experiments)) None & info [] ~docv:"EXPERIMENT" ~doc)
 
 let duration_arg =
-  let doc = "Simulated seconds per run (the paper uses 3000)." in
-  Arg.(value & opt float 300.0 & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+  let doc =
+    "Simulated seconds per run (default 300; the paper uses 3000; \
+     mfvalidate defaults to its own 640 s horizon)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc)
+
+let mf_tol_arg =
+  let doc =
+    "Relative-error tolerance for mfvalidate (default 0.15); loosen it \
+     for short smoke runs."
+  in
+  Arg.(value & opt (some float) None & info [ "mf-tol" ] ~docv:"FRAC" ~doc)
 
 let seed_arg =
   let doc = "Random seed; every run is reproducible from it." in
@@ -329,6 +405,22 @@ let fanout_arg =
 let depth_arg =
   let doc = "Tree depth for $(b,scale) (>= 2)." in
   Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
+
+let mf_n_arg =
+  let doc = "System size n for the $(b,meanfield) experiment." in
+  Arg.(value & opt int 8 & info [ "mf-n" ] ~docv:"N" ~doc)
+
+let mf_w_q_arg =
+  let doc = "RED EWMA weight for $(b,meanfield)." in
+  Arg.(value & opt float 0.002 & info [ "mf-w-q" ] ~docv:"W" ~doc)
+
+let mf_max_p_arg =
+  let doc = "RED max_p for $(b,meanfield)." in
+  Arg.(value & opt float 0.1 & info [ "mf-max-p" ] ~docv:"P" ~doc)
+
+let csv_arg =
+  let doc = "Write the $(b,meanfield) trajectory CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
 let ckpt_every_arg =
   let doc =
@@ -377,8 +469,8 @@ let run_restore ~path ~ckpt =
         [ result ];
       0
 
-let main which duration seed steps shards fanout depth ckpt_every ckpt_dir
-    restore =
+let main which duration mf_tol seed steps shards fanout depth mf_n mf_w_q
+    mf_max_p csv ckpt_every ckpt_dir restore =
   let ckpt =
     match (ckpt_every, ckpt_dir) with
     | Some every, Some dir ->
@@ -403,7 +495,8 @@ let main which duration seed steps shards fanout depth ckpt_every ckpt_dir
         "rla_sim: an EXPERIMENT argument is required (or use --restore)\n";
       2
   | None, Some which ->
-      dispatch which ~duration ~seed ~steps ~ckpt ~shards ~fanout ~depth;
+      dispatch which ~duration ~mf_tol ~seed ~steps ~ckpt ~shards ~fanout
+        ~depth ~mf_n ~mf_w_q ~mf_max_p ~csv;
       0
 
 let cmd =
@@ -414,8 +507,9 @@ let cmd =
   in
   let term =
     Term.(
-      const main $ which_arg $ duration_arg $ seed_arg $ steps_arg
-      $ shards_arg $ fanout_arg $ depth_arg $ ckpt_every_arg $ ckpt_dir_arg
+      const main $ which_arg $ duration_arg $ mf_tol_arg $ seed_arg
+      $ steps_arg $ shards_arg $ fanout_arg $ depth_arg $ mf_n_arg
+      $ mf_w_q_arg $ mf_max_p_arg $ csv_arg $ ckpt_every_arg $ ckpt_dir_arg
       $ restore_arg)
   in
   Cmd.v (Cmd.info "rla_sim" ~doc) term

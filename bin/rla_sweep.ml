@@ -46,6 +46,7 @@ let payload (o : Experiments.Sharing.result Runner.Pool.outcome) =
     ( "btcp_send_rate",
       Runner.Json.Float r.Experiments.Sharing.btcp.Tcp.Sender.send_rate );
     ("ratio", Runner.Json.Float r.Experiments.Sharing.ratio);
+    ("jain", Runner.Json.Float r.Experiments.Sharing.jain);
     ("bound_a", Runner.Json.Float a);
     ("bound_b", Runner.Json.Float b);
     ( "essentially_fair",
@@ -80,6 +81,85 @@ let run_churn_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
           ("warmup_s", Runner.Json.Float warmup);
         ]
       churn_payload outcomes
+  in
+  Runner.Report.write_file ~path:json_path json;
+  Format.fprintf ppf "wrote %s@." json_path
+
+(* --- mean-field regime-map sweep ------------------------------------ *)
+
+let mf_payload (o : Meanfield.Regime.classification Runner.Pool.outcome) =
+  let c = o.Runner.Pool.value in
+  [
+    ("w_q", Runner.Json.Float c.Meanfield.Regime.point.Meanfield.Regime.w_q);
+    ("max_p", Runner.Json.Float c.Meanfield.Regime.point.Meanfield.Regime.max_p);
+    ("n", Runner.Json.Int c.Meanfield.Regime.point.Meanfield.Regime.n);
+    ( "verdict",
+      Runner.Json.String
+        (Meanfield.Solver.verdict_to_string c.Meanfield.Regime.verdict) );
+    ("amplitude", Runner.Json.Float c.Meanfield.Regime.amplitude);
+    ( "period_s",
+      match c.Meanfield.Regime.period with
+      | Some p -> Runner.Json.Float p
+      | None -> Runner.Json.Null );
+    ("queue_mean", Runner.Json.Float c.Meanfield.Regime.queue_mean);
+    ("drop_mean", Runner.Json.Float c.Meanfield.Regime.drop_mean);
+    ("fairness_ratio", Runner.Json.Float c.Meanfield.Regime.fairness_ratio);
+    ("criterion_stable", Runner.Json.Bool c.Meanfield.Regime.criterion_stable);
+    ("tau_crit_s", Runner.Json.Float c.Meanfield.Regime.tau_crit);
+    ("rtt_star_s", Runner.Json.Float c.Meanfield.Regime.rtt_star);
+    ("agree", Runner.Json.Bool c.Meanfield.Regime.agree);
+  ]
+
+(* The ODE solver is deterministic and networkless, so the report is
+   scrubbed down to simulation-derived numbers only (metrics zeroed,
+   wall clock and the jobs field pinned): BENCH_meanfield.json is
+   byte-identical for every --jobs value. *)
+let run_meanfield_sweep ~jobs ~json_path =
+  let grid = Meanfield.Regime.default_grid () in
+  let mf_jobs =
+    List.map
+      (fun (pt : Meanfield.Regime.point) ->
+        let label =
+          Printf.sprintf "wq%g/mp%g/n%d" pt.Meanfield.Regime.w_q
+            pt.Meanfield.Regime.max_p pt.Meanfield.Regime.n
+        in
+        Runner.Job.pure ~label (fun () -> Meanfield.Regime.classify pt))
+      grid
+  in
+  let outcomes =
+    Runner.Pool.run ~jobs mf_jobs
+    |> List.map (fun o -> { o with Runner.Pool.metrics = Runner.Metrics.zero })
+  in
+  Format.fprintf ppf "Mean-field regime map — %d points@." (List.length outcomes);
+  Format.fprintf ppf "%-22s %12s %9s %10s %9s %9s %6s@." "point" "verdict"
+    "amp" "queue" "drop" "ratio" "agree";
+  List.iter
+    (fun (o : Meanfield.Regime.classification Runner.Pool.outcome) ->
+      let c = o.Runner.Pool.value in
+      Format.fprintf ppf "%-22s %12s %9.2f %10.1f %9.5f %9.3f %6s@."
+        o.Runner.Pool.label
+        (Meanfield.Solver.verdict_to_string c.Meanfield.Regime.verdict)
+        c.Meanfield.Regime.amplitude c.Meanfield.Regime.queue_mean
+        c.Meanfield.Regime.drop_mean c.Meanfield.Regime.fairness_ratio
+        (if c.Meanfield.Regime.agree then "yes" else "NO"))
+    outcomes;
+  let agreed =
+    List.length
+      (List.filter
+         (fun o -> o.Runner.Pool.value.Meanfield.Regime.agree)
+         outcomes)
+  in
+  Format.fprintf ppf "criterion agrees with the integrated verdict on %d/%d@."
+    agreed (List.length outcomes);
+  let json =
+    Runner.Report.sweep_json ~name:"rla_sweep_meanfield" ~jobs:0 ~wall_s:0.0
+      ~extra:
+        [
+          ("share_pkts", Runner.Json.Float Meanfield.Regime.share);
+          ("rtt_s", Runner.Json.Float Meanfield.Regime.rtt);
+          ("agree", Runner.Json.Int agreed);
+        ]
+      mf_payload outcomes
   in
   Runner.Report.write_file ~path:json_path json;
   Format.fprintf ppf "wrote %s@." json_path
@@ -362,11 +442,22 @@ let run_plain_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
   end
 
 let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~scale
-    ~shards ~fanout ~depth ~json_path ~resume ~halt_after ~deterministic =
+    ~meanfield ~shards ~fanout ~depth ~json_path ~resume ~halt_after
+    ~deterministic =
   if duration <= 0.0 then raise (Invalid_argument "--duration: must be > 0");
   if warmup < 0.0 || warmup >= duration then
     raise (Invalid_argument "--warmup: must be in [0, duration)");
-  if scale then begin
+  if meanfield then begin
+    if churn || scale || resume || halt_after <> None || deterministic then
+      raise
+        (Invalid_argument
+           "--meanfield combines only with --jobs and --json (the report \
+            is always deterministic)");
+    if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
+    let json_path = Option.value json_path ~default:"BENCH_meanfield.json" in
+    run_meanfield_sweep ~jobs ~json_path
+  end
+  else if scale then begin
     if churn || resume || halt_after <> None || deterministic then
       raise
         (Invalid_argument
@@ -473,6 +564,16 @@ let depth_arg =
   let doc = "Tree depth for $(b,--scale) (>= 2)." in
   Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
 
+let meanfield_arg =
+  let doc =
+    "Sweep the mean-field ODE regime map (w_q x max_p x n, with n up \
+     to 10^6) instead of the packet-level sharing cases.  Every grid \
+     point is classified by the solver and by the closed-form \
+     stability criterion; the report defaults to \
+     $(b,BENCH_meanfield.json) and is byte-identical at any --jobs."
+  in
+  Arg.(value & flag & info [ "meanfield" ] ~doc)
+
 let churn_arg =
   let doc =
     "Run the fault-injection churn scenario (default script: leaf-link \
@@ -522,18 +623,19 @@ let cmd =
   let term =
     Term.(
       const (fun cases seeds seed gateway jobs duration warmup churn scale
-                 shards fanout depth json_path resume halt_after deterministic ->
+                 meanfield shards fanout depth json_path resume halt_after
+                 deterministic ->
           try
             run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn
-              ~scale ~shards ~fanout ~depth ~json_path ~resume ~halt_after
-              ~deterministic
+              ~scale ~meanfield ~shards ~fanout ~depth ~json_path ~resume
+              ~halt_after ~deterministic
           with Invalid_argument msg ->
             Format.eprintf "rla_sweep: %s@." msg;
             Stdlib.exit 2)
       $ cases_arg $ seeds_arg $ seed_arg $ gateway_arg $ jobs_arg
-      $ duration_arg $ warmup_arg $ churn_arg $ scale_arg $ shards_arg
-      $ fanout_arg $ depth_arg $ json_arg $ resume_arg $ halt_after_arg
-      $ deterministic_arg)
+      $ duration_arg $ warmup_arg $ churn_arg $ scale_arg $ meanfield_arg
+      $ shards_arg $ fanout_arg $ depth_arg $ json_arg $ resume_arg
+      $ halt_after_arg $ deterministic_arg)
   in
   Cmd.v (Cmd.info "rla_sweep" ~doc) term
 

@@ -86,6 +86,30 @@ let drift_common ~n ~p w =
   if w <= 0.0 then invalid_arg "Rla_model.drift_common: bad window";
   drift_of_cut_dist ~cut_dist:(cut_dist_common ~n ~p) w
 
+(* Continuous-time version of [drift_common] for the mean-field
+   solver: packets depart at rate w / rtt, each contributing the
+   per-packet drift.  Uses the exact closed form of the cut-count
+   expectation so the cost is O(1) in n (the solver targets n in the
+   millions, where materializing the Binomial(n, 1/n) cut distribution
+   would dominate): with K ~ Binomial(n, 1/n),
+     P(K = 0)  = (1 - 1/n)^n
+     E[2^-K]   = (1 - 1/(2n))^n
+   so the per-packet drift is
+     (1 - p (1 - P(K=0))) / w  -  p (1 - E[2^-K]) w.
+   Clamps p just below 1 so RED profiles that saturate remain
+   integrable. *)
+let drift_rate_common ~n ~p ~rtt w =
+  if n <= 0 then invalid_arg "Rla_model.drift_rate_common: bad n";
+  if rtt <= 0.0 then invalid_arg "Rla_model.drift_rate_common: bad rtt";
+  if w <= 0.0 then invalid_arg "Rla_model.drift_rate_common: bad window";
+  if Float.is_nan p || p < 0.0 then
+    invalid_arg "Rla_model.drift_rate_common: bad probability";
+  let p = Float.min p (1.0 -. 1e-9) in
+  let nf = float_of_int n in
+  let b0 = (1.0 -. (1.0 /. nf)) ** nf in
+  let shrink = 1.0 -. ((1.0 -. (1.0 /. (2.0 *. nf))) ** nf) in
+  ((1.0 -. (p *. (1.0 -. b0))) -. (p *. shrink *. w *. w)) /. rtt
+
 let bisect_zero f =
   (* Drift is positive for small w and negative for large w. *)
   let lo = ref 1e-6 and hi = ref 1.0 in

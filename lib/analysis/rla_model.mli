@@ -25,6 +25,12 @@ val drift_common : n:int -> p:float -> float -> float
 val pa_window_common : n:int -> p:float -> float
 (** Zero of {!drift_common}. *)
 
+val drift_rate_common : n:int -> p:float -> rtt:float -> float -> float
+(** [drift_rate_common ~n ~p ~rtt w]: continuous-time window drift
+    (windows per second) of the common-loss RLA process —
+    [(w / rtt) * drift_common ~n ~p w].  Shared with the mean-field
+    solver; accepts [p in [0, 1]] (clamped just below 1). *)
+
 val proposition_bounds : n:int -> p_max:float -> float * float
 (** Equation 2: [(sqrt(2(1-p)/p), sqrt n * sqrt(2(1-p)/p))]. *)
 

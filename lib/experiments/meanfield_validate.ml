@@ -1,0 +1,230 @@
+(* Head-to-head validation of the mean-field solver against the
+   packet-level simulator on overlapping system sizes.
+
+   For each n the two tiers see the same scenario: n TCP flows plus an
+   n-receiver RLA session sharing one RED bottleneck provisioned at
+   100 pkt/s per sender.  The packet side measures the bottleneck
+   backlog (sampled), the drop fraction, and the RLA / mean-TCP
+   send-rate ratio; the solver side predicts the same three from the
+   ODE system.  Agreement within 15% on queue, drop and ratio — with
+   the ratio inside Theorem I's (1/3, sqrt(3n)) envelope — is the
+   acceptance bar for the analysis tier. *)
+
+type config = {
+  n_points : int list;  (** TCP flow counts (= RLA receiver counts). *)
+  duration : float;
+  warmup : float;
+  seed : int;
+  share : float;  (** Bottleneck provisioning per sender (pkts/s). *)
+  bins : int;  (** Solver histogram resolution. *)
+  tolerance : float;  (** Acceptance band on relative errors. *)
+}
+
+let default_config =
+  {
+    n_points = [ 16; 32; 64 ];
+    duration = 640.0;
+    warmup = 100.0;
+    seed = 1;
+    share = 100.0;
+    bins = 64;
+    tolerance = 0.15;
+  }
+
+type point = {
+  n : int;
+  sim_queue : float;
+  mf_queue : float;
+  queue_err : float;
+  sim_drop : float;
+  mf_drop : float;
+  drop_err : float;
+  sim_ratio : float;
+  mf_ratio : float;
+  ratio_err : float;
+  envelope : float * float;
+  envelope_ok : bool;  (** Both ratios inside the Theorem I bounds. *)
+  within_tol : bool;  (** All three relative errors under tolerance. *)
+}
+
+type result = { config : config; points : point list; pass : bool }
+
+let rel_err ~sim ~mf =
+  if Float.abs sim <= 1e-12 then Float.abs (mf -. sim)
+  else Float.abs (mf -. sim) /. Float.abs sim
+
+(* One-way propagation: 20 ms source -> gateway, 40 ms gateway ->
+   leaf, as in the sharing experiments. *)
+let src_delay = 0.02
+
+let leaf_delay = 0.04
+
+let base_rtt ~mu = (2.0 *. (src_delay +. leaf_delay)) +. (1.0 /. mu)
+
+(* Mean-field convergence needs the RED thresholds and the buffer to
+   scale with the system, not just the capacity: with fixed thresholds
+   the per-packet queue fluctuations never become small relative to the
+   probabilistic band and the packet sim stays in a bursty regime the
+   fluid limit cannot describe.  Both tiers therefore use thresholds
+   and buffer proportional to n+1 (capacity is already 100 pkt/s per
+   sender).
+
+   The drop profile is deliberately gentle — a wide probabilistic band
+   with a small [max_p] — which places the closed loop inside
+   Reynier's stability region (checked by [Meanfield.Stability]): both
+   tiers then relax to the same fixed point instead of tracing
+   limit cycles whose time averages are fragile to compare. *)
+let red_scaled ~senders ~mu =
+  let nf = float_of_int senders in
+  {
+    (Net.Red.default_params ~mean_pkt_time:(1.0 /. mu)) with
+    Net.Red.min_th = 0.625 *. nf;
+    max_th = 76.0 *. nf;
+    max_p = 0.005;
+  }
+
+let buffer_scaled ~senders = 100.0 *. float_of_int senders
+
+let run_sim config ~n =
+  let mu = config.share *. float_of_int (n + 1) in
+  let net = Net.Network.create ~seed:config.seed () in
+  let s = Net.Node.id (Net.Network.add_node net) in
+  let hub = Net.Node.id (Net.Network.add_node net) in
+  let leaves = List.init n (fun _ -> Net.Node.id (Net.Network.add_node net)) in
+  let bottleneck_config =
+    {
+      Net.Link.bandwidth_bps = mu *. float_of_int (Scenario.packet_size * 8);
+      prop_delay = src_delay;
+      queue = Net.Queue_disc.Red_gateway (red_scaled ~senders:(n + 1) ~mu);
+      capacity = int_of_float (buffer_scaled ~senders:(n + 1));
+      phase_jitter = false;
+    }
+  in
+  let bottleneck, _ = Net.Network.duplex net s hub bottleneck_config in
+  List.iter
+    (fun leaf ->
+      ignore
+        (Net.Network.duplex net hub leaf
+           (Scenario.fast_link_config ~gateway:Scenario.Red ~delay:leaf_delay ())))
+    leaves;
+  Net.Network.install_routes net;
+  let rla_params =
+    { Rla.Params.default with Rla.Params.trouble_counting = Rla.Params.All_receivers }
+  in
+  let rla =
+    Rla.Sender.create ~net ~src:s ~receivers:leaves ~params:rla_params ()
+  in
+  let tcps =
+    List.map (fun leaf -> Tcp.Sender.create ~net ~src:s ~dst:leaf ()) leaves
+  in
+  Net.Network.run_until net config.warmup;
+  Rla.Sender.reset_measurement rla;
+  List.iter Tcp.Sender.reset_measurement tcps;
+  Net.Link.reset_stats bottleneck;
+  (* Sample the bottleneck backlog (queue + packet in service) on a
+     fixed clock so the time average matches the solver's fluid
+     queue. *)
+  let sched = Net.Network.scheduler net in
+  let samples = ref 0 and backlog = ref 0.0 in
+  let rec sample () =
+    incr samples;
+    backlog :=
+      !backlog
+      +. float_of_int (Net.Link.qlen bottleneck)
+      +. (if Net.Link.busy bottleneck then 1.0 else 0.0);
+    if Sim.Scheduler.now sched +. 0.05 < config.duration then
+      ignore (Sim.Scheduler.schedule_after sched 0.05 sample)
+  in
+  ignore (Sim.Scheduler.schedule_after sched 0.05 sample);
+  Net.Network.run_until net config.duration;
+  let stats = Net.Link.stats bottleneck in
+  let queue =
+    if !samples = 0 then 0.0 else !backlog /. float_of_int !samples
+  in
+  let drop =
+    if stats.Net.Link.offered = 0 then 0.0
+    else float_of_int stats.Net.Link.dropped /. float_of_int stats.Net.Link.offered
+  in
+  let rla_rate = (Rla.Sender.snapshot rla).Rla.Sender.send_rate in
+  let tcp_rates =
+    List.map (fun t -> (Tcp.Sender.snapshot t).Tcp.Sender.send_rate) tcps
+  in
+  let tcp_mean =
+    List.fold_left ( +. ) 0.0 tcp_rates /. float_of_int (List.length tcp_rates)
+  in
+  let ratio = if tcp_mean <= 0.0 then infinity else rla_rate /. tcp_mean in
+  (queue, drop, ratio)
+
+let solver_params config ~n =
+  let mu = config.share *. float_of_int (n + 1) in
+  let rtt = base_rtt ~mu in
+  let red = red_scaled ~senders:(n + 1) ~mu in
+  Meanfield.Params.make ~capacity:mu
+    ~buffer:(buffer_scaled ~senders:(n + 1))
+    ~red:
+      {
+        Meanfield.Params.min_th = red.Net.Red.min_th;
+        max_th = red.Net.Red.max_th;
+        w_q = red.Net.Red.w_q;
+        max_p = red.Net.Red.max_p;
+      }
+    ~rla:{ Meanfield.Params.receivers = n; rtt }
+    ~bins:config.bins ~t_max:80.0 ~settle:40.0
+    [ { Meanfield.Params.flows = n; rtt } ]
+
+let run_point config ~n =
+  let sim_queue, sim_drop, sim_ratio = run_sim config ~n in
+  let sol = Meanfield.Solver.run (solver_params config ~n) in
+  let mf_queue = sol.Meanfield.Solver.queue_mean in
+  let mf_drop = sol.Meanfield.Solver.drop_mean in
+  let mf_ratio = sol.Meanfield.Solver.fairness_ratio in
+  let queue_err = rel_err ~sim:sim_queue ~mf:mf_queue in
+  let drop_err = rel_err ~sim:sim_drop ~mf:mf_drop in
+  let ratio_err = rel_err ~sim:sim_ratio ~mf:mf_ratio in
+  let ((lo, hi) as envelope) = Rla.Fairness.essential_bounds Rla.Fairness.Red ~n in
+  let inside r = r > lo && r < hi in
+  {
+    n;
+    sim_queue;
+    mf_queue;
+    queue_err;
+    sim_drop;
+    mf_drop;
+    drop_err;
+    sim_ratio;
+    mf_ratio;
+    ratio_err;
+    envelope;
+    envelope_ok = inside sim_ratio && inside mf_ratio;
+    within_tol =
+      queue_err <= config.tolerance
+      && drop_err <= config.tolerance
+      && ratio_err <= config.tolerance;
+  }
+
+let run ?(config = default_config) () =
+  if config.duration <= config.warmup then
+    invalid_arg "Meanfield_validate.run: duration must exceed warmup";
+  if config.n_points = [] then
+    invalid_arg "Meanfield_validate.run: no n points";
+  let points = List.map (fun n -> run_point config ~n) config.n_points in
+  let pass = List.for_all (fun p -> p.within_tol && p.envelope_ok) points in
+  { config; points; pass }
+
+let print ppf result =
+  Format.fprintf ppf
+    "Mean-field vs packet-level (tolerance %.0f%%)@.\
+     %-6s %10s %10s %7s %10s %10s %7s %8s %8s %7s %5s@."
+    (100.0 *. result.config.tolerance)
+    "n" "sim-queue" "mf-queue" "err%" "sim-drop" "mf-drop" "err%" "sim-wr"
+    "mf-wr" "err%" "ok";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf
+        "%-6d %10.2f %10.2f %6.1f%% %10.5f %10.5f %6.1f%% %8.3f %8.3f %6.1f%% %5s@."
+        p.n p.sim_queue p.mf_queue (100.0 *. p.queue_err) p.sim_drop p.mf_drop
+        (100.0 *. p.drop_err) p.sim_ratio p.mf_ratio (100.0 *. p.ratio_err)
+        (if p.within_tol && p.envelope_ok then "yes" else "NO"))
+    result.points;
+  Format.fprintf ppf "overall: %s@."
+    (if result.pass then "PASS" else "FAIL")

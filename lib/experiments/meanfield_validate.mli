@@ -1,0 +1,47 @@
+(** Mean-field solver vs packet-level simulator, head to head.
+
+    Runs the same scenario family — n TCP flows plus an n-receiver RLA
+    session through one RED bottleneck at 100 pkt/s per sender — at
+    both tiers and compares bottleneck queue occupancy, drop fraction,
+    and the RLA / mean-TCP send-rate ratio.  The ratio is additionally
+    checked against Theorem I's essential-fairness envelope
+    (1/3, sqrt(3n)). *)
+
+type config = {
+  n_points : int list;  (** TCP flow counts (= RLA receiver counts). *)
+  duration : float;
+  warmup : float;
+  seed : int;
+  share : float;  (** Bottleneck provisioning per sender (pkts/s). *)
+  bins : int;  (** Solver histogram resolution. *)
+  tolerance : float;  (** Acceptance band on relative errors. *)
+}
+
+val default_config : config
+(** n in {16, 32, 64}, 640 s runs with 100 s warmup, 15% tolerance.
+    The long horizon is needed by the fairness ratio: the RLA window
+    is a single stochastic multiplicative-cut process (it does not
+    average out with n the way the TCP population does), so the
+    time-averaged ratio converges only over hundreds of loss events. *)
+
+type point = {
+  n : int;
+  sim_queue : float;  (** Sampled backlog, packets. *)
+  mf_queue : float;
+  queue_err : float;  (** Relative errors vs the simulation. *)
+  sim_drop : float;
+  mf_drop : float;
+  drop_err : float;
+  sim_ratio : float;
+  mf_ratio : float;
+  ratio_err : float;
+  envelope : float * float;
+  envelope_ok : bool;  (** Both ratios inside the Theorem I bounds. *)
+  within_tol : bool;  (** All three relative errors under tolerance. *)
+}
+
+type result = { config : config; points : point list; pass : bool }
+
+val run : ?config:config -> unit -> result
+
+val print : Format.formatter -> result -> unit

@@ -49,6 +49,7 @@ let print_sharing_table ppf ~title results =
   irow "BTCP #wnd cut" (fun r -> r.Sharing.btcp.Tcp.Sender.window_cuts);
   hr ppf width;
   frow "RLA/WTCP ratio" (fun r -> r.Sharing.ratio);
+  f3row "Jain index (all)" (fun r -> r.Sharing.jain);
   Format.fprintf ppf "%-22s" "essentially fair";
   List.iter
     (fun r ->

@@ -42,6 +42,7 @@ type result = {
   btcp : Tcp.Sender.snapshot;
   n_receivers : int;
   ratio : float;
+  jain : float;
   bounds : float * float;
   essentially_fair : bool;
   rla_signals_congested : group_stat;
@@ -128,6 +129,14 @@ let measure ({ tree; rla; tcps; _ } : session) config =
     Rla.Fairness.measured_ratio ~rla_throughput:rla_snap.Rla.Sender.send_rate
       ~tcp_throughput:wtcp.Tcp.Sender.send_rate
   in
+  (* Jain's index over all n+1 competing send rates (RLA + every TCP):
+     a single summary of how evenly the whole population shares, next
+     to the worst-case ratio the theorems bound. *)
+  let jain =
+    Rla.Fairness.jain
+      (rla_snap.Rla.Sender.send_rate
+      :: List.map (fun f -> f.snap.Tcp.Sender.send_rate) tcp_flows)
+  in
   let fairness_gateway = Scenario.to_fairness_gateway config.gateway in
   let bounds = Rla.Fairness.essential_bounds fairness_gateway ~n in
   let essentially_fair =
@@ -150,6 +159,7 @@ let measure ({ tree; rla; tcps; _ } : session) config =
     btcp;
     n_receivers = n;
     ratio;
+    jain;
     bounds;
     essentially_fair;
     rla_signals_congested = group_stat rla_cong;

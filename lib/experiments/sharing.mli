@@ -42,6 +42,10 @@ type result = {
   btcp : Tcp.Sender.snapshot;  (** Highest-throughput TCP. *)
   n_receivers : int;
   ratio : float;  (** RLA throughput / worst-TCP throughput. *)
+  jain : float;
+      (** Jain's fairness index over the n+1 send rates (RLA plus every
+          background TCP): 1 when perfectly even, 1/(n+1) when one flow
+          monopolises the bottleneck. *)
   bounds : float * float;  (** Theorem (a, b) for this gateway. *)
   essentially_fair : bool;
   rla_signals_congested : group_stat;

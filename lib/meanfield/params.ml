@@ -1,0 +1,154 @@
+type red = { min_th : float; max_th : float; w_q : float; max_p : float }
+
+type tcp_class = { flows : int; rtt : float }
+
+type rla = { receivers : int; rtt : float }
+
+type t = {
+  capacity : float;
+  buffer : float;
+  red : red;
+  tcp_classes : tcp_class list;
+  rla : rla option;
+  count_uniformization : bool;
+  bins : int;
+  w_max : float option;
+  dt : float option;
+  t_max : float;
+  sample_every : float;
+  settle : float;
+  steady_tol : float;
+}
+
+let default_red = { min_th = 5.0; max_th = 15.0; w_q = 0.002; max_p = 0.1 }
+
+let make ?(buffer = infinity) ?(red = default_red) ?rla
+    ?(count_uniformization = true) ?(bins = 64) ?w_max ?dt ?(t_max = 30.0)
+    ?(sample_every = 0.05) ?(settle = 10.0) ?(steady_tol = 0.02) ~capacity
+    tcp_classes =
+  {
+    capacity;
+    buffer;
+    red;
+    tcp_classes;
+    rla;
+    count_uniformization;
+    bins;
+    w_max;
+    dt;
+    t_max;
+    sample_every;
+    settle;
+    steady_tol;
+  }
+
+let total_flows t =
+  List.fold_left (fun acc c -> acc + c.flows) 0 t.tcp_classes
+  + match t.rla with Some _ -> 1 | None -> 0
+
+let fold_rtts t ~init ~f =
+  let acc =
+    List.fold_left (fun acc (c : tcp_class) -> f acc c.rtt) init t.tcp_classes
+  in
+  match t.rla with Some r -> f acc r.rtt | None -> acc
+
+let min_rtt t = fold_rtts t ~init:infinity ~f:Float.min
+
+let max_rtt t = fold_rtts t ~init:0.0 ~f:Float.max
+
+let validate t =
+  let fail msg = invalid_arg ("Meanfield.Params: " ^ msg) in
+  if not (t.capacity > 0.0) then fail "capacity must be positive";
+  if not (t.buffer > 0.0) then fail "buffer must be positive";
+  if t.red.min_th < 0.0 || t.red.max_th <= t.red.min_th then
+    fail "RED thresholds must satisfy 0 <= min_th < max_th";
+  if not (t.red.w_q > 0.0 && t.red.w_q <= 1.0) then
+    fail "w_q must lie in (0, 1]";
+  if not (t.red.max_p > 0.0 && t.red.max_p <= 1.0) then
+    fail "max_p must lie in (0, 1]";
+  if t.tcp_classes = [] && t.rla = None then fail "no traffic classes";
+  List.iter
+    (fun c ->
+      if c.flows <= 0 then fail "class flows must be positive";
+      if not (c.rtt > 0.0) then fail "class rtt must be positive")
+    t.tcp_classes;
+  (match t.rla with
+  | Some r ->
+      if r.receivers <= 0 then fail "rla receivers must be positive";
+      if not (r.rtt > 0.0) then fail "rla rtt must be positive"
+  | None -> ());
+  if t.bins < 4 then fail "need at least 4 window bins";
+  (match t.w_max with
+  | Some w when not (w > 1.0) -> fail "w_max must exceed 1"
+  | _ -> ());
+  (match t.dt with
+  | Some dt when not (dt > 0.0) -> fail "dt must be positive"
+  | _ -> ());
+  if not (t.t_max > 0.0) then fail "t_max must be positive";
+  if not (t.sample_every > 0.0 && t.sample_every < t.t_max) then
+    fail "sample_every must lie in (0, t_max)";
+  if not (t.settle >= 0.0 && t.settle < t.t_max) then
+    fail "settle must lie in [0, t_max)";
+  if not (t.steady_tol > 0.0) then fail "steady_tol must be positive"
+
+(* Auto window ceiling: four times the bandwidth-delay fair share per
+   flow, but never below 16 packets so the histogram keeps headroom
+   even on tiny scenarios. *)
+let w_max_auto t =
+  match t.w_max with
+  | Some w -> w
+  | None ->
+      let flows = float_of_int (Stdlib.max 1 (total_flows t)) in
+      let share = t.capacity *. max_rtt t /. flows in
+      Float.max 16.0 (4.0 *. share)
+
+(* CFL-style step: the fastest transport rates are halving
+   (p w / rtt <= w_max / rtt) and per-bin advection
+   ((1/rtt) / h = bins / (rtt w_max)); keep |rate * dt| <= 0.5 so the
+   fixed-step RK4 stays well inside its stability region.  The RED
+   EWMA — the only genuinely stiff mode at large n — is integrated
+   exactly outside the RK4 stages, so it does not constrain dt. *)
+let dt_auto t =
+  match t.dt with
+  | Some dt -> dt
+  | None ->
+      let w_max = w_max_auto t in
+      let fastest = Float.max w_max (float_of_int t.bins /. w_max) in
+      0.5 *. min_rtt t /. fastest
+
+(* RED drop profile: instantaneous drop probability as a function of
+   the averaged queue.  [count_uniformization] models the simulator's
+   count-based spacing (p_a = p_b / (1 - count p_b)), whose effective
+   long-run drop rate is 2 p_b / (1 + p_b). *)
+let drop_of_avg t avg =
+  let { min_th; max_th; max_p; _ } = t.red in
+  let p_b =
+    if avg < min_th then 0.0
+    else if avg >= max_th then 1.0
+    else max_p *. (avg -. min_th) /. (max_th -. min_th)
+  in
+  if t.count_uniformization then 2.0 *. p_b /. (1.0 +. p_b)
+  else Float.min 1.0 p_b
+
+(* Inverse of [drop_of_avg] on the linear segment: the averaged queue
+   at which the profile yields effective drop probability [p]. *)
+let avg_of_drop t p =
+  let { min_th; max_th; max_p; _ } = t.red in
+  let p_b =
+    if t.count_uniformization then p /. (2.0 -. p) else p
+  in
+  if p_b <= 0.0 then min_th
+  else if p_b >= max_p then max_th
+  else min_th +. (p_b /. max_p *. (max_th -. min_th))
+
+(* Slope d(p_eff)/d(avg) on the linear segment, used by the stability
+   criterion's gain computation. *)
+let drop_slope t avg =
+  let { min_th; max_th; w_q = _; max_p } = t.red in
+  if avg <= min_th || avg >= max_th then 0.0
+  else
+    let slope_b = max_p /. (max_th -. min_th) in
+    if t.count_uniformization then
+      let p_b = max_p *. (avg -. min_th) /. (max_th -. min_th) in
+      slope_b *. 2.0 /. ((1.0 +. p_b) *. (1.0 +. p_b))
+    else slope_b

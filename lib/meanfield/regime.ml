@@ -1,0 +1,74 @@
+(* (w_q, max_p, n) regime map: a canonical family of scenarios whose
+   only free axes are the RED tuning knobs and the system size.  Each
+   of the n TCP flows gets a 100 pkt/s fair share at a 100 ms
+   round-trip time, and the RED thresholds scale linearly with n
+   (min_th 5, max_th 15 at the n = 8 baseline), so growing n is a
+   genuine change of operating regime — it scales the EWMA damping
+   a = w_q * lambda — rather than a rescaling of units.  An RLA
+   session with n receivers rides along, exercising the 1/n filter at
+   every size. *)
+
+type point = { w_q : float; max_p : float; n : int }
+
+type classification = {
+  point : point;
+  verdict : Solver.verdict;
+  amplitude : float;
+  period : float option;
+  queue_mean : float;
+  drop_mean : float;
+  fairness_ratio : float;
+  criterion_stable : bool;
+  tau_crit : float;
+  rtt_star : float;
+  agree : bool;
+}
+
+let share = 100.0 (* pkts/s per flow *)
+
+let rtt = 0.1
+
+let params_for ?(bins = 48) ?(t_max = 20.0) { w_q; max_p; n } =
+  if n <= 0 then invalid_arg "Meanfield.Regime: n must be positive";
+  let nf = float_of_int n in
+  let capacity = share *. nf in
+  let min_th = 0.625 *. nf in
+  let max_th = 1.875 *. nf in
+  Params.make ~capacity
+    ~buffer:(4.0 *. max_th)
+    ~red:{ Params.min_th; max_th; w_q; max_p }
+    ~rla:{ Params.receivers = n; rtt }
+    ~bins ~t_max ~settle:(0.4 *. t_max)
+    [ { Params.flows = n; rtt } ]
+
+let classify ?bins ?t_max point =
+  let p = params_for ?bins ?t_max point in
+  let sol = Solver.run p in
+  let crit = Stability.evaluate p in
+  {
+    point;
+    verdict = sol.Solver.verdict;
+    amplitude = sol.Solver.amplitude;
+    period = sol.Solver.period;
+    queue_mean = sol.Solver.queue_mean;
+    drop_mean = sol.Solver.drop_mean;
+    fairness_ratio = sol.Solver.fairness_ratio;
+    criterion_stable = crit.Stability.stable;
+    tau_crit = crit.Stability.tau_crit;
+    rtt_star = crit.Stability.rtt_star;
+    agree = (sol.Solver.verdict = Solver.Steady) = crit.Stability.stable;
+  }
+
+let default_w_qs = [ 0.001; 0.002; 0.005; 0.02 ]
+
+let default_max_ps = [ 0.05; 0.1; 0.5 ]
+
+let default_ns = [ 8; 64; 1024; 65536; 1000000 ]
+
+let default_grid () =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun max_p -> List.map (fun w_q -> { w_q; max_p; n }) default_w_qs)
+        default_max_ps)
+    default_ns

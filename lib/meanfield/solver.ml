@@ -1,0 +1,298 @@
+(* Fixed-step RK4 integration of the mean-field system:
+
+     per-class window histograms   (Dist transport)
+     RLA window                    (Rla_model drift, 1/n filter)
+     instantaneous queue           dq/dt = (1-p) lambda - C, projected
+     RED averaged queue            d(avg)/dt = w_q lambda (q - avg)
+
+   The drop probability p is frozen per step (computed from the
+   averaged queue at step start), matching RED's sampled behaviour.
+   The EWMA is the one stiff mode at large n (rate w_q * lambda can
+   reach 1e5/s); it is integrated *exactly* over each step with an
+   exponential update around the midpoint queue, so the RK4 step is
+   set by the transport alone and stays n-independent.
+
+   Sources react to a drop one round-trip after it happens (the loss
+   is only detectable once the ACK stream reports it), so the window
+   transport and the RLA drift are driven by the drop probability
+   from t - R, kept in a per-step delay line — the current queueing
+   delay q/C counts toward R.  This feedback delay is essential: it
+   is what sustains RED's limit cycles at large n, where the
+   per-packet EWMA lag (1 / w_q lambda) vanishes and a delay-free
+   model would spuriously report the system stable.  Queue thinning
+   (1-p) lambda keeps the *current* p: drops happen at the gateway
+   now, only their congestion signal is late. *)
+
+type verdict = Steady | Oscillatory
+
+let verdict_to_string = function
+  | Steady -> "steady"
+  | Oscillatory -> "oscillatory"
+
+type class_stats = { mean_window : float; rms_window : float; rate : float }
+
+type result = {
+  t_end : float;
+  steps : int;
+  queue_mean : float;
+  avg_queue_mean : float;
+  drop_mean : float;
+  amplitude : float;
+  period : float option;
+  verdict : verdict;
+  classes : class_stats array;
+  rla_window : float;
+  rla_rate : float;
+  fairness_ratio : float;
+  trajectory : Trajectory.t;
+}
+
+(* Solution vector: queue, RLA window, one histogram per TCP class. *)
+type vec = { mutable q : float; mutable w : float; m : float array array }
+
+let make_vec ~ncls ~bins =
+  { q = 0.0; w = 1.0; m = Array.init ncls (fun _ -> Array.make bins 0.0) }
+
+let zero_vec v =
+  v.q <- 0.0;
+  v.w <- 0.0;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.0) v.m
+
+(* dst <- base + s * k *)
+let axpy ~dst ~base ~k s =
+  dst.q <- base.q +. (s *. k.q);
+  dst.w <- base.w +. (s *. k.w);
+  Array.iteri
+    (fun c bm ->
+      let km = k.m.(c) and dm = dst.m.(c) in
+      for i = 0 to Array.length bm - 1 do
+        dm.(i) <- bm.(i) +. (s *. km.(i))
+      done)
+    base.m
+
+(* y <- y + dt/6 (k1 + 2 k2 + 2 k3 + k4) *)
+let rk4_combine ~y ~k1 ~k2 ~k3 ~k4 dt =
+  let s = dt /. 6.0 in
+  y.q <- y.q +. (s *. (k1.q +. (2.0 *. k2.q) +. (2.0 *. k3.q) +. k4.q));
+  y.w <- y.w +. (s *. (k1.w +. (2.0 *. k2.w) +. (2.0 *. k3.w) +. k4.w));
+  Array.iteri
+    (fun c ym ->
+      let a = k1.m.(c) and b = k2.m.(c) and cM = k3.m.(c) and d = k4.m.(c) in
+      for i = 0 to Array.length ym - 1 do
+        ym.(i) <-
+          ym.(i) +. (s *. (a.(i) +. (2.0 *. b.(i)) +. (2.0 *. cM.(i)) +. d.(i)))
+      done)
+    y.m
+
+let run (p : Params.t) =
+  Params.validate p;
+  let bins = p.Params.bins in
+  let w_max = Params.w_max_auto p in
+  let h = w_max /. float_of_int bins in
+  let dt = Params.dt_auto p in
+  let cap = p.Params.capacity in
+  let buffer = p.Params.buffer in
+  let classes = Array.of_list p.Params.tcp_classes in
+  let ncls = Array.length classes in
+  let y = make_vec ~ncls ~bins in
+  let tmp = make_vec ~ncls ~bins in
+  let k1 = make_vec ~ncls ~bins in
+  let k2 = make_vec ~ncls ~bins in
+  let k3 = make_vec ~ncls ~bins in
+  let k4 = make_vec ~ncls ~bins in
+  (* Start all windows small (post-slow-start handoff); the transient
+     is discarded by [settle]. *)
+  Array.iteri (fun c _ -> Array.blit (Dist.init_delta ~bins ~h 2.0) 0 y.m.(c) 0 bins) classes;
+  y.q <- 0.0;
+  y.w <- 2.0;
+  (* Delay line over the frozen per-step drop probability; lookups
+     clamp to the oldest retained entry (only reachable when the
+     queueing delay exceeds the 2 s cap) and to t = 0 (the line is
+     zero-filled: the system starts uncongested). *)
+  let max_delay =
+    let rtt_top =
+      Array.fold_left
+        (fun acc (c : Params.tcp_class) -> Float.max acc c.Params.rtt)
+        (match p.Params.rla with Some r -> r.Params.rtt | None -> 0.0)
+        classes
+    in
+    rtt_top +. Float.min 2.0 (buffer /. cap)
+  in
+  let hist_len = int_of_float (Float.ceil (max_delay /. dt)) + 2 in
+  let hist = Array.make hist_len 0.0 in
+  let pd_ago ~step delay =
+    let back = int_of_float (Float.round (delay /. dt)) in
+    let back = Stdlib.min back (Stdlib.min step (hist_len - 1)) in
+    hist.((step - back) mod hist_len)
+  in
+  let pd_cls = Array.make (Stdlib.max 1 ncls) 0.0 in
+  (* deriv: write dy/dt of [v] into [dv].  [pd] is the current frozen
+     drop probability (queue thinning); [pd_cls]/[pd_rla] hold the
+     round-trip-delayed probability each source population reacts to.
+     Returns the aggregate arrival rate lambda (pkts/s, pre-drop)
+     used for queue growth and the EWMA clock. *)
+  let deriv ~pd ~pd_rla v dv =
+    zero_vec dv;
+    let q = Float.max 0.0 (Float.min buffer v.q) in
+    let lambda = ref 0.0 in
+    Array.iteri
+      (fun c (cls : Params.tcp_class) ->
+        let rtt = cls.Params.rtt +. (q /. cap) in
+        let mw = Dist.mean ~h v.m.(c) in
+        lambda := !lambda +. (float_of_int cls.Params.flows *. mw /. rtt);
+        Dist.deriv ~h
+          ~growth:((1.0 -. pd_cls.(c)) /. rtt)
+          ~halve_coeff:(pd_cls.(c) /. rtt)
+          v.m.(c) dv.m.(c))
+      classes;
+    (match p.Params.rla with
+    | Some { Params.receivers; rtt } ->
+        let rtt = rtt +. (q /. cap) in
+        let w = Float.max 1.0 v.w in
+        lambda := !lambda +. (w /. rtt);
+        let dw =
+          Analysis.Rla_model.drift_rate_common ~n:receivers ~p:pd_rla ~rtt w
+        in
+        dv.w <- (if v.w <= 1.0 && dw < 0.0 then 0.0 else dw)
+    | None -> ());
+    let dq = ((1.0 -. pd) *. !lambda) -. cap in
+    dv.q <-
+      (if (v.q <= 0.0 && dq < 0.0) || (v.q >= buffer && dq > 0.0) then 0.0
+       else dq);
+    !lambda
+  in
+  let traj = Trajectory.create () in
+  let avg = ref 0.0 in
+  let w_q = p.Params.red.Params.w_q in
+  let steady_band =
+    p.Params.steady_tol *. (p.Params.red.Params.max_th -. p.Params.red.Params.min_th)
+  in
+  let tail_window =
+    Float.min
+      (Float.max 2.0 (10.0 *. p.Params.sample_every))
+      (Float.max p.Params.sample_every (p.Params.t_max -. p.Params.settle))
+  in
+  let t = ref 0.0 in
+  let steps = ref 0 in
+  let next_sample = ref 0.0 in
+  let samples = ref 0 in
+  let finished = ref false in
+  while not !finished && !t < p.Params.t_max -. (0.5 *. dt) do
+    (* Freeze this step's probabilities: current (queue thinning, delay
+       line entry) and round-trip-delayed (source reactions). *)
+    let pd = Params.drop_of_avg p !avg in
+    hist.(!steps mod hist_len) <- pd;
+    let q_now = Float.max 0.0 (Float.min buffer y.q) in
+    Array.iteri
+      (fun c (cls : Params.tcp_class) ->
+        pd_cls.(c) <- pd_ago ~step:!steps (cls.Params.rtt +. (q_now /. cap)))
+      classes;
+    let pd_rla =
+      match p.Params.rla with
+      | Some r -> pd_ago ~step:!steps (r.Params.rtt +. (q_now /. cap))
+      | None -> 0.0
+    in
+    (* Sample before stepping so t = 0 is recorded. *)
+    if !t >= !next_sample -. (0.5 *. dt) then begin
+      let lambda = deriv ~pd ~pd_rla y k1 in
+      Trajectory.push traj ~time:!t ~queue:y.q ~avg:!avg ~drop:pd ~lambda
+        ~rla_w:y.w;
+      next_sample := !next_sample +. p.Params.sample_every;
+      incr samples;
+      (* Early exit once the tail is unambiguously flat. *)
+      if
+        !t >= p.Params.settle +. tail_window
+        && !samples mod 25 = 0
+        && (Trajectory.tail_stats traj ~window:tail_window).Trajectory.avg_amplitude
+           < 0.25 *. steady_band
+      then finished := true
+    end;
+    if not !finished then begin
+      let l1 = deriv ~pd ~pd_rla y k1 in
+      axpy ~dst:tmp ~base:y ~k:k1 (0.5 *. dt);
+      let (_ : float) = deriv ~pd ~pd_rla tmp k2 in
+      axpy ~dst:tmp ~base:y ~k:k2 (0.5 *. dt);
+      let (_ : float) = deriv ~pd ~pd_rla tmp k3 in
+      axpy ~dst:tmp ~base:y ~k:k3 dt;
+      let l4 = deriv ~pd ~pd_rla tmp k4 in
+      let q0 = y.q in
+      rk4_combine ~y ~k1 ~k2 ~k3 ~k4 dt;
+      y.q <- Float.max 0.0 (Float.min buffer y.q);
+      y.w <- Float.max 1.0 (Float.min 1e7 y.w);
+      Array.iter Dist.renormalize y.m;
+      (* Exact EWMA update over the step: d(avg)/dt = w_q lambda
+         (q - avg) with q and lambda held at their step midpoints. *)
+      let q_mid = 0.5 *. (q0 +. y.q) in
+      let l_mid = 0.5 *. (l1 +. l4) in
+      avg := q_mid +. ((!avg -. q_mid) *. exp (-.(w_q *. l_mid *. dt)));
+      t := !t +. dt;
+      incr steps
+    end
+  done;
+  let tail = Trajectory.tail_stats traj ~window:tail_window in
+  let amplitude = tail.Trajectory.avg_amplitude in
+  let verdict = if amplitude < steady_band then Steady else Oscillatory in
+  let period =
+    match verdict with
+    | Steady -> None
+    | Oscillatory -> Trajectory.tail_period traj ~window:tail_window
+  in
+  let q_tail = tail.Trajectory.queue_mean in
+  let class_stats =
+    Array.mapi
+      (fun c (cls : Params.tcp_class) ->
+        let rtt = cls.Params.rtt +. (q_tail /. cap) in
+        let mass = y.m.(c) in
+        let mw = Dist.mean ~h mass in
+        { mean_window = mw; rms_window = Dist.rms ~h mass; rate = mw /. rtt })
+      classes
+  in
+  let rla_window, rla_rate =
+    match p.Params.rla with
+    | None -> (0.0, 0.0)
+    | Some { Params.receivers = _; rtt } ->
+        (* Average the RLA window over the tail so limit cycles do not
+           bias the rate toward the final phase. *)
+        let n = Trajectory.length traj in
+        let start = ref (n - 1) and sum = ref 0.0 and cnt = ref 0 in
+        while
+          !start > 0
+          && Trajectory.time traj (!start - 1)
+             >= Trajectory.time traj (n - 1) -. tail_window
+        do
+          decr start
+        done;
+        for i = !start to n - 1 do
+          sum := !sum +. Trajectory.rla_w traj i;
+          incr cnt
+        done;
+        let w = if !cnt > 0 then !sum /. float_of_int !cnt else y.w in
+        (w, w /. (rtt +. (q_tail /. cap)))
+  in
+  let tcp_flows = Array.fold_left (fun a c -> a + c.Params.flows) 0 classes in
+  let fairness_ratio =
+    if tcp_flows = 0 || p.Params.rla = None then Float.nan
+    else begin
+      let total = ref 0.0 in
+      Array.iteri
+        (fun c (cls : Params.tcp_class) ->
+          total := !total +. (float_of_int cls.Params.flows *. class_stats.(c).rate))
+        classes;
+      rla_rate /. (!total /. float_of_int tcp_flows)
+    end
+  in
+  {
+    t_end = !t;
+    steps = !steps;
+    queue_mean = tail.Trajectory.queue_mean;
+    avg_queue_mean = tail.Trajectory.avg_mean;
+    drop_mean = tail.Trajectory.drop_mean;
+    amplitude;
+    period;
+    verdict;
+    classes = class_stats;
+    rla_window;
+    rla_rate;
+    fairness_ratio;
+    trajectory = traj;
+  }

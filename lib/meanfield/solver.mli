@@ -1,0 +1,49 @@
+(** Deterministic fixed-step RK4 integrator for the mean-field system.
+
+    State: one window histogram per TCP class ({!Dist}), the RLA
+    window (scalar ODE through
+    {!Analysis.Rla_model.drift_rate_common}), the instantaneous queue
+    (fluid balance, projected at 0 and at the buffer limit) and the
+    RED averaged queue.  The drop probability is frozen per step from
+    the averaged queue; the EWMA — the only stiff mode at large n —
+    is advanced exactly with an exponential update around the step
+    midpoint, so the step size is set by the window transport alone
+    and the cost per model-second is independent of n.
+
+    No RNG, no wall clock: two runs over equal {!Params.t} are
+    bit-identical. *)
+
+type verdict =
+  | Steady  (** Tail avg-queue amplitude below the steadiness band. *)
+  | Oscillatory  (** Persistent limit cycle on the averaged queue. *)
+
+val verdict_to_string : verdict -> string
+
+type class_stats = {
+  mean_window : float;  (** E[W] of the class at the end of the run. *)
+  rms_window : float;  (** sqrt(E[W^2]) — comparable to pa_window. *)
+  rate : float;  (** Per-flow send rate (pkts/s) at the tail queue. *)
+}
+
+type result = {
+  t_end : float;  (** Model time reached (early exit when steady). *)
+  steps : int;
+  queue_mean : float;  (** Instantaneous queue, tail average. *)
+  avg_queue_mean : float;  (** RED averaged queue, tail average. *)
+  drop_mean : float;  (** Effective drop probability, tail average. *)
+  amplitude : float;  (** Half peak-to-peak of avg queue over tail. *)
+  period : float option;  (** Limit-cycle period when oscillatory. *)
+  verdict : verdict;
+  classes : class_stats array;  (** Per TCP class, in input order. *)
+  rla_window : float;  (** Tail-averaged RLA window (0 if absent). *)
+  rla_rate : float;  (** RLA send rate (pkts/s; 0 if absent). *)
+  fairness_ratio : float;
+      (** RLA rate over the mean per-flow TCP rate; NaN when either
+          side is absent. *)
+  trajectory : Trajectory.t;
+}
+
+val run : Params.t -> result
+(** Integrate to [t_max] (or early-exit once unambiguously steady)
+    and summarize.  Raises [Invalid_argument] via {!Params.validate}
+    on bad configurations. *)

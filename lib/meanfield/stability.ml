@@ -1,0 +1,202 @@
+(* Reynier-style linear stability of the RED fixed point.
+
+   Quasi-static windows: at drop probability p each TCP flow sits at
+   its drift zero pa_window(p) and the RLA at the zero of
+   drift_rate_common; the accepted aggregate rate is
+
+     Lambda(p, q) = (1-p) [ sum_c n_c W_c(p) / (rtt_c + q/C)
+                            + W_rla(p) / (rtt_rla + q/C) ].
+
+   The fixed point solves Lambda(p, q(p)) = C along the RED profile
+   q(p) = avg_of_drop p.  Linearizing queue + EWMA around it with the
+   window feedback delayed by one round-trip R gives
+
+     d2r/dt2 + a dr/dt + G r(t - R) = 0,
+     a = w_q lambda*   (EWMA tracking rate, lambda* = arrivals),
+     G = -a g,  g = dLambda/d(avg) < 0,
+
+   whose delay margin on the imaginary axis is
+
+     omega^2 = (-a^2 + sqrt(a^4 + 4 G^2)) / 2,
+     tau_crit = atan(a / omega) / omega;
+
+   the fixed point is stable iff the rate-weighted round-trip time
+   R* = (sum windows) / lambda* stays below tau_crit. *)
+
+type fixed_point = {
+  drop : float;
+  queue : float;
+  lambda : float;
+  tcp_windows : float array;
+  rla_window : float;
+}
+
+type t = {
+  fp : fixed_point;
+  congested : bool;
+  pinned : bool;
+  damping : float;
+  gain : float;
+  omega : float;
+  tau_crit : float;
+  rtt_star : float;
+  stable : bool;
+}
+
+let p_floor = 1e-7
+
+(* Equilibrium RLA window: zero of the (closed-form, O(1)) common-loss
+   drift, clamped to the w >= 1 floor. *)
+let rla_window_at ~receivers ~rtt p =
+  let p = Float.max p p_floor in
+  let f w = Analysis.Rla_model.drift_rate_common ~n:receivers ~p ~rtt w in
+  if f 1.0 <= 0.0 then 1.0
+  else begin
+    let lo = ref 1.0 and hi = ref 2.0 in
+    while f !hi > 0.0 && !hi < 1e9 do
+      hi := !hi *. 2.0
+    done;
+    for _ = 1 to 100 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid > 0.0 then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let windows_at (p : Params.t) pd =
+  let tcp =
+    Array.of_list
+      (List.map
+         (fun (_ : Params.tcp_class) -> Analysis.Tcp_model.pa_window_clamped pd)
+         p.Params.tcp_classes)
+  in
+  let rla =
+    match p.Params.rla with
+    | None -> 0.0
+    | Some { Params.receivers; rtt } -> rla_window_at ~receivers ~rtt pd
+  in
+  (tcp, rla)
+
+(* Accepted aggregate rate at drop probability [pd] and queue [q]. *)
+let accepted_rate (p : Params.t) ~pd ~q =
+  let cap = p.Params.capacity in
+  let tcp, rla = windows_at p pd in
+  let rate = ref 0.0 in
+  List.iteri
+    (fun i (cls : Params.tcp_class) ->
+      rate :=
+        !rate +. (float_of_int cls.Params.flows *. tcp.(i) /. (cls.Params.rtt +. (q /. cap))))
+    p.Params.tcp_classes;
+  (match p.Params.rla with
+  | None -> ()
+  | Some { Params.receivers = _; rtt } ->
+      rate := !rate +. (rla /. (rtt +. (q /. cap))));
+  (1.0 -. pd) *. !rate
+
+let bisect ~lo ~hi f =
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to 100 do
+    let mid = 0.5 *. (!lo +. !hi) in
+    if f mid > 0.0 then lo := mid else hi := mid
+  done;
+  0.5 *. (!lo +. !hi)
+
+let evaluate (p : Params.t) =
+  Params.validate p;
+  let cap = p.Params.capacity in
+  let excess pd = accepted_rate p ~pd ~q:(Params.avg_of_drop p pd) -. cap in
+  let p_hi = Params.drop_of_avg p (p.Params.red.Params.max_th -. 1e-9) in
+  let congested = excess p_floor > 0.0 in
+  let pinned = congested && excess p_hi > 0.0 in
+  let pd, q =
+    if not congested then (p_floor, 0.0)
+    else if pinned then
+      (* Demand exceeds capacity even at max_p: the averaged queue
+         rides the max_th discontinuity.  Solve for the drop rate that
+         balances capacity with the queue held at max_th. *)
+      let q = p.Params.red.Params.max_th in
+      let f pd = accepted_rate p ~pd ~q -. cap in
+      (bisect ~lo:p_hi ~hi:(1.0 -. 1e-9) f, q)
+    else (bisect ~lo:p_floor ~hi:p_hi excess, 0.0)
+  in
+  let q = if congested && not pinned then Params.avg_of_drop p pd else q in
+  let tcp_windows, rla_window = windows_at p pd in
+  let lambda = if congested then cap /. (1.0 -. pd) else accepted_rate p ~pd ~q /. (1.0 -. pd) in
+  let fp = { drop = pd; queue = q; lambda; tcp_windows; rla_window } in
+  (* Rate-weighted round trip: outstanding packets over arrival rate. *)
+  let outstanding = ref 0.0 in
+  List.iteri
+    (fun i (cls : Params.tcp_class) ->
+      outstanding := !outstanding +. (float_of_int cls.Params.flows *. tcp_windows.(i)))
+    p.Params.tcp_classes;
+  if p.Params.rla <> None then outstanding := !outstanding +. rla_window;
+  let rtt_star = !outstanding /. Float.max lambda 1e-9 in
+  let damping = p.Params.red.Params.w_q *. lambda in
+  if not congested then
+    {
+      fp;
+      congested;
+      pinned;
+      damping;
+      gain = 0.0;
+      omega = 0.0;
+      tau_crit = infinity;
+      rtt_star;
+      stable = true;
+    }
+  else if pinned then
+    (* The profile discontinuity at max_th acts as infinite gain. *)
+    {
+      fp;
+      congested;
+      pinned;
+      damping;
+      gain = infinity;
+      omega = infinity;
+      tau_crit = 0.0;
+      rtt_star;
+      stable = false;
+    }
+  else begin
+    let slope = Params.drop_slope p q in
+    let dp = Float.max 1e-8 (1e-3 *. pd) in
+    let dp =
+      Float.min dp (Float.min (pd -. p_floor) (p_hi -. pd)) |> Float.max 1e-9
+    in
+    let d_rate =
+      (accepted_rate p ~pd:(pd +. dp) ~q -. accepted_rate p ~pd:(pd -. dp) ~q)
+      /. (2.0 *. dp)
+    in
+    let g = d_rate *. slope in
+    let gain = -.damping *. g in
+    if gain <= 0.0 then
+      {
+        fp;
+        congested;
+        pinned;
+        damping;
+        gain;
+        omega = 0.0;
+        tau_crit = infinity;
+        rtt_star;
+        stable = true;
+      }
+    else begin
+      let a = damping in
+      let omega =
+        sqrt (0.5 *. (-.(a *. a) +. sqrt ((a ** 4.0) +. (4.0 *. gain *. gain))))
+      in
+      let tau_crit = atan (a /. omega) /. omega in
+      {
+        fp;
+        congested;
+        pinned;
+        damping;
+        gain;
+        omega;
+        tau_crit;
+        rtt_star;
+        stable = rtt_star < tau_crit;
+      }
+    end
+  end

@@ -1,0 +1,42 @@
+(** Reynier-style linear stability of the RED fixed point.
+
+    Finds the quasi-static operating point (drop probability, queue,
+    per-class windows) of a {!Params.t} configuration, then evaluates
+    the delay-differential linearization
+
+    {v d2r/dt2 + a dr/dt + G r(t - R) = 0 v}
+
+    of queue + EWMA around it ([a = w_q * lambda], [G = -a *
+    dLambda/davg]).  The critical delay is
+    [tau_crit = atan(a/omega) / omega] with
+    [omega^2 = (-a^2 + sqrt(a^4 + 4 G^2)) / 2]; the point is declared
+    stable iff the rate-weighted round-trip time stays below it.
+    Closed-form, O(1) in n — the analytic counterpart to integrating
+    {!Solver.run} and inspecting the trajectory. *)
+
+type fixed_point = {
+  drop : float;  (** Effective drop probability p*. *)
+  queue : float;  (** Queue = averaged queue at the fixed point. *)
+  lambda : float;  (** Aggregate arrival rate (pre-drop, pkts/s). *)
+  tcp_windows : float array;  (** Per-class quasi-static windows. *)
+  rla_window : float;  (** RLA quasi-static window (0 if absent). *)
+}
+
+type t = {
+  fp : fixed_point;
+  congested : bool;
+      (** Demand exceeds capacity at p -> 0; otherwise the queue stays
+          empty and the point is trivially stable. *)
+  pinned : bool;
+      (** Demand exceeds capacity even at max_p: the averaged queue
+          rides the max_th discontinuity (infinite gain, unstable). *)
+  damping : float;  (** a = w_q * lambda. *)
+  gain : float;  (** G = -a * dLambda/davg (>= 0 when congested). *)
+  omega : float;  (** Hopf frequency (rad/s). *)
+  tau_crit : float;  (** Critical feedback delay (s). *)
+  rtt_star : float;  (** Rate-weighted round-trip time (s). *)
+  stable : bool;  (** [rtt_star < tau_crit]. *)
+}
+
+val evaluate : Params.t -> t
+(** Raises [Invalid_argument] via {!Params.validate}. *)

@@ -29,6 +29,79 @@ let test_pa_window_invalid () =
     (try ignore (Analysis.Tcp_model.pa_window 1.0); false
      with Invalid_argument _ -> true)
 
+let test_pa_window_result_edges () =
+  let open Analysis.Tcp_model in
+  let expect_err name p want =
+    match pa_window_result p with
+    | Error e ->
+        Alcotest.(check string)
+          name
+          (domain_error_to_string want)
+          (domain_error_to_string e)
+    | Ok w -> Alcotest.failf "%s: expected an error, got %g" name w
+  in
+  expect_err "NaN" Float.nan Not_a_probability;
+  expect_err "p=0" 0.0 Below_domain;
+  expect_err "p<0" (-0.25) Below_domain;
+  expect_err "p=1" 1.0 Above_domain;
+  expect_err "p>1" 1.5 Above_domain;
+  match pa_window_result 0.02 with
+  | Ok w -> check_close "interior = pa_window" ~tol:1e-12 (pa_window 0.02) w
+  | Error e -> Alcotest.fail (domain_error_to_string e)
+
+let test_pa_window_clamped_total () =
+  let open Analysis.Tcp_model in
+  check_close "interior untouched" ~tol:1e-12 (pa_window 0.02)
+    (pa_window_clamped 0.02);
+  check_close "p=0 clamps to eps" ~tol:1e-3
+    (pa_window default_domain_eps)
+    (pa_window_clamped 0.0);
+  check_close "p=1 clamps to 1-eps" ~tol:1e-12
+    (pa_window (1.0 -. default_domain_eps))
+    (pa_window_clamped 1.0);
+  Alcotest.(check bool) "finite at 0" true (Float.is_finite (pa_window_clamped 0.0));
+  Alcotest.(check bool) "positive at 1" true (pa_window_clamped 1.0 > 0.0);
+  Alcotest.(check bool) "monotone across the clamp" true
+    (pa_window_clamped (-5.0) >= pa_window_clamped 0.5
+    && pa_window_clamped 0.5 >= pa_window_clamped 5.0);
+  Alcotest.(check bool) "NaN rejected" true
+    (try ignore (pa_window_clamped Float.nan); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "eps >= 0.5 rejected" true
+    (try ignore (pa_window_clamped ~eps:0.7 0.5); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "eps = 0 rejected" true
+    (try ignore (pa_window_clamped ~eps:0.0 0.5); false
+     with Invalid_argument _ -> true)
+
+let test_window_rate_edges () =
+  let open Analysis.Tcp_model in
+  let rtt = 0.1 in
+  (* Zero exactly at the PA fixed point, for any rtt. *)
+  List.iter
+    (fun p ->
+      let w = pa_window p in
+      check_close (Printf.sprintf "zero at pa_window, p=%.3f" p) ~tol:1e-9 0.0
+        (window_rate ~p ~rtt w))
+    [ 0.001; 0.01; 0.05 ];
+  (* Closed-interval endpoints: pure growth at p=0, pure decay at p=1. *)
+  check_close "p=0 pure growth" ~tol:1e-12 (1.0 /. rtt)
+    (window_rate ~p:0.0 ~rtt 5.0);
+  check_close "p=1 pure halving" ~tol:1e-12
+    (-.(5.0 *. 5.0 /. 2.0) /. rtt)
+    (window_rate ~p:1.0 ~rtt 5.0);
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) name true
+        (try ignore (f ()); false with Invalid_argument _ -> true))
+    [
+      ("p>1 rejected", fun () -> window_rate ~p:1.5 ~rtt 5.0);
+      ("p<0 rejected", fun () -> window_rate ~p:(-0.1) ~rtt 5.0);
+      ("NaN p rejected", fun () -> window_rate ~p:Float.nan ~rtt 5.0);
+      ("rtt=0 rejected", fun () -> window_rate ~p:0.01 ~rtt:0.0 5.0);
+      ("w=0 rejected", fun () -> window_rate ~p:0.01 ~rtt 0.0);
+    ]
+
 let test_drift_zero_at_pa_window () =
   List.iter
     (fun p ->
@@ -205,6 +278,48 @@ let test_rla_model_validation () =
     (try ignore (Analysis.Rla_model.two_receiver_window ~p1:0.0 ~p2:0.0); false
      with Invalid_argument _ -> true)
 
+(* The O(1) closed form used by the mean-field solver must agree with
+   the O(n) Binomial cut-distribution drift it replaces: both are
+   expectations over K ~ Binomial(n, 1/n) halvings per loss event, so
+   drift_rate_common = (w / rtt) * drift_common exactly. *)
+let test_drift_rate_common_closed_form () =
+  let rtt = 0.1 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun w ->
+              let per_packet = Analysis.Rla_model.drift_common ~n ~p w in
+              let expected = w /. rtt *. per_packet in
+              let got = Analysis.Rla_model.drift_rate_common ~n ~p ~rtt w in
+              let tol = 1e-9 *. Float.max 1.0 (Float.abs expected) in
+              check_close
+                (Printf.sprintf "n=%d p=%.2f w=%.1f" n p w)
+                ~tol expected got)
+            [ 2.0; 10.0; 40.0 ])
+        [ 0.01; 0.1; 0.5 ])
+    [ 1; 2; 4; 8; 32 ];
+  (* Zero exactly at the closed-form PA window. *)
+  List.iter
+    (fun n ->
+      let p = 0.02 in
+      let w = Analysis.Rla_model.pa_window_common ~n ~p in
+      check_close (Printf.sprintf "zero at pa_window_common, n=%d" n) ~tol:1e-6
+        0.0
+        (Analysis.Rla_model.drift_rate_common ~n ~p ~rtt w))
+    [ 1; 4; 16 ];
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) name true
+        (try ignore (f ()); false with Invalid_argument _ -> true))
+    [
+      ("n=0 rejected", fun () -> Analysis.Rla_model.drift_rate_common ~n:0 ~p:0.1 ~rtt 5.0);
+      ("bad rtt rejected", fun () -> Analysis.Rla_model.drift_rate_common ~n:4 ~p:0.1 ~rtt:0.0 5.0);
+      ("bad w rejected", fun () -> Analysis.Rla_model.drift_rate_common ~n:4 ~p:0.1 ~rtt 0.0);
+      ("p<0 rejected", fun () -> Analysis.Rla_model.drift_rate_common ~n:4 ~p:(-0.1) ~rtt 5.0);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Particle                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -291,6 +406,10 @@ let () =
           Alcotest.test_case "pa window values" `Quick test_pa_window_values;
           Alcotest.test_case "approximation" `Quick test_pa_window_approx;
           Alcotest.test_case "invalid p" `Quick test_pa_window_invalid;
+          Alcotest.test_case "typed result edges" `Quick
+            test_pa_window_result_edges;
+          Alcotest.test_case "clamped total" `Quick test_pa_window_clamped_total;
+          Alcotest.test_case "window rate edges" `Quick test_window_rate_edges;
           Alcotest.test_case "drift zero" `Quick test_drift_zero_at_pa_window;
           Alcotest.test_case "drift signs" `Quick test_drift_signs;
           Alcotest.test_case "mahdavi-floyd" `Quick test_mahdavi_floyd;
@@ -317,6 +436,8 @@ let () =
           Alcotest.test_case "window ratio consistency" `Quick
             test_window_ratio_consistency;
           Alcotest.test_case "validation" `Quick test_rla_model_validation;
+          Alcotest.test_case "closed-form rate" `Quick
+            test_drift_rate_common_closed_form;
         ] );
       ( "particle",
         [
