@@ -31,7 +31,8 @@ test:
 
 lint: build
 	dune exec bin/rla_lint.exe -- --list-rules > /dev/null
-	dune exec bin/rla_lint.exe -- lib
+	dune exec bin/rla_lint.exe -- --strict lib bin bench
+	dune exec bin/rla_lint.exe -- --format sarif lib bin bench > /tmp/rla_lint.sarif
 
 smoke: build
 	dune exec bin/rla_sweep.exe -- --cases 1,2 --duration 120 --warmup 40 \

@@ -1,3 +1,5 @@
+(* lint: allow-file wall-clock -- benchmark harness: host wall time IS
+   the measurement here, not simulation state *)
 (* Benchmark harness: regenerates every table and figure of the paper
    (section 5 and the analytical figures), then times the simulator's
    hot paths with Bechamel.

@@ -1,3 +1,5 @@
+(* lint: allow-file wall-clock -- benchmark harness: host wall time IS
+   the measurement here, not simulation state *)
 (* Performance bench: wall-clock, event throughput and peak heap for
    the paper's main scenarios, plus checkpoint write/restore latency,
    emitted as BENCH_perf.json (see `make bench-perf`).

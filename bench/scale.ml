@@ -1,3 +1,5 @@
+(* lint: allow-file wall-clock -- benchmark harness: host wall time IS
+   the measurement here, not simulation state *)
 (* Sharding bench: events/s and speedup curves for the 10k-receiver
    sharded RLA scenario (Experiments.Scaling.run_sharded) at
    increasing worker-domain counts, emitted as BENCH_scale.json plus

@@ -1,15 +1,17 @@
+(* lint: allow-file wall-clock -- benchmark gate: the numbers it
+   compares are host-machine events/s measurements by design *)
+
 (* Perf trend gate (`make bench-trend`): compare the checked-in
    BENCH_perf.json against the best run recorded in
    BENCH_perf_history.jsonl and fail on a events/s regression beyond
    the tolerance (default 10%, RLA_BENCH_TREND_TOLERANCE overrides).
 
    Pure comparison — no simulation runs — so the gate is cheap enough
-   for `make ci`.  History lines only gate scenarios measured under the
-   same duration and seed, and — when the document records a "cores"
-   field (BENCH_scale does) — on a machine with the same core count:
-   parallel-speedup numbers from a different machine are noise, not a
-   baseline.  Lines without the field gate everywhere.  An empty or
-   missing history passes (there is nothing to regress against yet).
+   for `make ci`.  Which history lines count as a baseline is decided
+   by Runner.Trend.classify (same duration and seed; same core count
+   when the document records one); the skip reasons printed here are
+   Runner.Trend.skip_reason verbatim, and the unit suite asserts them.
+   An empty or missing history passes (nothing to regress against yet).
 
    Usage: trend.exe [BENCH_perf.json [BENCH_perf_history.jsonl]] *)
 
@@ -36,30 +38,13 @@ let read_file path =
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
-(* (duration, seed, cores, [(scenario, events/s)]) of one document;
-   [cores] is [None] when the document does not record it. *)
-let parse_doc ~path json =
-  let open Runner.Json in
-  let num field j =
-    match Option.bind (member field j) to_float_opt with
-    | Some f -> f
-    | None -> fail "%s: missing numeric %S field" path field
-  in
-  let duration = num "duration_s" json in
-  let seed = num "seed" json in
-  let cores = Option.bind (member "cores" json) to_int_opt in
-  let scenarios =
-    match member "scenarios" json with
-    | Some (List rows) ->
-        List.map
-          (fun row ->
-            match Option.bind (member "name" row) to_string_opt with
-            | None -> fail "%s: scenario row without a name" path
-            | Some name -> (name, num "events_per_s" row))
-          rows
-    | _ -> fail "%s: missing \"scenarios\" list" path
-  in
-  (duration, seed, cores, scenarios)
+let parse_doc ~path text =
+  match Runner.Json.of_string text with
+  | exception Runner.Json.Parse_error e -> fail "rla-bench-trend: %s: %s" path e
+  | json -> (
+      match Runner.Trend.doc_of_json json with
+      | Ok doc -> doc
+      | Error e -> fail "rla-bench-trend: %s: %s" path e)
 
 let () =
   let current_path =
@@ -73,12 +58,7 @@ let () =
     fail "rla-bench-trend: %s not found (run `make bench-perf` first)"
       current_path;
   let machine_cores = Domain.recommended_domain_count () in
-  let cur_duration, cur_seed, _cur_cores, current =
-    parse_doc ~path:current_path
-      (try Runner.Json.of_string (String.trim (read_file current_path))
-       with Runner.Json.Parse_error e ->
-         fail "rla-bench-trend: %s: %s" current_path e)
-  in
+  let current = parse_doc ~path:current_path (String.trim (read_file current_path)) in
   let history_lines =
     if not (Sys.file_exists history_path) then []
     else
@@ -98,34 +78,29 @@ let () =
   let comparable = ref 0 in
   List.iteri
     (fun i line ->
-      match Runner.Json.of_string line with
-      | exception Runner.Json.Parse_error e ->
-          fail "rla-bench-trend: %s line %d: %s" history_path (i + 1) e
-      | json ->
-          let duration, seed, cores, rows = parse_doc ~path:history_path json in
-          (match cores with
-          | Some c when c <> machine_cores ->
-              Printf.printf
-                "bench-trend: skipping %s line %d — recorded on a %d-core \
-                 machine, this one has %d\n"
-                history_path (i + 1) c machine_cores
-          | _ ->
-              if duration = cur_duration && seed = cur_seed then begin
-                incr comparable;
-                List.iter
-                  (fun (name, eps) ->
-                    match Hashtbl.find_opt best name with
-                    | Some b when b >= eps -> ()
-                    | _ -> Hashtbl.replace best name eps)
-                  rows
-              end))
+      let doc = parse_doc ~path:history_path line in
+      match Runner.Trend.classify ~current ~machine_cores doc with
+      | Runner.Trend.Comparable ->
+          incr comparable;
+          List.iter
+            (fun (name, eps) ->
+              match Hashtbl.find_opt best name with
+              | Some b when b >= eps -> ()
+              | _ -> Hashtbl.replace best name eps)
+            doc.Runner.Trend.scenarios
+      | Runner.Trend.Skip_cores _ as c ->
+          Printf.printf "bench-trend: skipping %s line %d — %s\n" history_path
+            (i + 1)
+            (Option.get (Runner.Trend.skip_reason c))
+      | Runner.Trend.Skip_params -> ())
     history_lines;
   if !comparable = 0 then begin
     Printf.printf
       "bench-trend: %d history line(s) but none with duration %g / seed %g — \
        nothing to compare\n\
        %!"
-      (List.length history_lines) cur_duration cur_seed;
+      (List.length history_lines)
+      current.Runner.Trend.duration current.Runner.Trend.seed;
     exit 0
   end;
   let failures = ref 0 in
@@ -142,7 +117,7 @@ let () =
           Printf.printf
             "  %-16s %10.0f ev/s  best %10.0f  floor %10.0f  %s\n" name eps b
             floor verdict)
-    current;
+    current.Runner.Trend.scenarios;
   if !failures > 0 then
     fail
       "bench-trend: %d scenario(s) regressed more than %.0f%% below the best \
@@ -153,4 +128,5 @@ let () =
       "bench-trend OK (%d scenario(s) within %.0f%% of best over %d \
        comparable run(s))\n\
        %!"
-      (List.length current) (tolerance *. 100.0) !comparable
+      (List.length current.Runner.Trend.scenarios)
+      (tolerance *. 100.0) !comparable

@@ -1,26 +1,28 @@
-(* rla_lint — determinism linter for the repo's own sources.
+(* rla_lint — determinism and domain-safety linter for the repo's own
+   sources.
 
    The whole reproduction rests on runs being byte-identical for a
-   fixed seed at any --jobs; this CLI makes the sources that carry
-   that guarantee fail the build when they reach for wall clocks,
-   ambient randomness, polymorphic compare in hot paths, or unordered
-   Hashtbl iteration on exporter-feeding paths. *)
+   fixed seed at any --jobs/--shards; this CLI makes the sources that
+   carry that guarantee fail the build when they reach for wall clocks,
+   ambient randomness, polymorphic compare in hot paths, unordered
+   Hashtbl iteration on exporter-feeding paths, shared mutable state
+   reachable from worker domains, or allocations in annotated hot
+   functions. *)
 
 let list_rules () =
   List.iter
     (fun (r : Lint.Rules.t) ->
       let scope =
         match r.Lint.Rules.scope with
-        | Lint.Rules.All -> "lib/**"
-        | Lint.Rules.Dirs ds ->
-            String.concat "," (List.map (fun d -> "lib/" ^ d) ds)
+        | Lint.Rules.All -> "everywhere"
+        | Lint.Rules.Dirs ds -> String.concat "," ds
       in
-      Printf.printf "%-15s %-9s %-40s %s\n" r.Lint.Rules.name
+      Printf.printf "%-23s %-9s %-40s %s\n" r.Lint.Rules.name
         (Lint.Finding.severity_to_string r.Lint.Rules.severity)
         scope r.Lint.Rules.summary)
     Lint.Rules.all
 
-let run_lint rules json strict list_only paths =
+let run_lint rules format json strict list_only graph paths =
   if list_only then begin
     list_rules ();
     0
@@ -33,26 +35,39 @@ let run_lint rules json strict list_only paths =
           Some (List.concat_map (fun r -> String.split_on_char ',' r) rs)
     in
     let paths = match paths with [] -> [ "lib" ] | ps -> ps in
-    match Lint.Driver.run ?rules ~paths () with
-    | findings ->
-        if json then
-          print_endline (Lint.Json.to_string (Lint.Driver.to_json findings))
-        else begin
-          print_string (Lint.Driver.render_text findings);
-          let errors =
-            List.length
-              (List.filter
-                 (fun f -> f.Lint.Finding.severity = Lint.Finding.Error)
-                 findings)
-          in
-          let warnings = List.length findings - errors in
-          if findings <> [] || errors > 0 then
-            Printf.printf "%d error(s), %d warning(s)\n" errors warnings
-        end;
-        Lint.Driver.exit_code ~strict findings
-    | exception Invalid_argument msg ->
-        prerr_endline msg;
-        2
+    if graph then (
+      match Lint.Driver.escape_graph ~paths () with
+      | listing ->
+          print_string listing;
+          0
+      | exception Invalid_argument msg ->
+          prerr_endline msg;
+          2)
+    else
+      let format = if json then "json" else format in
+      match Lint.Driver.run ?rules ~paths () with
+      | findings ->
+          (match format with
+          | "json" ->
+              print_endline (Lint.Json.to_string (Lint.Driver.to_json findings))
+          | "sarif" ->
+              print_endline
+                (Lint.Json.to_string (Lint.Driver.to_sarif findings))
+          | _ ->
+              print_string (Lint.Driver.render_text findings);
+              let errors =
+                List.length
+                  (List.filter
+                     (fun f -> f.Lint.Finding.severity = Lint.Finding.Error)
+                     findings)
+              in
+              let warnings = List.length findings - errors in
+              if findings <> [] || errors > 0 then
+                Printf.printf "%d error(s), %d warning(s)\n" errors warnings);
+          Lint.Driver.exit_code ~strict findings
+      | exception Invalid_argument msg ->
+          prerr_endline msg;
+          2
 
 open Cmdliner
 
@@ -62,8 +77,16 @@ let rules_arg =
   in
   Arg.(value & opt_all string [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
+let format_arg =
+  let doc = "Output format: $(b,text), $(b,json) or $(b,sarif)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", "text"); ("json", "json"); ("sarif", "sarif") ])
+        "text"
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
 let json_arg =
-  let doc = "Emit findings as a JSON report on stdout." in
+  let doc = "Emit findings as a JSON report on stdout (= --format json)." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
 let strict_arg =
@@ -73,6 +96,13 @@ let strict_arg =
 let list_arg =
   let doc = "List the known rules with scope and severity, then exit." in
   Arg.(value & flag & info [ "list-rules" ] ~doc)
+
+let graph_arg =
+  let doc =
+    "Dump the cross-module escape graph (nodes, worker roots, resolved \
+     edges, reachability) instead of linting."
+  in
+  Arg.(value & flag & info [ "graph" ] ~doc)
 
 let paths_arg =
   let doc = "Files or directories to lint (default: lib)." in
@@ -88,7 +118,16 @@ let cmd =
          determinism hazards: wall-clock reads, ambient randomness, \
          polymorphic compare/hash in hot-path libraries, unordered Hashtbl \
          iteration on exporter-feeding paths, missing .mli interfaces and \
-         (advisory) exported-but-unreferenced values.";
+         exported-but-unreferenced values.";
+      `P
+        "A cross-module escape pass roots every Domain.spawn and \
+         Job.create closure, propagates worker-domain reachability over \
+         the call graph, and reports module-level mutable state \
+         (shared-mutable-capture) and non-reentrant ambient stdlib calls \
+         (domain-unsafe-call) that workers can reach.  Functions declared \
+         (* lint: hot <name> -- <reason> *) are scanned for allocation \
+         constructs (alloc-hot), and hot-coverage verifies the \
+         annotations name real exported functions.";
       `P
         "Suppress a finding in source with (* lint: allow <rule> -- \
          <reason> *) on the offending or preceding line, or (* lint: \
@@ -101,6 +140,7 @@ let cmd =
   Cmd.v
     (Cmd.info "rla_lint" ~doc ~man)
     Term.(
-      const run_lint $ rules_arg $ json_arg $ strict_arg $ list_arg $ paths_arg)
+      const run_lint $ rules_arg $ format_arg $ json_arg $ strict_arg
+      $ list_arg $ graph_arg $ paths_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,3 +1,5 @@
+(* lint: allow-file wall-clock -- CLI main: wall_s in the report is a
+   host-side metric; simulation time still comes from Sim.Scheduler *)
 (* Multicore sweep driver for the paper's sharing experiment
    (figures 7/9): cases x seeds on a fixed-size domain pool.
 

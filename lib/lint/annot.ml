@@ -1,15 +1,22 @@
-(* In-source suppression annotations.  The grammar is deliberately
-   rigid — a suppression that does not say which rule it silences and
-   why is itself a finding:
+(* In-source lint annotations.  Two directive families share one rigid
+   grammar — a directive that does not say what it governs and why is
+   itself a finding:
 
-     (* lint: allow <rule> -- <reason> *)        same + next line
-     (* lint: allow-file <rule> -- <reason> *)   whole file
+     (* lint: allow <rule> -- <reason> *)        suppress, same + next line
+     (* lint: allow-file <rule> -- <reason> *)   suppress, whole file
+     (* lint: hot <function> -- <reason> *)      alloc-hot contract: the
+                                                 named exported function is
+                                                 a hot path; allocation
+                                                 constructs in its body are
+                                                 errors
 
    Comments are located with a small scanner that understands string
    literals, char literals and nested comments, because the parsetree
    drops comments. *)
 
 type t = { line : int; rule : string; file_wide : bool; reason : string }
+
+type hot = { hot_line : int; target : string; hot_reason : string }
 
 let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
 
@@ -79,7 +86,9 @@ let comments src =
           incr i
         end
       done;
-      out := (start_line, Buffer.contents body) :: !out
+      (* A multi-line directive comment governs the line after it ends,
+         so the suppression anchor is the closing line. *)
+      out := (start_line, !line, Buffer.contents body) :: !out
     end
     else begin
       bump c;
@@ -91,6 +100,8 @@ let comments src =
 let bad ~file ~line message =
   Finding.make ~file ~line ~rule:"bad-annotation" ~severity:Finding.Error
     message
+
+type parsed = Allow of t | Hot_fn of hot
 
 let parse_directive ~file ~line ~valid_rules body =
   match split_words body with
@@ -108,12 +119,13 @@ let parse_directive ~file ~line ~valid_rules body =
             match tail with
             | "--" :: reason_words when reason_words <> [] ->
                 Ok
-                  {
-                    line;
-                    rule;
-                    file_wide;
-                    reason = String.concat " " reason_words;
-                  }
+                  (Allow
+                     {
+                       line;
+                       rule;
+                       file_wide;
+                       reason = String.concat " " reason_words;
+                     })
             | _ ->
                 Error
                   (bad ~file ~line
@@ -121,25 +133,52 @@ let parse_directive ~file ~line ~valid_rules body =
                         "lint annotation for %S must carry a reason: \
                          (* lint: allow %s -- <reason> *)"
                         rule rule))))
+  | kw :: rest when String.equal kw "hot" -> (
+      match rest with
+      | [] ->
+          Error
+            (bad ~file ~line
+               "hot annotation must name a function: (* lint: hot <function> \
+                -- <reason> *)")
+      | target :: tail -> (
+          match tail with
+          | "--" :: reason_words when reason_words <> [] ->
+              Ok
+                (Hot_fn
+                   {
+                     hot_line = line;
+                     target;
+                     hot_reason = String.concat " " reason_words;
+                   })
+          | _ ->
+              Error
+                (bad ~file ~line
+                   (Printf.sprintf
+                      "hot annotation for %S must carry a reason: (* lint: \
+                       hot %s -- <reason> *)"
+                      target target))))
   | kw :: _ ->
       Error
         (bad ~file ~line
            (Printf.sprintf
-              "unknown lint directive %S (expected allow or allow-file)" kw))
+              "unknown lint directive %S (expected allow, allow-file or hot)"
+              kw))
   | [] -> Error (bad ~file ~line "empty lint annotation")
 
 let collect ~file ~valid_rules src =
   List.fold_left
-    (fun (annots, findings) (line, body) ->
+    (fun (allows, hots, findings) (line, end_line, body) ->
       let trimmed = String.trim body in
       if String.length trimmed >= 5 && String.sub trimmed 0 5 = "lint:" then
         let rest = String.sub trimmed 5 (String.length trimmed - 5) in
         match parse_directive ~file ~line ~valid_rules rest with
-        | Ok a -> (a :: annots, findings)
-        | Error f -> (annots, f :: findings)
-      else (annots, findings))
-    ([], []) (comments src)
-  |> fun (annots, findings) -> (List.rev annots, List.rev findings)
+        | Ok (Allow a) -> ({ a with line = end_line } :: allows, hots, findings)
+        | Ok (Hot_fn h) -> (allows, h :: hots, findings)
+        | Error f -> (allows, hots, f :: findings)
+      else (allows, hots, findings))
+    ([], [], []) (comments src)
+  |> fun (allows, hots, findings) ->
+  (List.rev allows, List.rev hots, List.rev findings)
 
 let suppresses annot (finding : Finding.t) =
   String.equal annot.rule finding.rule

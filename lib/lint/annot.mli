@@ -1,4 +1,4 @@
-(** In-source suppression annotations.
+(** In-source lint annotations.
 
     Grammar (inside an ordinary OCaml comment):
     {v
@@ -6,17 +6,31 @@
                                                   this line and the next
       (* lint: allow-file <rule> -- <reason> *)   suppresses <rule> for
                                                   the whole file
+      (* lint: hot <function> -- <reason> *)      declares the named
+                                                  exported function a
+                                                  hot path; alloc-hot
+                                                  flags allocation
+                                                  constructs in it
     v}
-    The reason is mandatory; malformed annotations and unknown rule
-    names come back as [bad-annotation] findings. *)
+    The reason is mandatory everywhere; malformed annotations and
+    unknown rule names come back as [bad-annotation] findings. *)
 
 type t = { line : int; rule : string; file_wide : bool; reason : string }
 
+type hot = { hot_line : int; target : string; hot_reason : string }
+(** A [(* lint: hot Pool.release -- <reason> *)] directive: [target] is
+    the dotted binding path of a function defined (and exported) by the
+    file that carries the annotation. *)
+
 val collect :
-  file:string -> valid_rules:string list -> string -> t list * Finding.t list
+  file:string ->
+  valid_rules:string list ->
+  string ->
+  t list * hot list * Finding.t list
 (** Scans raw source text (string/char literals and nested comments are
-    understood) and returns the well-formed annotations plus a
-    [bad-annotation] finding for each malformed one. *)
+    understood) and returns the well-formed suppressions, the hot
+    declarations, and a [bad-annotation] finding for each malformed
+    directive. *)
 
 val suppresses : t -> Finding.t -> bool
 (** Whether an annotation silences a finding: same rule, and file-wide

@@ -1,0 +1,241 @@
+(* The alloc-hot contract.
+
+   A function annotated [(* lint: hot <name> -- <reason> *)] is a
+   measured hot path (heap pop, scheduler step, packet pool, ack
+   processing): the annotation freezes the claim that its body does not
+   allocate, and this pass fails the build when a later edit introduces
+   an allocation construct — closures, tuples, records, payload-carrying
+   constructors, [ref] cells, [Printf]/[Format]/[List] combinators,
+   string building, float-typed lets (boxing).
+
+   Two subtrees are deliberately exempt because they are off the fast
+   path by construction: conditionals guarded by [Invariant.enabled]
+   (debug-only instrumentation that invariant-smoke proves inert), and
+   error exits ([invalid_arg]/[failwith]/[raise]/[assert]) — an
+   allocation on the way to an exception is free.  Partial application
+   is NOT detected (it is invisible syntactically); reviewers still own
+   that one.
+
+   [hot-coverage] keeps the annotations honest: each must name a
+   binding the file actually defines and its interface exports, so a
+   rename cannot silently orphan the contract. *)
+
+open Parsetree
+
+let line_of loc = loc.Location.loc_start.Lexing.pos_lnum
+
+let rec longident_parts = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> longident_parts p @ [ s ]
+  | Longident.Lapply (p, _) -> longident_parts p
+
+let joined lid = String.concat "." (longident_parts lid)
+
+(* --- binding discovery ---------------------------------------------- *)
+
+let bindings_of_structure items =
+  let out = ref [] in
+  let rec go prefix items =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } ->
+                    out := (prefix ^ txt, vb.pvb_expr) :: !out
+                | _ -> ())
+              vbs
+        | Pstr_module
+            {
+              pmb_name = { txt = Some name; _ };
+              pmb_expr = { pmod_desc = Pmod_structure inner; _ };
+              _;
+            } ->
+            go (prefix ^ name ^ ".") inner
+        | _ -> ())
+      items
+  in
+  go "" items;
+  List.rev !out
+
+let rec exported_paths prefix sg =
+  List.concat_map
+    (fun item ->
+      match item.psig_desc with
+      | Psig_value vd -> [ prefix ^ vd.pval_name.txt ]
+      | Psig_module
+          {
+            pmd_name = { txt = Some m; _ };
+            pmd_type = { pmty_desc = Pmty_signature inner; _ };
+            _;
+          } ->
+          exported_paths (prefix ^ m ^ ".") inner
+      | _ -> [])
+    sg
+
+(* --- allocation scan ------------------------------------------------ *)
+
+let error_exits = [ "invalid_arg"; "failwith"; "raise"; "raise_notrace" ]
+
+let float_op = function
+  | "+." | "-." | "*." | "/." | "Float.add" | "Float.sub" | "Float.mul"
+  | "Float.div" ->
+      true
+  | _ -> false
+
+(* Does an expression read [Invariant.enabled] (directly or via [!])?
+   Such a conditional guards debug instrumentation. *)
+let mentions_invariant_enabled cond =
+  let found = ref false in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match longident_parts txt with
+              | [ "Invariant"; "enabled" ] | [ "enabled" ] -> found := true
+              | parts -> (
+                  match List.rev parts with
+                  | "enabled" :: _ -> found := true
+                  | _ -> ()))
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  iterator.expr iterator cond;
+  !found
+
+let alloc_head = function
+  | "ref" -> Some "ref-cell allocation"
+  | "String.concat" | "^" | "@" | "Array.append" | "Bytes.concat" ->
+      Some "string/list building"
+  | j when String.length j > 7 && String.sub j 0 7 = "Printf." ->
+      Some ("call into " ^ j)
+  | j when String.length j > 7 && String.sub j 0 7 = "Format." ->
+      Some ("call into " ^ j)
+  | j when String.length j > 5 && String.sub j 0 5 = "List." ->
+      Some ("call into " ^ j ^ " (closure + list cells)")
+  | _ -> None
+
+let scan_body ~file ~target ~reason body =
+  let findings = ref [] in
+  let flag line what =
+    findings :=
+      Finding.make ~file ~line ~rule:"alloc-hot"
+        ~severity:(Rules.severity_of "alloc-hot")
+        (Printf.sprintf
+           "%s in hot function %s (declared hot: %s); keep the fast path \
+            allocation-free or waive with a vetted reason"
+           what target reason)
+      :: !findings
+  in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_ifthenelse (cond, _, _) when mentions_invariant_enabled cond
+            ->
+              (* Debug-only branch; invariant-smoke proves it inert. *)
+              ()
+          | Pexp_assert _ -> ()
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when List.mem (joined txt) error_exits ->
+              ()
+          | Pexp_fun _ ->
+              flag (line_of e.pexp_loc) "closure allocation";
+              Ast_iterator.default_iterator.expr it e
+          | Pexp_function _ ->
+              flag (line_of e.pexp_loc) "closure allocation";
+              Ast_iterator.default_iterator.expr it e
+          | Pexp_tuple _ ->
+              flag (line_of e.pexp_loc) "tuple allocation";
+              Ast_iterator.default_iterator.expr it e
+          | Pexp_record _ ->
+              flag (line_of e.pexp_loc) "record allocation";
+              Ast_iterator.default_iterator.expr it e
+          | Pexp_construct ({ txt; _ }, Some _) ->
+              flag (line_of e.pexp_loc)
+                (Printf.sprintf "constructor %s allocation" (joined txt));
+              Ast_iterator.default_iterator.expr it e
+          | Pexp_variant (tag, Some _) ->
+              flag (line_of e.pexp_loc)
+                (Printf.sprintf "variant `%s allocation" tag);
+              Ast_iterator.default_iterator.expr it e
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+              (match alloc_head (joined txt) with
+              | Some what -> flag (line_of e.pexp_loc) what
+              | None -> ());
+              Ast_iterator.default_iterator.expr it e)
+          | Pexp_let (_, vbs, _) ->
+              List.iter
+                (fun vb ->
+                  match vb.pvb_expr.pexp_desc with
+                  | Pexp_apply
+                      ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+                    when float_op (joined txt) ->
+                      flag (line_of vb.pvb_loc)
+                        "float-valued let (boxing risk)"
+                  | _ -> ())
+                vbs;
+              Ast_iterator.default_iterator.expr it e
+          | _ -> Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  iterator.expr iterator body;
+  List.rev !findings
+
+(* Skip the binding's own parameter lambdas: [let f a b = body] parses
+   as nested [Pexp_fun]s that are not allocations per call. *)
+let rec strip_params e =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> strip_params body
+  | Pexp_newtype (_, body) -> strip_params body
+  | _ -> e
+
+let check ~file ~hots ~interface ast =
+  let bindings = bindings_of_structure ast in
+  let exported =
+    Option.map (fun sg -> exported_paths "" sg) interface
+  in
+  List.concat_map
+    (fun (h : Annot.hot) ->
+      match List.assoc_opt h.target bindings with
+      | None ->
+          [
+            Finding.make ~file ~line:h.hot_line ~rule:"hot-coverage"
+              ~severity:(Rules.severity_of "hot-coverage")
+              (Printf.sprintf
+                 "hot annotation names %s, but this file defines no such \
+                  binding"
+                 h.target);
+          ]
+      | Some expr -> (
+          match exported with
+          | Some paths when not (List.mem h.target paths) ->
+              [
+                Finding.make ~file ~line:h.hot_line ~rule:"hot-coverage"
+                  ~severity:(Rules.severity_of "hot-coverage")
+                  (Printf.sprintf
+                     "hot annotation names %s, which the interface does \
+                      not export — hot paths are part of the public \
+                      performance contract"
+                     h.target);
+              ]
+          | _ -> (
+              let body = strip_params expr in
+              match body.pexp_desc with
+              | Pexp_function cases ->
+                  List.concat_map
+                    (fun c ->
+                      scan_body ~file ~target:h.target ~reason:h.hot_reason
+                        c.pc_rhs)
+                    cases
+              | _ ->
+                  scan_body ~file ~target:h.target ~reason:h.hot_reason body)))
+    hots

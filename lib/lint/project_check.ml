@@ -4,11 +4,12 @@
      interface, otherwise everything it defines is exported and the
      unused-export analysis (and the human reader) loses the boundary.
    - unused-export: a value declared in an .mli but never referenced
-     outside its own library is advisory dead API surface.  Reference
-     detection is textual (token `Module.value` with identifier
-     boundaries), which is exactly right for a wrapped dune library
-     seen from outside (`Lib.Module.value` contains the token) and
-     deliberately errs on the side of silence. *)
+     outside its own .ml/.mli pair is dead API surface (advisory by
+     default, an error under --strict).  Reference detection is textual
+     (token `Module.value` with identifier boundaries), which matches
+     both same-library siblings (`Module.value`) and wrapped-library
+     consumers (`Lib.Module.value` contains the token) and deliberately
+     errs on the side of silence. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -168,25 +169,24 @@ let unused_export ~parse_interface ~lib_dirs ~search_files =
   let corpus =
     List.map (fun f -> (f, try read_file f with Sys_error _ -> "")) search_files
   in
-  let starts_with_dir ~dir file =
-    let d =
-      if String.length dir > 0 && dir.[String.length dir - 1] = '/' then dir
-      else dir ^ "/"
-    in
-    String.length file >= String.length d
-    && String.sub file 0 (String.length d) = d
-  in
   List.concat_map
-    (fun (lib_dir, mli_files) ->
-      let outside =
-        List.filter (fun (f, _) -> not (starts_with_dir ~dir:lib_dir f)) corpus
-      in
+    (fun (_lib_dir, mli_files) ->
       List.concat_map
         (fun mli ->
           match parse_interface mli with
           | Error _ -> []
           | Ok signature ->
               let file, modname, vals = exported_values ~file:mli signature in
+              (* Only the defining .ml/.mli pair is excluded from the
+                 search: an export that no sibling, test, bench or
+                 binary mentions is dead surface even inside its own
+                 library. *)
+              let stem = Filename.remove_extension mli in
+              let outside =
+                List.filter
+                  (fun (f, _) -> Filename.remove_extension f <> stem)
+                  corpus
+              in
               List.filter_map
                 (fun (value, line) ->
                   let needle = modname ^ "." ^ value in
@@ -201,7 +201,8 @@ let unused_export ~parse_interface ~lib_dirs ~search_files =
                          ~severity:(Rules.severity_of "unused-export")
                          (Printf.sprintf
                             "%s is exported but never referenced outside %s"
-                            needle lib_dir)))
+                            needle
+                            (Filename.basename mli))))
                 vals)
         mli_files)
     lib_dirs

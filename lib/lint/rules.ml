@@ -1,8 +1,10 @@
-(* The rule registry.  Scopes name `lib/` sub-directories: a rule with
-   [Dirs l] only applies to files under `lib/<d>` for `d` in [l];
-   files outside any `lib` component (e.g. test fixtures passed
-   explicitly) are checked against every rule, so fixtures can exercise
-   each rule without replicating the repo layout. *)
+(* The rule registry.  Scopes name top-level trees: a rule with
+   [Dirs l] only applies to files whose scope key (computed by the
+   driver from the path: "lib/<sub>" for files under a lib component,
+   "bin"/"bench"/"test"/"examples" for those trees) is in [l].  Files
+   with no recognizable scope key — e.g. test fixtures passed
+   explicitly — are checked against every rule, so fixtures can
+   exercise each rule without replicating the repo layout. *)
 
 type scope = All | Dirs of string list
 
@@ -36,7 +38,7 @@ let all =
       summary =
         "polymorphic compare/hash on floats or records in hot-path \
          libraries; use explicit comparators (Float.compare, Int.compare)";
-      scope = Dirs [ "sim"; "net"; "core"; "tcp"; "stats" ];
+      scope = Dirs [ "lib/sim"; "lib/net"; "lib/core"; "lib/tcp"; "lib/stats" ];
       severity = Finding.Error;
     };
     {
@@ -44,7 +46,7 @@ let all =
       summary =
         "unordered Hashtbl iteration on an exporter-feeding path; sort the \
          keys first or keep an insertion-order side list";
-      scope = Dirs [ "obs"; "runner"; "experiments" ];
+      scope = Dirs [ "lib/obs"; "lib/runner"; "lib/experiments" ];
       severity = Finding.Error;
     };
     {
@@ -57,7 +59,7 @@ let all =
       name = "unused-export";
       summary =
         "value exported in an .mli but never referenced outside its \
-         library (advisory)";
+         defining file (advisory; an error under --strict)";
       scope = All;
       severity = Finding.Warning;
     };
@@ -66,14 +68,50 @@ let all =
       summary =
         "module holds mutable record state but its interface exports no \
          capture/restore pair, so checkpoints cannot carry it (advisory)";
-      scope = Dirs [ "sim"; "net"; "tcp"; "core" ];
+      scope = Dirs [ "lib/sim"; "lib/net"; "lib/tcp"; "lib/core" ];
       severity = Finding.Warning;
+    };
+    {
+      name = "shared-mutable-capture";
+      summary =
+        "module-level mutable state (ref/Hashtbl/Buffer/mutable record) \
+         reachable from a worker-domain closure without Atomic or Mutex \
+         protection; a silent cross-domain data race";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "domain-unsafe-call";
+      summary =
+        "worker-domain-reachable call into non-reentrant ambient stdlib \
+         state (Format.std_formatter, stdout/stderr printing, global \
+         Random); domains would interleave or race on it";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "alloc-hot";
+      summary =
+        "allocation construct (closure, tuple/record/constructor return, \
+         ref, Printf/Format/List combinators, string building, boxed \
+         float let) inside a function annotated (* lint: hot ... *)";
+      scope = All;
+      severity = Finding.Error;
+    };
+    {
+      name = "hot-coverage";
+      summary =
+        "a (* lint: hot <function> *) annotation must name a function \
+         that the file defines and its interface exports";
+      scope = All;
+      severity = Finding.Error;
     };
     {
       name = "bad-annotation";
       summary =
         "malformed lint annotation; the grammar is \
-         (* lint: allow[-file] <rule> -- <reason> *)";
+         (* lint: allow[-file] <rule> -- <reason> *) or \
+         (* lint: hot <function> -- <reason> *)";
       scope = All;
       severity = Finding.Error;
     };
@@ -97,10 +135,10 @@ let always_on = [ "bad-annotation"; "parse-error" ]
 let severity_of name =
   match find name with Some r -> r.severity | None -> Finding.Error
 
-let in_scope rule ~lib_subdir =
+let in_scope rule ~scope_key =
   match rule.scope with
   | All -> true
   | Dirs dirs -> (
-      match lib_subdir with
+      match scope_key with
       | None -> true
-      | Some d -> List.exists (String.equal d) dirs)
+      | Some k -> List.exists (String.equal k) dirs)

@@ -2,6 +2,9 @@
     severities for every check the linter knows. *)
 
 type scope = All | Dirs of string list
+(** [Dirs] entries are scope keys: ["lib/<sub>"] for library
+    sub-directories, or a bare top-level tree name (["bin"], ["bench"],
+    ["test"], ["examples"]). *)
 
 type t = {
   name : string;
@@ -23,6 +26,7 @@ val always_on : string list
 val severity_of : string -> Finding.severity
 (** Default severity for a rule name; [Error] for unknown names. *)
 
-val in_scope : t -> lib_subdir:string option -> bool
-(** Whether a rule applies to a file living under [lib/<subdir>]
-    ([None] = outside lib/, where every rule applies). *)
+val in_scope : t -> scope_key:string option -> bool
+(** Whether a rule applies to a file with the given scope key
+    ([None] = no recognizable tree, e.g. a bare fixture path, where
+    every rule applies). *)

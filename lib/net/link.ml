@@ -59,6 +59,7 @@ type t = {
 
 and taps = {
   reg : Obs.Registry.t;
+  src : string;  (* cached "link.<id>" so emits never build strings *)
   qlen_s : Obs.Series.t;  (* occupancy sampled on every arrival *)
   drops_c : Obs.Registry.counter;
   marks_c : Obs.Registry.counter;
@@ -109,7 +110,7 @@ let count_drop t pkt =
       Obs.Registry.incr taps.drops_c;
       Obs.Registry.emit taps.reg
         ~time:(Sim.Scheduler.now t.sched)
-        ~source:(Printf.sprintf "link.%s" t.id)
+        ~source:taps.src
         ~event:"drop"
         ~value:(float_of_int (Ring.length t.buffer)));
   (match t.drop_hook with None -> () | Some hook -> hook pkt);
@@ -227,6 +228,7 @@ let set_registry t reg =
       (fun r ->
         {
           reg = r;
+          src = Printf.sprintf "link.%s" t.id;
           qlen_s = Obs.Registry.series r (Printf.sprintf "link.%s.qlen" t.id);
           drops_c = Obs.Registry.counter r (Printf.sprintf "link.%s.drops" t.id);
           marks_c = Obs.Registry.counter r (Printf.sprintf "link.%s.marks" t.id);
@@ -245,6 +247,9 @@ let check_occupancy t =
           (Ring.length t.buffer)
           (Queue_disc.capacity t.disc))
 
+(* lint: hot send -- per-packet enqueue on every hop; event closures
+   are shared per link (see the type comment) so this allocates nothing
+   on the admit path *)
 let send t pkt =
   t.offered <- t.offered + 1;
   if not t.up then
@@ -265,14 +270,12 @@ let send t pkt =
         match decision with
         | `Drop ->
             Obs.Registry.incr taps.drops_c;
-            Obs.Registry.emit taps.reg ~time:now
-              ~source:(Printf.sprintf "link.%s" t.id)
+            Obs.Registry.emit taps.reg ~time:now ~source:taps.src
               ~event:"drop"
               ~value:(float_of_int (Ring.length t.buffer))
         | `Mark ->
             Obs.Registry.incr taps.marks_c;
-            Obs.Registry.emit taps.reg ~time:now
-              ~source:(Printf.sprintf "link.%s" t.id)
+            Obs.Registry.emit taps.reg ~time:now ~source:taps.src
               ~event:"mark"
               ~value:(float_of_int (Ring.length t.buffer))
         | `Admit -> ()));

@@ -50,6 +50,8 @@ module Pool = struct
     mutable recycled : int;  (* acquisitions served from the free list *)
   }
 
+  (* lint: allow shared-mutable-capture -- array-fill sentinel only;
+     never dereferenced, every free-list slot is overwritten before use *)
   let dummy_pkt =
     {
       uid = -1;
@@ -106,12 +108,16 @@ module Pool = struct
     c.ecn <- p.ecn;
     c
 
+  (* lint: hot Pool.retain -- per multicast fan-out branch; a bare
+     refcount bump *)
   let retain p =
     if p.refs <= 0 then
       invalid_arg
         (Printf.sprintf "Packet.Pool.retain: pkt#%d is already released" p.uid);
     p.refs <- p.refs + 1
 
+  (* lint: hot Pool.release -- every packet exit path (drop, deliver,
+     sink) lands here; recycling exists precisely to avoid allocation *)
   let release t p =
     if p.refs <= 0 then
       invalid_arg

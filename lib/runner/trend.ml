@@ -1,0 +1,55 @@
+type doc = {
+  duration : float;
+  seed : float;
+  cores : int option;
+  scenarios : (string * float) list;
+}
+
+let doc_of_json json =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let num field j =
+    match Option.bind (Json.member field j) Json.to_float_opt with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing numeric %S field" field)
+  in
+  let* duration = num "duration_s" json in
+  let* seed = num "seed" json in
+  let cores = Option.bind (Json.member "cores" json) Json.to_int_opt in
+  let* scenarios =
+    match Json.member "scenarios" json with
+    | Some (Json.List rows) ->
+        List.fold_left
+          (fun acc row ->
+            let* acc = acc in
+            match Option.bind (Json.member "name" row) Json.to_string_opt with
+            | None -> Error "scenario row without a name"
+            | Some name ->
+                let* eps = num "events_per_s" row in
+                Ok ((name, eps) :: acc))
+          (Ok []) rows
+        |> Result.map List.rev
+    | _ -> Error "missing \"scenarios\" list"
+  in
+  Ok { duration; seed; cores; scenarios }
+
+type classification =
+  | Comparable
+  | Skip_cores of { recorded : int; machine : int }
+  | Skip_params
+
+let classify ~current ~machine_cores line =
+  match line.cores with
+  | Some recorded when recorded <> machine_cores ->
+      Skip_cores { recorded; machine = machine_cores }
+  | _ ->
+      if line.duration = current.duration && line.seed = current.seed then
+        Comparable
+      else Skip_params
+
+let skip_reason = function
+  | Comparable -> None
+  | Skip_cores { recorded; machine } ->
+      Some
+        (Printf.sprintf
+           "recorded on a %d-core machine, this one has %d" recorded machine)
+  | Skip_params -> Some "duration/seed differ from the current document"

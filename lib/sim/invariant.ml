@@ -16,28 +16,34 @@ let env_enabled =
   | Some ("1" | "true" | "yes" | "on") -> true
   | _ -> false
 
+(* Written once at startup (or from single-domain test setup) before
+   any worker domain exists; workers only read it. *)
+(* lint: allow shared-mutable-capture -- set before any Domain.spawn;
+   workers only read it, and a stale read just skips a debug check *)
 let enabled = ref env_enabled
 
 let set_enabled b = enabled := b
 
-let checks = ref 0
+(* Counters are informational but shared across shard workers, so they
+   must be atomic or parallel runs would under-count (and race). *)
+let checks = Atomic.make 0
 
-let failures = ref 0
+let failures = Atomic.make 0
 
-let checks_run () = !checks
+let checks_run () = Atomic.get checks
 
-let failures_seen () = !failures
+let failures_seen () = Atomic.get failures
 
 let reset_counters () =
-  checks := 0;
-  failures := 0
+  Atomic.set checks 0;
+  Atomic.set failures 0
 
 (* [msg] is a thunk so the failure string is only built when the check
    actually fails; call sites guard on [!enabled] themselves to keep
    the disabled cost to one ref read. *)
 let require cond msg =
-  incr checks;
+  Atomic.incr checks;
   if not cond then begin
-    incr failures;
+    Atomic.incr failures;
     raise (Violation (msg ()))
   end

@@ -123,6 +123,8 @@ let cancel t id =
    next event lies beyond [horizon].  Only [`Fired] counts against
    run_until_empty's budget: a cancel-heavy run must still fire
    [max_events] real events. *)
+(* lint: hot step -- fires every simulated event; the events/s number
+   in BENCH_perf.json is mostly this function *)
 let step t horizon =
   if Heap.is_empty t.queue then `Done
   else begin

@@ -31,6 +31,13 @@ val cancel : t -> event_id -> unit
     was already cancelled, or never existed is a strict no-op: it
     neither perturbs {!pending} nor affects any other event. *)
 
+val step : t -> float -> [ `Fired | `Skipped | `Done ]
+(** Pop one event at or before the horizon: [`Fired] executed it,
+    [`Skipped] discarded a lazily-cancelled entry, [`Done] means the
+    queue is exhausted or the next event lies beyond the horizon.  The
+    run loops are built on this; it is the per-event hot path and must
+    stay allocation-free. *)
+
 val run_until : t -> float -> unit
 (** Execute events in order until the queue is empty or the next event
     is past the horizon; the clock ends at exactly the horizon. *)

@@ -1,0 +1,10 @@
+(* The same three-hop shape as shared_ref.ml, but the shared cell is
+   an Atomic — exactly the fix the rule message suggests. *)
+
+let hits = Atomic.make 0
+
+let bump () = Atomic.incr hits
+
+let helper () = bump ()
+
+let start () = ignore (Domain.spawn (fun () -> helper ()))

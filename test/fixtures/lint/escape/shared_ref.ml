@@ -1,0 +1,11 @@
+(* Transitive escape: the spawned closure calls [helper], which calls
+   [bump], which mutates a module-level ref — three hops from the
+   spawn site to the shared state. *)
+
+let hits = ref 0
+
+let bump () = incr hits
+
+let helper () = bump ()
+
+let start () = ignore (Domain.spawn (fun () -> helper ()))

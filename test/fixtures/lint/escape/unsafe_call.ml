@@ -1,0 +1,6 @@
+(* A worker-reachable function using ambient process state: Printf
+   writes to the shared stdout channel, which is not domain-safe. *)
+
+let log () = Printf.printf "tick\n"
+
+let start () = ignore (Domain.spawn (fun () -> log ()))

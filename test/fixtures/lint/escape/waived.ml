@@ -1,0 +1,11 @@
+(* The shared_ref.ml violation under an explicit waiver. *)
+
+(* lint: allow shared-mutable-capture -- fixture: pretend this counter
+   is read-only after spawn *)
+let hits = ref 0
+
+let bump () = incr hits
+
+let helper () = bump ()
+
+let start () = ignore (Domain.spawn (fun () -> helper ()))

@@ -1,0 +1,10 @@
+(* A hot-annotated function that genuinely does not allocate. *)
+
+(* lint: hot bump -- fixture: bare integer arithmetic *)
+let bump x = x + 1
+
+(* Error exits are exempt even though invalid_arg builds a string. *)
+(* lint: hot checked -- fixture: the happy path is allocation-free *)
+let checked x =
+  if x < 0 then invalid_arg "checked: negative";
+  x + 1

@@ -1,0 +1,5 @@
+(* A hot annotation naming a binding this file does not define: the
+   hot-coverage integrity check must fail rather than silently skip. *)
+
+(* lint: hot no_such_function -- fixture: stale annotation *)
+let actual x = x

@@ -1,0 +1,5 @@
+(* A hot-annotated function that allocates: the tuple boxes on every
+   call. *)
+
+(* lint: hot pair -- fixture: this fast path must stay allocation-free *)
+let pair x = (x, x)

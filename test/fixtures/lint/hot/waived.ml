@@ -1,0 +1,6 @@
+(* The firing.ml allocation under an explicit waiver. *)
+
+(* lint: hot pair -- fixture: this fast path must stay allocation-free *)
+let pair x =
+  (* lint: allow alloc-hot -- fixture: the tuple is the declared API *)
+  (x, x)

@@ -99,6 +99,111 @@ let test_ckpt_coverage () =
       Alcotest.(check bool) "advisory severity" true
         (f.severity = Lint.Finding.Warning)
 
+(* --- escape analysis (domain safety) ------------------------------- *)
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_shared_mutable_capture () =
+  let fs = run [ fx (Filename.concat "escape" "shared_ref.ml") ] in
+  check_count fs ~rule:"shared-mutable-capture" 1;
+  match
+    List.find_opt
+      (fun (f : Lint.Finding.t) -> f.rule = "shared-mutable-capture")
+      fs
+  with
+  | None -> Alcotest.fail "expected a shared-mutable-capture finding"
+  | Some f ->
+      Alcotest.(check int) "anchored at the ref binding" 5 f.line;
+      Alcotest.(check bool) "error severity" true
+        (f.severity = Lint.Finding.Error);
+      (* The provenance chain walks all three hops from the spawn. *)
+      Alcotest.(check bool) "provenance chain rendered" true
+        (has_sub f.message
+           "Shared_ref.start.<closure@11> -> Shared_ref.helper -> \
+            Shared_ref.bump")
+
+let test_atomic_version_is_clean () =
+  let fs = run [ fx (Filename.concat "escape" "atomic_ok.ml") ] in
+  check_count fs ~rule:"shared-mutable-capture" 0;
+  check_count fs ~rule:"domain-unsafe-call" 0
+
+let test_domain_unsafe_call () =
+  let fs = run [ fx (Filename.concat "escape" "unsafe_call.ml") ] in
+  check_count fs ~rule:"domain-unsafe-call" 1;
+  match
+    List.find_opt (fun (f : Lint.Finding.t) -> f.rule = "domain-unsafe-call") fs
+  with
+  | None -> Alcotest.fail "expected a domain-unsafe-call finding"
+  | Some f ->
+      Alcotest.(check bool) "names the ambient call" true
+        (has_sub f.message "Printf.printf")
+
+let test_escape_waiver_honoured () =
+  let fs = run [ fx (Filename.concat "escape" "waived.ml") ] in
+  check_count fs ~rule:"shared-mutable-capture" 0
+
+let test_escape_graph_dump () =
+  let dump =
+    Lint.Driver.escape_graph
+      ~paths:[ fx (Filename.concat "escape" "shared_ref.ml") ]
+      ()
+  in
+  Alcotest.(check bool) "lists the synthetic spawn root" true
+    (has_sub dump "<closure@11>");
+  Alcotest.(check bool) "marks the reachable helper" true
+    (has_sub dump "helper");
+  Alcotest.(check bool) "has a summary header" true
+    (has_sub dump "escape graph:")
+
+(* --- hot-path allocation checks ------------------------------------ *)
+
+let test_alloc_hot_fires () =
+  let fs = run [ fx (Filename.concat "hot" "firing.ml") ] in
+  check_count fs ~rule:"alloc-hot" 1;
+  match List.find_opt (fun (f : Lint.Finding.t) -> f.rule = "alloc-hot") fs with
+  | None -> Alcotest.fail "expected an alloc-hot finding"
+  | Some f ->
+      Alcotest.(check bool) "names the construct and the function" true
+        (has_sub f.message "tuple" && has_sub f.message "pair")
+
+let test_alloc_hot_waiver_honoured () =
+  let fs = run [ fx (Filename.concat "hot" "waived.ml") ] in
+  check_count fs ~rule:"alloc-hot" 0
+
+let test_alloc_hot_clean () =
+  let fs = run [ fx (Filename.concat "hot" "clean.ml") ] in
+  (* Neither the bare arithmetic nor the invalid_arg error exit fires. *)
+  check_count fs ~rule:"alloc-hot" 0;
+  check_count fs ~rule:"hot-coverage" 0
+
+let test_hot_coverage_rejects_unknown_name () =
+  let fs = run [ fx (Filename.concat "hot" "coverage_bad.ml") ] in
+  check_count fs ~rule:"hot-coverage" 1;
+  match
+    List.find_opt (fun (f : Lint.Finding.t) -> f.rule = "hot-coverage") fs
+  with
+  | None -> Alcotest.fail "expected a hot-coverage finding"
+  | Some f ->
+      Alcotest.(check bool) "names the missing binding" true
+        (has_sub f.message "no_such_function");
+      Alcotest.(check bool) "error severity" true
+        (f.severity = Lint.Finding.Error)
+
+let test_hot_annotations_inventory () =
+  let hots = Lint.Driver.hot_annotations ~paths:[ fx "hot" ] () in
+  let targets_of file =
+    List.filter_map
+      (fun (f, t) -> if Filename.basename f = file then Some t else None)
+      hots
+  in
+  Alcotest.(check (list string)) "firing.ml declares pair" [ "pair" ]
+    (targets_of "firing.ml");
+  Alcotest.(check (list string)) "clean.ml declares both" [ "bump"; "checked" ]
+    (List.sort compare (targets_of "clean.ml"))
+
 (* --- suppression and annotation integrity -------------------------- *)
 
 let test_suppressions_honoured () =
@@ -150,6 +255,25 @@ let test_missing_path_rejected () =
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
 
+let test_scope_key () =
+  let check_key path expected =
+    Alcotest.(check (option string)) path expected (Lint.Driver.scope_key path)
+  in
+  check_key "lib/sim/heap.ml" (Some "lib/sim");
+  check_key "bin/rla_trace.ml" (Some "bin");
+  check_key "bench/main.ml" (Some "bench");
+  check_key "test/test_sim.ml" (Some "test");
+  (* A lib component wins over a tree name, preserving fixture layouts. *)
+  check_key "fixtures/lint/scoped/lib/obs/table.ml" (Some "lib/obs");
+  (* Bare fixture paths have no scope: every rule applies. *)
+  check_key "fixtures/lint/clean/pure.ml" None
+
+let test_parse_interface () =
+  let mli = fx (Filename.concat "ckpt_coverage" "covered.mli") in
+  match Lint.Driver.parse_interface mli with
+  | Ok sg -> Alcotest.(check bool) "non-empty signature" true (sg <> [])
+  | Error e -> Alcotest.fail ("fixture interface failed to parse: " ^ e)
+
 (* --- report formats ------------------------------------------------ *)
 
 let test_json_round_trip () =
@@ -186,6 +310,33 @@ let test_text_rendering () =
       Alcotest.(check bool) ("render contains " ^ line) true (has_sub text line))
     fs
 
+let test_sarif_output () =
+  let fs = run [ fx "wall_clock"; fx (Filename.concat "hot" "firing.ml") ] in
+  Alcotest.(check bool) "fixtures produced findings" true (fs <> []);
+  let sarif = Lint.Json.to_string (Lint.Driver.to_sarif fs) in
+  Alcotest.(check bool) "declares SARIF 2.1.0" true
+    (has_sub sarif "\"version\":\"2.1.0\"");
+  Alcotest.(check bool) "carries the schema URI" true
+    (has_sub sarif "sarif-2.1.0.json");
+  (* The driver's rule table lists every registered rule... *)
+  List.iter
+    (fun (r : Lint.Rules.t) ->
+      Alcotest.(check bool) ("rule table has " ^ r.Lint.Rules.name) true
+        (has_sub sarif (Printf.sprintf "\"id\":%S" r.Lint.Rules.name)))
+    Lint.Rules.all;
+  (* ...and every finding becomes a located result. *)
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Alcotest.(check bool) ("result for " ^ f.rule) true
+        (has_sub sarif (Printf.sprintf "\"ruleId\":%S" f.rule)))
+    fs;
+  Alcotest.(check bool) "results carry physical locations" true
+    (has_sub sarif "physicalLocation" && has_sub sarif "startLine");
+  (* SARIF must remain parseable JSON. *)
+  match Lint.Json.of_string sarif with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("SARIF output is not valid JSON: " ^ e)
+
 (* --- the tree itself ----------------------------------------------- *)
 
 let test_lib_is_clean () =
@@ -202,6 +353,53 @@ let test_lib_is_clean () =
              (List.length errs)
              (Lint.Driver.render_text errs))
 
+let existing_trees subs =
+  List.filter
+    (fun p -> Sys.file_exists p && Sys.is_directory p)
+    (List.map (Filename.concat "..") subs)
+
+let test_parallel_engine_is_domain_safe () =
+  (* The acceptance bar of the escape pass: the parallel engine, the
+     runner pool, and everything they transitively reach must carry no
+     domain-safety or hot-path findings.  Escape analysis is
+     cross-module, so lint all of lib plus the executables at once. *)
+  match existing_trees [ "lib"; "bin"; "bench" ] with
+  | [] -> ()
+  | trees -> (
+      match
+        run
+          ~rules:
+            [
+              "shared-mutable-capture";
+              "domain-unsafe-call";
+              "alloc-hot";
+              "hot-coverage";
+            ]
+          trees
+      with
+      | [] -> ()
+      | findings ->
+          Alcotest.fail
+            (Printf.sprintf "domain-safety/hot-path findings:\n%s"
+               (Lint.Driver.render_text findings)))
+
+let test_hot_paths_are_annotated () =
+  (* The performance contract: the scheduler/packet hot path carries
+     at least five vetted hot annotations, and the scheduler fire loop
+     is one of them. *)
+  match existing_trees [ "lib" ] with
+  | [] -> ()
+  | trees ->
+      let hots = Lint.Driver.hot_annotations ~paths:trees () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d hot annotations >= 5" (List.length hots))
+        true
+        (List.length hots >= 5);
+      Alcotest.(check bool) "scheduler step is declared hot" true
+        (List.exists
+           (fun (f, t) -> Filename.basename f = "scheduler.ml" && t = "step")
+           hots)
+
 let () =
   Alcotest.run "lint"
     [
@@ -216,6 +414,29 @@ let () =
           Alcotest.test_case "unused-export" `Quick test_unused_export;
           Alcotest.test_case "ckpt-coverage" `Quick test_ckpt_coverage;
         ] );
+      ( "escape",
+        [
+          Alcotest.test_case "shared-mutable-capture" `Quick
+            test_shared_mutable_capture;
+          Alcotest.test_case "atomic version clean" `Quick
+            test_atomic_version_is_clean;
+          Alcotest.test_case "domain-unsafe-call" `Quick
+            test_domain_unsafe_call;
+          Alcotest.test_case "waiver honoured" `Quick
+            test_escape_waiver_honoured;
+          Alcotest.test_case "graph dump" `Quick test_escape_graph_dump;
+        ] );
+      ( "hot",
+        [
+          Alcotest.test_case "alloc-hot fires" `Quick test_alloc_hot_fires;
+          Alcotest.test_case "alloc-hot waived" `Quick
+            test_alloc_hot_waiver_honoured;
+          Alcotest.test_case "clean hot function" `Quick test_alloc_hot_clean;
+          Alcotest.test_case "hot-coverage unknown name" `Quick
+            test_hot_coverage_rejects_unknown_name;
+          Alcotest.test_case "annotation inventory" `Quick
+            test_hot_annotations_inventory;
+        ] );
       ( "suppression",
         [
           Alcotest.test_case "annotations honoured" `Quick
@@ -228,12 +449,21 @@ let () =
           Alcotest.test_case "--rules filter" `Quick test_rules_filter;
           Alcotest.test_case "unknown rule" `Quick test_unknown_rule_rejected;
           Alcotest.test_case "missing path" `Quick test_missing_path_rejected;
+          Alcotest.test_case "scope keys" `Quick test_scope_key;
+          Alcotest.test_case "parse_interface" `Quick test_parse_interface;
         ] );
       ( "report",
         [
           Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
           Alcotest.test_case "text rendering" `Quick test_text_rendering;
+          Alcotest.test_case "sarif output" `Quick test_sarif_output;
         ] );
       ( "self-check",
-        [ Alcotest.test_case "lib/ clean" `Quick test_lib_is_clean ] );
+        [
+          Alcotest.test_case "lib/ clean" `Quick test_lib_is_clean;
+          Alcotest.test_case "parallel engine domain-safe" `Quick
+            test_parallel_engine_is_domain_safe;
+          Alcotest.test_case "hot paths annotated" `Quick
+            test_hot_paths_are_annotated;
+        ] );
     ]

@@ -1,0 +1,120 @@
+(* Runner.Trend: the comparability model behind `make bench-trend`.
+   The bench gate prints Trend.skip_reason verbatim, so these tests pin
+   both the classification logic and the exact cores-mismatch text. *)
+
+let doc_of_string s =
+  match Runner.Trend.doc_of_json (Runner.Json.of_string s) with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let base = {|{"duration_s": 30, "seed": 42,
+              "scenarios": [{"name": "sharing", "events_per_s": 1e6},
+                            {"name": "churn", "events_per_s": 5e5}]}|}
+
+let with_cores c =
+  Printf.sprintf
+    {|{"duration_s": 30, "seed": 42, "cores": %d,
+       "scenarios": [{"name": "scale", "events_per_s": 2e6}]}|}
+    c
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_doc_of_json () =
+  let d = doc_of_string base in
+  Alcotest.(check (float 0.0)) "duration" 30.0 d.Runner.Trend.duration;
+  Alcotest.(check (float 0.0)) "seed" 42.0 d.Runner.Trend.seed;
+  Alcotest.(check bool) "no cores field" true (d.Runner.Trend.cores = None);
+  Alcotest.(check (list string)) "scenario names in order"
+    [ "sharing"; "churn" ]
+    (List.map fst d.Runner.Trend.scenarios);
+  let d = doc_of_string (with_cores 8) in
+  Alcotest.(check bool) "cores recorded" true (d.Runner.Trend.cores = Some 8)
+
+let test_doc_of_json_errors () =
+  let err s =
+    match Runner.Trend.doc_of_json (Runner.Json.of_string s) with
+    | Ok _ -> Alcotest.fail "malformed document accepted"
+    | Error e -> e
+  in
+  Alcotest.(check bool) "missing duration named" true
+    (contains ~sub:"duration_s" (err {|{"seed": 1, "scenarios": []}|}));
+  Alcotest.(check bool) "missing scenarios named" true
+    (contains ~sub:"scenarios" (err {|{"duration_s": 1, "seed": 1}|}));
+  Alcotest.(check bool) "nameless row rejected" true
+    (contains ~sub:"name"
+       (err
+          {|{"duration_s": 1, "seed": 1,
+             "scenarios": [{"events_per_s": 10}]}|}))
+
+let test_classify () =
+  let current = doc_of_string base in
+  let same = doc_of_string base in
+  Alcotest.(check bool) "same parameters are comparable" true
+    (Runner.Trend.classify ~current ~machine_cores:4 same
+    = Runner.Trend.Comparable);
+  let other_seed =
+    doc_of_string {|{"duration_s": 30, "seed": 7, "scenarios": []}|}
+  in
+  Alcotest.(check bool) "seed mismatch skips on params" true
+    (Runner.Trend.classify ~current ~machine_cores:4 other_seed
+    = Runner.Trend.Skip_params);
+  let scale_current = doc_of_string (with_cores 4) in
+  Alcotest.(check bool) "matching cores are comparable" true
+    (Runner.Trend.classify ~current:scale_current ~machine_cores:4
+       (doc_of_string (with_cores 4))
+    = Runner.Trend.Comparable);
+  match
+    Runner.Trend.classify ~current:scale_current ~machine_cores:4
+      (doc_of_string (with_cores 16))
+  with
+  | Runner.Trend.Skip_cores { recorded; machine } ->
+      Alcotest.(check int) "recorded cores" 16 recorded;
+      Alcotest.(check int) "machine cores" 4 machine
+  | _ -> Alcotest.fail "foreign-machine line must skip on cores"
+
+let test_cores_check_wins_over_params () =
+  (* A foreign-machine line whose duration/seed ALSO differ must still
+     be reported as a cores skip — that is the reason a human needs. *)
+  let current = doc_of_string (with_cores 4) in
+  let foreign =
+    doc_of_string
+      {|{"duration_s": 99, "seed": 7, "cores": 32, "scenarios": []}|}
+  in
+  match Runner.Trend.classify ~current ~machine_cores:4 foreign with
+  | Runner.Trend.Skip_cores { recorded = 32; machine = 4 } -> ()
+  | _ -> Alcotest.fail "cores check must win over the params check"
+
+let test_skip_reason_text () =
+  Alcotest.(check (option string)) "comparable has no reason" None
+    (Runner.Trend.skip_reason Runner.Trend.Comparable);
+  (match
+     Runner.Trend.skip_reason
+       (Runner.Trend.Skip_cores { recorded = 16; machine = 4 })
+   with
+  | None -> Alcotest.fail "cores skip must carry a reason"
+  | Some reason ->
+      Alcotest.(check string) "the exact text the bench gate prints"
+        "recorded on a 16-core machine, this one has 4" reason);
+  match Runner.Trend.skip_reason Runner.Trend.Skip_params with
+  | None -> Alcotest.fail "params skip must carry a reason"
+  | Some reason ->
+      Alcotest.(check bool) "params reason names both fields" true
+        (contains ~sub:"duration" reason && contains ~sub:"seed" reason)
+
+let () =
+  Alcotest.run "trend"
+    [
+      ( "trend",
+        [
+          Alcotest.test_case "doc_of_json" `Quick test_doc_of_json;
+          Alcotest.test_case "doc_of_json errors" `Quick
+            test_doc_of_json_errors;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "cores wins over params" `Quick
+            test_cores_check_wins_over_params;
+          Alcotest.test_case "skip reasons" `Quick test_skip_reason_text;
+        ] );
+    ]
