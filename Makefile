@@ -16,10 +16,12 @@ INV_DIR ?= /tmp/rla_invariant_smoke
 CKPT_DIR ?= /tmp/rla_ckpt_smoke
 PAR_DIR ?= /tmp/rla_par_smoke
 MF_DIR ?= /tmp/rla_meanfield_smoke
+HOSTILE_DIR ?= /tmp/rla_hostile_smoke
 
 .PHONY: all build test lint smoke trace-smoke churn-smoke \
-  invariant-smoke ckpt-smoke par-smoke meanfield-smoke check ci bench \
-  bench-churn bench-perf bench-scale bench-meanfield bench-trend clean
+  invariant-smoke ckpt-smoke par-smoke meanfield-smoke hostile-smoke \
+  check ci bench bench-churn bench-perf bench-scale bench-meanfield \
+  bench-hostile bench-trend clean
 
 all: build
 
@@ -130,10 +132,33 @@ meanfield-smoke: build
 	@cmp $(MF_DIR)/a.csv $(MF_DIR)/b.csv
 	@echo "meanfield smoke OK (solver tracks the packet sim; CSV byte-identical)"
 
+# Hostile-workload determinism: the adversary-mix trace CSV must be
+# byte-identical across two invocations (no adversary draws from any
+# RNG or wall clock — RST/data injections ride a scripted
+# Faults.Timeline), and the --hostile sweep report must be
+# byte-identical across --jobs 1, 2 and 4 (each mix builds its own
+# network; worker domains are not observable).
+hostile-smoke: build
+	@mkdir -p $(HOSTILE_DIR)
+	dune exec bin/rla_sim.exe -- hostile --duration 60 \
+	  --csv $(HOSTILE_DIR)/a.csv > /dev/null
+	dune exec bin/rla_sim.exe -- hostile --duration 60 \
+	  --csv $(HOSTILE_DIR)/b.csv > /dev/null
+	@cmp $(HOSTILE_DIR)/a.csv $(HOSTILE_DIR)/b.csv
+	dune exec bin/rla_sweep.exe -- --hostile --seeds 1 --duration 60 \
+	  --warmup 20 --jobs 1 --json $(HOSTILE_DIR)/j1.json > /dev/null
+	dune exec bin/rla_sweep.exe -- --hostile --seeds 1 --duration 60 \
+	  --warmup 20 --jobs 2 --json $(HOSTILE_DIR)/j2.json > /dev/null
+	dune exec bin/rla_sweep.exe -- --hostile --seeds 1 --duration 60 \
+	  --warmup 20 --jobs 4 --json $(HOSTILE_DIR)/j4.json > /dev/null
+	@cmp $(HOSTILE_DIR)/j1.json $(HOSTILE_DIR)/j2.json
+	@cmp $(HOSTILE_DIR)/j1.json $(HOSTILE_DIR)/j4.json
+	@echo "hostile smoke OK (trace CSV and sweep JSON byte-identical)"
+
 check: build test smoke
 
 ci: lint check trace-smoke churn-smoke invariant-smoke ckpt-smoke \
-  par-smoke meanfield-smoke bench-trend
+  par-smoke meanfield-smoke hostile-smoke bench-trend
 
 bench:
 	dune exec bench/main.exe
@@ -155,6 +180,18 @@ bench-perf: build
 bench-scale: build
 	dune exec bench/scale.exe -- BENCH_scale.json
 
+# Hostile adversary-mix bench: fig-6 case 3 under every adversary mix
+# (none / non-backoff / ack division / optimistic ack / blind RST),
+# rewritten to BENCH_hostile.json with one line appended to
+# BENCH_hostile_history.jsonl.  The report is byte-identical at any
+# --jobs (metrics scrubbed; events/s uses simulated seconds), so the
+# file is diffable in review and the trend gate never sees machine
+# noise — only event-count drift.
+bench-hostile: build
+	dune exec bin/rla_sweep.exe -- --hostile --seeds 1 --duration 120 \
+	  --warmup 40 --jobs 4 --json BENCH_hostile.json
+	cat BENCH_hostile.json >> BENCH_hostile_history.jsonl
+
 # Mean-field regime map: the (w_q, max_p, n) grid up to n = 10^6,
 # rewritten to BENCH_meanfield.json.  Byte-identical at any --jobs
 # (the payload pins jobs/wall_s), so the file is diffable in review.
@@ -169,6 +206,7 @@ bench-meanfield: build
 bench-trend: build
 	dune exec bench/trend.exe -- BENCH_perf.json BENCH_perf_history.jsonl
 	dune exec bench/trend.exe -- BENCH_scale.json BENCH_scale_history.jsonl
+	dune exec bench/trend.exe -- BENCH_hostile.json BENCH_hostile_history.jsonl
 
 clean:
 	dune clean

@@ -212,6 +212,51 @@ let run_baseline ~duration ~seed =
   let results = Experiments.Baseline_fairness.run_matrix ~duration ~seed () in
   Experiments.Report.print_baseline_matrix ppf results
 
+(* Adversary mixes on the fig-6 tree (every mix) plus a small k-ary
+   scale tree (honest + non-backoff), all deterministic; --csv writes
+   the fixed-precision trace that `make hostile-smoke` byte-compares
+   across runs and --jobs values. *)
+let run_hostile ~duration ~seed ~csv =
+  let warmup = Float.min 100.0 (duration /. 3.0) in
+  let fig6 =
+    List.map
+      (fun mix ->
+        Experiments.Hostile.run
+          {
+            (Experiments.Hostile.default_config ~mix) with
+            Experiments.Hostile.duration;
+            warmup;
+            seed;
+          })
+      Experiments.Hostile.all_mixes
+  in
+  let kary =
+    List.map
+      (fun mix ->
+        Experiments.Hostile.run
+          {
+            (Experiments.Hostile.default_config ~mix) with
+            Experiments.Hostile.topology =
+              Experiments.Hostile.Kary { fanout = 3; depth = 2 };
+            duration;
+            warmup;
+            seed;
+          })
+      [ Experiments.Hostile.Honest; Experiments.Hostile.Nonbackoff ]
+  in
+  let results = fig6 @ kary in
+  Experiments.Hostile.print ppf results;
+  match csv with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Experiments.Hostile.csv_header ^ "\n");
+      List.iter
+        (fun r -> output_string oc (Experiments.Hostile.to_csv_row r ^ "\n"))
+        results;
+      close_out oc;
+      Format.fprintf ppf "hostile trace written to %s@." path
+
 (* Mean-field tier: integrate the ODE system at one regime-map point
    and emit the trajectory (CSV to --csv, summary to stdout). *)
 let run_meanfield ~mf_n ~mf_w_q ~mf_max_p ~csv =
@@ -303,6 +348,7 @@ let experiments =
     ("eq1", `Eq1);
     ("prop", `Prop);
     ("baseline", `Baseline);
+    ("hostile", `Hostile);
     ("churn", `Churn);
     ("ablate", `Ablate);
     ("meanfield", `Meanfield);
@@ -330,6 +376,7 @@ let dispatch which ~duration ~mf_tol ~seed ~steps ~ckpt ~shards ~fanout ~depth
   | `Eq1 -> run_eq1 ~duration ~seed
   | `Prop -> run_prop ~seed ~steps
   | `Baseline -> run_baseline ~duration ~seed
+  | `Hostile -> run_hostile ~duration ~seed ~csv
   | `Churn -> run_churn ~duration ~seed
   | `Ablate -> run_ablate ~duration ~seed
   | `Meanfield -> run_meanfield ~mf_n ~mf_w_q ~mf_max_p ~csv
@@ -419,7 +466,10 @@ let mf_max_p_arg =
   Arg.(value & opt float 0.1 & info [ "mf-max-p" ] ~docv:"P" ~doc)
 
 let csv_arg =
-  let doc = "Write the $(b,meanfield) trajectory CSV to $(docv)." in
+  let doc =
+    "Write the $(b,meanfield) trajectory (or $(b,hostile) trace) CSV to \
+     $(docv)."
+  in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
 let ckpt_every_arg =

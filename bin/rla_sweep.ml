@@ -166,6 +166,61 @@ let run_meanfield_sweep ~jobs ~json_path =
   Runner.Report.write_file ~path:json_path json;
   Format.fprintf ppf "wrote %s@." json_path
 
+(* --- hostile adversary-mix sweep ------------------------------------ *)
+
+let hostile_payload (o : Experiments.Hostile.result Runner.Pool.outcome) =
+  match Experiments.Hostile.to_json o.Runner.Pool.value with
+  | Runner.Json.Obj fields -> fields
+  | json -> [ ("hostile", json) ]
+
+(* Every adversary is deterministic (no RNG draws, scripted
+   injections), so the report is scrubbed to simulation-derived
+   numbers only — BENCH_hostile.json is byte-identical for every
+   --jobs value, and the no-adversary row runs the exact Sharing
+   pipeline. *)
+let run_hostile_sweep ~seed_list ~jobs ~duration ~warmup ~json_path =
+  let raw =
+    Experiments.Hostile.sweep ~mixes:Experiments.Hostile.all_mixes
+      ~case_index:3 ~duration ~warmup ~seeds:seed_list ~jobs ()
+  in
+  (* Trend rows: events-fired per *simulated* second — the event count
+     is a property of the run, not the machine, so the doc stays
+     byte-identical across --jobs (no cores key, no wall clock). *)
+  let scenario_rows =
+    List.map
+      (fun (o : Experiments.Hostile.result Runner.Pool.outcome) ->
+        Runner.Json.Obj
+          [
+            ("name", Runner.Json.String o.Runner.Pool.label);
+            ( "events_per_s",
+              Runner.Json.Float
+                (float_of_int o.Runner.Pool.metrics.Runner.Metrics.events_fired
+                /. duration) );
+          ])
+      raw
+  in
+  let outcomes =
+    List.map
+      (fun o -> { o with Runner.Pool.metrics = Runner.Metrics.zero })
+      raw
+  in
+  Experiments.Hostile.print ppf
+    (List.map (fun o -> o.Runner.Pool.value) outcomes);
+  let json =
+    Runner.Report.sweep_json ~name:"rla_sweep_hostile" ~jobs:0 ~wall_s:0.0
+      ~extra:
+        [
+          ("duration_s", Runner.Json.Float duration);
+          ("warmup_s", Runner.Json.Float warmup);
+          ( "seed",
+            Runner.Json.Int (match seed_list with s :: _ -> s | [] -> 1) );
+          ("scenarios", Runner.Json.List scenario_rows);
+        ]
+      hostile_payload outcomes
+  in
+  Runner.Report.write_file ~path:json_path json;
+  Format.fprintf ppf "wrote %s@." json_path
+
 (* --- sharded-scaling sweep ------------------------------------------ *)
 
 let parse_shards s =
@@ -444,12 +499,27 @@ let run_plain_sweep ~case_indices ~seed_list ~gateway ~jobs ~duration ~warmup
   end
 
 let run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn ~scale
-    ~meanfield ~shards ~fanout ~depth ~json_path ~resume ~halt_after
+    ~meanfield ~hostile ~shards ~fanout ~depth ~json_path ~resume ~halt_after
     ~deterministic =
   if duration <= 0.0 then raise (Invalid_argument "--duration: must be > 0");
   if warmup < 0.0 || warmup >= duration then
     raise (Invalid_argument "--warmup: must be in [0, duration)");
-  if meanfield then begin
+  if hostile then begin
+    if churn || scale || meanfield || resume || halt_after <> None
+       || deterministic
+    then
+      raise
+        (Invalid_argument
+           "--hostile combines only with --seeds/--seed/--jobs, \
+            --duration/--warmup and --json (the report is always \
+            deterministic)");
+    if seeds < 1 then raise (Invalid_argument "--seeds: must be >= 1");
+    if jobs < 1 then raise (Invalid_argument "--jobs: must be >= 1");
+    let seed_list = List.init seeds (fun k -> seed + k) in
+    let json_path = Option.value json_path ~default:"BENCH_hostile.json" in
+    run_hostile_sweep ~seed_list ~jobs ~duration ~warmup ~json_path
+  end
+  else if meanfield then begin
     if churn || scale || resume || halt_after <> None || deterministic then
       raise
         (Invalid_argument
@@ -576,6 +646,17 @@ let meanfield_arg =
   in
   Arg.(value & flag & info [ "meanfield" ] ~doc)
 
+let hostile_arg =
+  let doc =
+    "Sweep the hostile-workload scenario (fig-6 case 3 under every \
+     adversary mix: none, non-backoff blast, ack division, optimistic \
+     acking, blind RST injection) instead of the plain sharing cases.  \
+     The report defaults to $(b,BENCH_hostile.json) and is \
+     byte-identical at any --jobs; the no-adversary row matches the \
+     plain Sharing numbers exactly."
+  in
+  Arg.(value & flag & info [ "hostile" ] ~doc)
+
 let churn_arg =
   let doc =
     "Run the fault-injection churn scenario (default script: leaf-link \
@@ -625,19 +706,19 @@ let cmd =
   let term =
     Term.(
       const (fun cases seeds seed gateway jobs duration warmup churn scale
-                 meanfield shards fanout depth json_path resume halt_after
-                 deterministic ->
+                 meanfield hostile shards fanout depth json_path resume
+                 halt_after deterministic ->
           try
             run ~cases ~seeds ~seed ~gateway ~jobs ~duration ~warmup ~churn
-              ~scale ~meanfield ~shards ~fanout ~depth ~json_path ~resume
-              ~halt_after ~deterministic
+              ~scale ~meanfield ~hostile ~shards ~fanout ~depth ~json_path
+              ~resume ~halt_after ~deterministic
           with Invalid_argument msg ->
             Format.eprintf "rla_sweep: %s@." msg;
             Stdlib.exit 2)
       $ cases_arg $ seeds_arg $ seed_arg $ gateway_arg $ jobs_arg
       $ duration_arg $ warmup_arg $ churn_arg $ scale_arg $ meanfield_arg
-      $ shards_arg $ fanout_arg $ depth_arg $ json_arg $ resume_arg
-      $ halt_after_arg $ deterministic_arg)
+      $ hostile_arg $ shards_arg $ fanout_arg $ depth_arg $ json_arg
+      $ resume_arg $ halt_after_arg $ deterministic_arg)
   in
   Cmd.v (Cmd.info "rla_sweep" ~doc) term
 

@@ -45,9 +45,10 @@ let faults_spec = function
   | Some spec -> (
       match Faults.Timeline.of_spec spec with
       | Ok t -> Some (Experiments.Churn.Scripted t)
-      | Error msg ->
+      | Error err ->
           Format.eprintf "rla_trace: bad --faults spec: %s@.(grammar: %s)@."
-            msg Faults.Timeline.spec_grammar;
+            (Faults.Timeline.parse_error_to_string err)
+            Faults.Timeline.spec_grammar;
           Stdlib.exit 2)
 
 let dump_outputs ~csv ~json registry =

@@ -1,4 +1,7 @@
-let version = 1
+(* Version 2: Tcp_ack carries an advertised-window field; the TCP
+   sender/receiver sections grew handshake, flow-control and RFC 5961
+   state; fault timelines gained blind-injection events. *)
+let version = 2
 
 let magic = "RLACKPT1"
 

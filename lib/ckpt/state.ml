@@ -85,12 +85,13 @@ let w_payload b = function
       w_int b 1;
       w_int b seq;
       w_f64 b sent_at
-  | Tcp.Wire.Tcp_ack { cum_ack; blocks; echo; ece } ->
+  | Tcp.Wire.Tcp_ack { cum_ack; blocks; echo; ece; rwnd } ->
       w_int b 2;
       w_int b cum_ack;
       w_list w_sack_block b blocks;
       w_f64 b echo;
-      w_bool b ece
+      w_bool b ece;
+      w_int b rwnd
   | Rla.Wire.Rla_data { seq; sent_at; rexmit } ->
       w_int b 3;
       w_int b seq;
@@ -103,6 +104,22 @@ let w_payload b = function
       w_list w_sack_block b blocks;
       w_f64 b echo;
       w_bool b ece
+  | Tcp.Wire.Tcp_syn { options; sent_at } ->
+      w_int b 5;
+      w_int b options;
+      w_f64 b sent_at
+  | Tcp.Wire.Tcp_syn_ack { options; rwnd; sent_at } ->
+      w_int b 6;
+      w_int b options;
+      w_int b rwnd;
+      w_f64 b sent_at
+  | Tcp.Wire.Tcp_rst { seq } ->
+      w_int b 7;
+      w_int b seq
+  | Tcp.Wire.Tcp_probe { seq; sent_at } ->
+      w_int b 8;
+      w_int b seq;
+      w_f64 b sent_at
   | _ -> invalid_arg "Ckpt.State: unknown packet payload extension"
 
 let r_payload r =
@@ -117,7 +134,8 @@ let r_payload r =
       let blocks = r_list r_sack_block r in
       let echo = r_f64 r in
       let ece = r_bool r in
-      Tcp.Wire.Tcp_ack { cum_ack; blocks; echo; ece }
+      let rwnd = r_int r in
+      Tcp.Wire.Tcp_ack { cum_ack; blocks; echo; ece; rwnd }
   | 3 ->
       let seq = r_int r in
       let sent_at = r_f64 r in
@@ -130,6 +148,20 @@ let r_payload r =
       let echo = r_f64 r in
       let ece = r_bool r in
       Rla.Wire.Rla_ack { rcvr; cum_ack; blocks; echo; ece }
+  | 5 ->
+      let options = r_int r in
+      let sent_at = r_f64 r in
+      Tcp.Wire.Tcp_syn { options; sent_at }
+  | 6 ->
+      let options = r_int r in
+      let rwnd = r_int r in
+      let sent_at = r_f64 r in
+      Tcp.Wire.Tcp_syn_ack { options; rwnd; sent_at }
+  | 7 -> Tcp.Wire.Tcp_rst { seq = r_int r }
+  | 8 ->
+      let seq = r_int r in
+      let sent_at = r_f64 r in
+      Tcp.Wire.Tcp_probe { seq; sent_at }
   | n -> raise (Parse (Printf.sprintf "bad payload tag %d" n))
 
 let w_packet b (p : Net.Packet.t) =
@@ -328,7 +360,19 @@ let w_tcp_receiver b (s : Tcp.Receiver.state) =
   w_list w_int b s.s_recent;
   w_int b s.s_expected;
   w_int b s.s_received_total;
-  w_int b s.s_duplicates
+  w_int b s.s_duplicates;
+  w_f64 b s.s_t0;
+  w_int b s.s_wscale;
+  w_bool b s.s_sack_ok;
+  w_bool b s.s_rst_strict;
+  w_bool b s.s_closed;
+  w_bool b s.s_syn_received;
+  w_int b s.s_rst_accepted;
+  w_int b s.s_rst_challenged;
+  w_int b s.s_rst_dropped;
+  w_int b s.s_challenge_acks;
+  w_int b s.s_ghost_data;
+  w_int b s.s_probes_received
 
 let r_tcp_receiver r =
   let s_ooo = r_list r_int r in
@@ -336,7 +380,37 @@ let r_tcp_receiver r =
   let s_expected = r_int r in
   let s_received_total = r_int r in
   let s_duplicates = r_int r in
-  { Tcp.Receiver.s_ooo; s_recent; s_expected; s_received_total; s_duplicates }
+  let s_t0 = r_f64 r in
+  let s_wscale = r_int r in
+  let s_sack_ok = r_bool r in
+  let s_rst_strict = r_bool r in
+  let s_closed = r_bool r in
+  let s_syn_received = r_bool r in
+  let s_rst_accepted = r_int r in
+  let s_rst_challenged = r_int r in
+  let s_rst_dropped = r_int r in
+  let s_challenge_acks = r_int r in
+  let s_ghost_data = r_int r in
+  let s_probes_received = r_int r in
+  {
+    Tcp.Receiver.s_ooo;
+    s_recent;
+    s_expected;
+    s_received_total;
+    s_duplicates;
+    s_t0;
+    s_wscale;
+    s_sack_ok;
+    s_rst_strict;
+    s_closed;
+    s_syn_received;
+    s_rst_accepted;
+    s_rst_challenged;
+    s_rst_dropped;
+    s_challenge_acks;
+    s_ghost_data;
+    s_probes_received;
+  }
 
 let w_tcp_sender b (s : Tcp.Sender.state) =
   w_scoreboard b s.Tcp.Sender.s_sb;
@@ -360,7 +434,15 @@ let w_tcp_sender b (s : Tcp.Sender.state) =
   w_int b s.s_meas_retransmits;
   w_int b s.s_meas_window_cuts;
   w_int b s.s_meas_timeouts;
-  w_option w_f64 b s.s_completed_at
+  w_option w_f64 b s.s_completed_at;
+  w_bool b s.s_established;
+  w_int b s.s_syn_sent;
+  w_int b s.s_neg_wscale;
+  w_int b s.s_rwnd_field;
+  w_option w_int b s.s_persist_timer;
+  w_int b s.s_persist_shift;
+  w_int b s.s_zero_window_probes;
+  w_int b s.s_ghost_acks
 
 let r_tcp_sender r =
   let s_sb = r_scoreboard r in
@@ -385,6 +467,14 @@ let r_tcp_sender r =
   let s_meas_window_cuts = r_int r in
   let s_meas_timeouts = r_int r in
   let s_completed_at = r_option r_f64 r in
+  let s_established = r_bool r in
+  let s_syn_sent = r_int r in
+  let s_neg_wscale = r_int r in
+  let s_rwnd_field = r_int r in
+  let s_persist_timer = r_option r_int r in
+  let s_persist_shift = r_int r in
+  let s_zero_window_probes = r_int r in
+  let s_ghost_acks = r_int r in
   {
     Tcp.Sender.s_sb;
     s_rto;
@@ -408,6 +498,14 @@ let r_tcp_sender r =
     s_meas_window_cuts;
     s_meas_timeouts;
     s_completed_at;
+    s_established;
+    s_syn_sent;
+    s_neg_wscale;
+    s_rwnd_field;
+    s_persist_timer;
+    s_persist_shift;
+    s_zero_window_probes;
+    s_ghost_acks;
   }
 
 (* --- rla ------------------------------------------------------------ *)
@@ -716,6 +814,16 @@ let w_fault_event b = function
   | Faults.Timeline.Flow_stop { id } ->
       w_int b 7;
       w_int b id
+  | Faults.Timeline.Rst_inject { flow; dst; seq } ->
+      w_int b 8;
+      w_int b flow;
+      w_int b dst;
+      w_int b seq
+  | Faults.Timeline.Data_inject { flow; dst; seq } ->
+      w_int b 9;
+      w_int b flow;
+      w_int b dst;
+      w_int b seq
 
 let r_fault_event r =
   match r_int r with
@@ -736,6 +844,16 @@ let r_fault_event r =
       let dst = r_int r in
       Faults.Timeline.Flow_start { id; dst }
   | 7 -> Faults.Timeline.Flow_stop { id = r_int r }
+  | 8 ->
+      let flow = r_int r in
+      let dst = r_int r in
+      let seq = r_int r in
+      Faults.Timeline.Rst_inject { flow; dst; seq }
+  | 9 ->
+      let flow = r_int r in
+      let dst = r_int r in
+      let seq = r_int r in
+      Faults.Timeline.Data_inject { flow; dst; seq }
   | n -> raise (Parse (Printf.sprintf "bad fault-event tag %d" n))
 
 let w_applied b (a : Faults.Injector.applied) =

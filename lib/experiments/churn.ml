@@ -24,6 +24,7 @@ type epoch = {
   rla_send_rate : float;
   wtcp_send_rate : float;
   ratio : float;
+  jain : float;
   bounds : float * float;
   essentially_fair : bool;
   n_active : int;
@@ -141,6 +142,8 @@ let run_with_net ?registry (config : config) =
                   Hashtbl.remove live_flows id;
                   incr flows_stopped;
                   true);
+          on_rst_inject = (fun ~flow:_ ~dst:_ ~seq:_ -> false);
+          on_data_inject = (fun ~flow:_ ~dst:_ ~seq:_ -> false);
           membership =
             (fun () -> List.length (Rla.Sender.active_receivers rla));
         }
@@ -190,12 +193,14 @@ let run_with_net ?registry (config : config) =
         (* Clamp at zero: differencing two rate x span products can go
            epsilon-negative for a flow that was idle all epoch. *)
         let rla_send_rate = Float.max 0.0 ((rla_cum -. rla_prev) /. dt) in
-        let wtcp_send_rate =
-          List.fold_left2
-            (fun acc (_, cum) (_, cum_prev) ->
-              Float.min acc (Float.max 0.0 ((cum -. cum_prev) /. dt)))
-            infinity tcp_cums tcp_prevs
+        let tcp_rates =
+          List.map2
+            (fun (_, cum) (_, cum_prev) ->
+              Float.max 0.0 ((cum -. cum_prev) /. dt))
+            tcp_cums tcp_prevs
         in
+        let wtcp_send_rate = List.fold_left Float.min infinity tcp_rates in
+        let jain = Rla.Fairness.jain (rla_send_rate :: tcp_rates) in
         let n_active = List.length (Rla.Sender.active_receivers rla) in
         let ratio =
           Rla.Fairness.measured_ratio ~rla_throughput:rla_send_rate
@@ -213,6 +218,7 @@ let run_with_net ?registry (config : config) =
           rla_send_rate;
           wtcp_send_rate;
           ratio;
+          jain;
           bounds;
           essentially_fair;
           n_active;
@@ -288,14 +294,16 @@ let print ppf (result : result) =
      flows started/stopped@,@,"
     result.injected result.skipped result.outages result.downtime
     result.flows_started result.flows_stopped;
-  Fmt.pf ppf "%-16s %6s %9s %9s %7s %13s %5s  %s@,"
-    "epoch [s]" "n_act" "rla p/s" "wtcp p/s" "ratio" "bounds" "fair?" "events";
+  Fmt.pf ppf "%-16s %6s %9s %9s %7s %6s %13s %5s  %s@,"
+    "epoch [s]" "n_act" "rla p/s" "wtcp p/s" "ratio" "jain" "bounds" "fair?"
+    "events";
   List.iter
     (fun e ->
       let lo, hi = e.bounds in
-      Fmt.pf ppf "%7.1f-%-8.1f %6d %9.2f %9.2f %7.2f [%4.2f,%6.2f] %5s  %s@,"
+      Fmt.pf ppf
+        "%7.1f-%-8.1f %6d %9.2f %9.2f %7.2f %6.3f [%4.2f,%6.2f] %5s  %s@,"
         e.t_start e.t_end e.n_active e.rla_send_rate e.wtcp_send_rate e.ratio
-        lo hi
+        e.jain lo hi
         (if e.essentially_fair then "yes" else "no")
         (String.concat "; " e.events))
     result.epochs;
@@ -315,6 +323,7 @@ let to_json (result : result) =
         ("rla_send_rate", Float e.rla_send_rate);
         ("wtcp_send_rate", Float e.wtcp_send_rate);
         ("ratio", Float e.ratio);
+        ("jain", Float e.jain);
         ("bound_lo", Float lo);
         ("bound_hi", Float hi);
         ("essentially_fair", Bool e.essentially_fair);

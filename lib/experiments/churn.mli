@@ -44,6 +44,9 @@ type epoch = {
   rla_send_rate : float;  (** Packets on the wire per second, this epoch. *)
   wtcp_send_rate : float;  (** Worst background TCP, this epoch. *)
   ratio : float;
+  jain : float;
+      (** Jain's index over the RLA session and every background TCP's
+          per-epoch rate (1 = perfectly equal shares). *)
   bounds : float * float;
       (** Essential-fairness bounds for the epoch's membership. *)
   essentially_fair : bool;

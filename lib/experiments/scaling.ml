@@ -25,6 +25,7 @@ type point = {
   rla_cwnd : float;
   wtcp_throughput : float;
   ratio : float;
+  jain : float;
   congestion_signals : int;
   window_cuts : int;
 }
@@ -56,12 +57,10 @@ let run_point config n =
   List.iter Tcp.Sender.reset_measurement tcps;
   Net.Network.run_until net config.duration;
   let snap = Rla.Sender.snapshot rla in
-  let wtcp =
-    List.fold_left
-      (fun acc tcp ->
-        Stdlib.min acc (Tcp.Sender.snapshot tcp).Tcp.Sender.send_rate)
-      infinity tcps
+  let tcp_rates =
+    List.map (fun tcp -> (Tcp.Sender.snapshot tcp).Tcp.Sender.send_rate) tcps
   in
+  let wtcp = List.fold_left Stdlib.min infinity tcp_rates in
   {
     n;
     rla_throughput = snap.Rla.Sender.send_rate;
@@ -70,6 +69,7 @@ let run_point config n =
     ratio =
       Rla.Fairness.measured_ratio ~rla_throughput:snap.Rla.Sender.send_rate
         ~tcp_throughput:wtcp;
+    jain = Rla.Fairness.jain (snap.Rla.Sender.send_rate :: tcp_rates);
     congestion_signals = snap.Rla.Sender.congestion_signals;
     window_cuts = snap.Rla.Sender.window_cuts;
   }
@@ -167,12 +167,12 @@ let print ppf points =
   Format.fprintf ppf
     "@.Scaling — RLA throughput must not vanish as receivers grow@.";
   Format.fprintf ppf "%s@." (String.make 72 '-');
-  Format.fprintf ppf "%6s %12s %10s %12s %8s %8s %8s@." "N" "RLA pkt/s"
-    "RLA cwnd" "WTCP pkt/s" "ratio" "#sig" "#cut";
+  Format.fprintf ppf "%6s %12s %10s %12s %8s %6s %8s %8s@." "N" "RLA pkt/s"
+    "RLA cwnd" "WTCP pkt/s" "ratio" "jain" "#sig" "#cut";
   List.iter
     (fun p ->
-      Format.fprintf ppf "%6d %12.1f %10.1f %12.1f %8.2f %8d %8d@." p.n
-        p.rla_throughput p.rla_cwnd p.wtcp_throughput p.ratio
+      Format.fprintf ppf "%6d %12.1f %10.1f %12.1f %8.2f %6.3f %8d %8d@." p.n
+        p.rla_throughput p.rla_cwnd p.wtcp_throughput p.ratio p.jain
         p.congestion_signals p.window_cuts)
     points;
   Format.fprintf ppf "%s@." (String.make 72 '-')

@@ -27,6 +27,9 @@ type point = {
   rla_cwnd : float;
   wtcp_throughput : float;
   ratio : float;
+  jain : float;
+      (** Jain's index over the RLA session and all N competing TCPs
+          (1 = perfectly equal shares). *)
   congestion_signals : int;
   window_cuts : int;
 }

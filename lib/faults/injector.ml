@@ -3,6 +3,8 @@ type handlers = {
   on_receiver_join : Net.Packet.addr -> bool;
   on_flow_start : id:int -> dst:Net.Packet.addr -> bool;
   on_flow_stop : id:int -> bool;
+  on_rst_inject : flow:int -> dst:Net.Packet.addr -> seq:int -> bool;
+  on_data_inject : flow:int -> dst:Net.Packet.addr -> seq:int -> bool;
   membership : unit -> int;
 }
 
@@ -12,6 +14,8 @@ let null_handlers =
     on_receiver_join = (fun _ -> false);
     on_flow_start = (fun ~id:_ ~dst:_ -> false);
     on_flow_stop = (fun ~id:_ -> false);
+    on_rst_inject = (fun ~flow:_ ~dst:_ ~seq:_ -> false);
+    on_data_inject = (fun ~flow:_ ~dst:_ ~seq:_ -> false);
     membership = (fun () -> 0);
   }
 
@@ -77,6 +81,8 @@ let event_value = function
   | Timeline.Set_delay (_, d) -> d
   | Timeline.Receiver_leave a | Timeline.Receiver_join a -> float_of_int a
   | Timeline.Flow_start { id; _ } | Timeline.Flow_stop { id } -> float_of_int id
+  | Timeline.Rst_inject { seq; _ } | Timeline.Data_inject { seq; _ } ->
+      float_of_int seq
 
 let event_kind = function
   | Timeline.Link_down _ -> "link_down"
@@ -87,6 +93,8 @@ let event_kind = function
   | Timeline.Receiver_join _ -> "receiver_join"
   | Timeline.Flow_start _ -> "flow_start"
   | Timeline.Flow_stop _ -> "flow_stop"
+  | Timeline.Rst_inject _ -> "rst_inject"
+  | Timeline.Data_inject _ -> "data_inject"
 
 let apply t event =
   match event with
@@ -129,6 +137,10 @@ let apply t event =
   | Timeline.Receiver_join a -> t.handlers.on_receiver_join a
   | Timeline.Flow_start { id; dst } -> t.handlers.on_flow_start ~id ~dst
   | Timeline.Flow_stop { id } -> t.handlers.on_flow_stop ~id
+  | Timeline.Rst_inject { flow; dst; seq } ->
+      t.handlers.on_rst_inject ~flow ~dst ~seq
+  | Timeline.Data_inject { flow; dst; seq } ->
+      t.handlers.on_data_inject ~flow ~dst ~seq
 
 let fire t ({ Timeline.time; event } as entry) =
   ignore (entry : Timeline.entry);

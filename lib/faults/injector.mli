@@ -27,6 +27,11 @@ type handlers = {
   on_flow_start : id:int -> dst:Net.Packet.addr -> bool;
       (** Start a competing flow under the script-scoped [id]. *)
   on_flow_stop : id:int -> bool;
+  on_rst_inject : flow:int -> dst:Net.Packet.addr -> seq:int -> bool;
+      (** Forge a blind RST into [flow] at [dst] (usually routed to an
+          [Adversary.Blind] attacker node); [false] when unhandled. *)
+  on_data_inject : flow:int -> dst:Net.Packet.addr -> seq:int -> bool;
+      (** Forge a blind junk-data segment into [flow] at [dst]. *)
   membership : unit -> int;
       (** Current active receiver count; leaves that would take it to 0
           are skipped (a session cannot lose its last receiver). *)

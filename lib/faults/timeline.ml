@@ -9,6 +9,8 @@ type event =
   | Receiver_join of Net.Packet.addr
   | Flow_start of { id : int; dst : Net.Packet.addr }
   | Flow_stop of { id : int }
+  | Rst_inject of { flow : int; dst : Net.Packet.addr; seq : int }
+  | Data_inject of { flow : int; dst : Net.Packet.addr; seq : int }
 
 type entry = { time : float; event : event }
 
@@ -31,6 +33,10 @@ let pp_event ppf = function
   | Receiver_join a -> Fmt.pf ppf "join %d" a
   | Flow_start { id; dst } -> Fmt.pf ppf "tcpstart %d->%d" id dst
   | Flow_stop { id } -> Fmt.pf ppf "tcpstop %d" id
+  | Rst_inject { flow; dst; seq } ->
+      Fmt.pf ppf "rst flow%d->%d seq %d" flow dst seq
+  | Data_inject { flow; dst; seq } ->
+      Fmt.pf ppf "inj flow%d->%d seq %d" flow dst seq
 
 let pp_entry ppf { time; event } = Fmt.pf ppf "%g:%a" time pp_event event
 
@@ -41,6 +47,9 @@ let validate_event = function
       invalid_arg "Faults.Timeline: bandwidth must be positive"
   | Set_delay (_, d) when d < 0.0 ->
       invalid_arg "Faults.Timeline: delay must be nonnegative"
+  | Rst_inject { seq; _ } | Data_inject { seq; _ } ->
+      if seq < 0 then
+        invalid_arg "Faults.Timeline: injected sequence must be nonnegative"
   | _ -> ()
 
 let scripted events =
@@ -166,7 +175,8 @@ let generate ~rng p =
 let spec_grammar =
   "TIME:down:A-B | TIME:up:A-B | TIME:bw:A-B:BPS | TIME:delay:A-B:SECS \
    | TIME:leave:ADDR | TIME:join:ADDR | TIME:tcpstart:ID:DST \
-   | TIME:tcpstop:ID, ';'-separated"
+   | TIME:tcpstop:ID | TIME:rst:FLOW:DST:SEQ | TIME:inj:FLOW:DST:SEQ, \
+   ';'-separated"
 
 let parse_link s =
   match String.split_on_char '-' s with
@@ -224,27 +234,81 @@ let parse_entry s =
           | "tcpstop", [ id ] ->
               let* id = int "flow id" id in
               Ok (Flow_stop { id })
+          | "rst", [ flow; dst; seq ] ->
+              let* flow = int "flow id" flow in
+              let* dst = int "destination" dst in
+              let* seq = int "sequence" seq in
+              if seq < 0 then Error "injected sequence must be nonnegative"
+              else Ok (Rst_inject { flow; dst; seq })
+          | "inj", [ flow; dst; seq ] ->
+              let* flow = int "flow id" flow in
+              let* dst = int "destination" dst in
+              let* seq = int "sequence" seq in
+              if seq < 0 then Error "injected sequence must be nonnegative"
+              else Ok (Data_inject { flow; dst; seq })
           | k, _ -> Error (Printf.sprintf "unknown fault event %S in %S" k s)
         in
         Ok (time, event))
   | _ -> Error (Printf.sprintf "bad fault entry %S (want TIME:EVENT:...)" s)
 
-let of_spec spec =
-  let pieces =
-    String.split_on_char ';' spec
-    |> List.map String.trim
-    |> List.filter (fun s -> s <> "")
-  in
-  if pieces = [] then Error "empty fault spec"
+type parse_error = {
+  pe_index : int;
+  pe_offset : int;
+  pe_entry : string;
+  pe_reason : string;
+}
+
+let parse_error_to_string e =
+  if e.pe_entry = "" then Fmt.str "fault spec: %s" e.pe_reason
   else
-    let rec build acc = function
-      | [] -> Ok (scripted (List.rev acc))
-      | s :: rest -> (
-          match parse_entry s with
-          | Ok e -> build (e :: acc) rest
-          | Error _ as e -> e)
-    in
-    build [] pieces
+    Fmt.str "fault spec entry %d (offset %d, %S): %s" (e.pe_index + 1)
+      e.pe_offset e.pe_entry e.pe_reason
+
+(* Split on ';' keeping each entry's byte offset in the original spec
+   (after leading whitespace), so parse errors can point at the exact
+   position of the offending entry. *)
+let split_with_offsets spec =
+  let n = String.length spec in
+  let pieces = ref [] in
+  let start = ref 0 in
+  for i = 0 to n do
+    if i = n || spec.[i] = ';' then begin
+      pieces := (!start, String.sub spec !start (i - !start)) :: !pieces;
+      start := i + 1
+    end
+  done;
+  List.rev !pieces
+  |> List.filter_map (fun (off, raw) ->
+         let trimmed = String.trim raw in
+         if trimmed = "" then None
+         else begin
+           let lead = ref 0 in
+           while
+             match raw.[!lead] with
+             | ' ' | '\t' | '\n' | '\r' -> true
+             | _ -> false
+           do
+             incr lead
+           done;
+           Some (off + !lead, trimmed)
+         end)
+
+let of_spec spec =
+  match split_with_offsets spec with
+  | [] ->
+      Error
+        { pe_index = 0; pe_offset = 0; pe_entry = ""; pe_reason = "empty fault spec" }
+  | pieces ->
+      let rec build i acc = function
+        | [] -> Ok (scripted (List.rev acc))
+        | (off, s) :: rest -> (
+            match parse_entry s with
+            | Ok e -> build (i + 1) (e :: acc) rest
+            | Error reason ->
+                Error
+                  { pe_index = i; pe_offset = off; pe_entry = s; pe_reason = reason })
+      in
+      build 0 [] pieces
 
 let to_spec t =
   String.concat ";"
@@ -258,5 +322,9 @@ let to_spec t =
          | Receiver_leave a -> Fmt.str "%g:leave:%d" time a
          | Receiver_join a -> Fmt.str "%g:join:%d" time a
          | Flow_start { id; dst } -> Fmt.str "%g:tcpstart:%d:%d" time id dst
-         | Flow_stop { id } -> Fmt.str "%g:tcpstop:%d" time id)
+         | Flow_stop { id } -> Fmt.str "%g:tcpstop:%d" time id
+         | Rst_inject { flow; dst; seq } ->
+             Fmt.str "%g:rst:%d:%d:%d" time flow dst seq
+         | Data_inject { flow; dst; seq } ->
+             Fmt.str "%g:inj:%d:%d:%d" time flow dst seq)
        t)

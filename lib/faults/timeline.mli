@@ -24,6 +24,12 @@ type event =
   | Flow_start of { id : int; dst : Net.Packet.addr }
       (** Start a competing TCP flow; [id] is script-scoped. *)
   | Flow_stop of { id : int }
+  | Rst_inject of { flow : int; dst : Net.Packet.addr; seq : int }
+      (** Blind RST forgery: spoof a reset claiming sequence [seq]
+          into [flow] at receiver [dst] (RFC 5961's threat model). *)
+  | Data_inject of { flow : int; dst : Net.Packet.addr; seq : int }
+      (** Blind data forgery: spoof a junk segment at [seq] into
+          [flow] at receiver [dst]. *)
 
 type entry = { time : float; event : event }
 
@@ -77,13 +83,26 @@ val generate : rng:Sim.Rng.t -> gen_params -> t
 
 (** {2 Spec strings (CLI)} *)
 
-val of_spec : string -> (t, string) result
+type parse_error = {
+  pe_index : int;  (** 0-based index of the offending entry. *)
+  pe_offset : int;  (** Byte offset of the entry in the spec string. *)
+  pe_entry : string;  (** The trimmed entry text ([""] for an empty spec). *)
+  pe_reason : string;
+}
+(** Typed spec-parse diagnosis: which entry failed, where it starts in
+    the input, and why. *)
+
+val parse_error_to_string : parse_error -> string
+(** Render with 1-based entry numbering for CLI error messages. *)
+
+val of_spec : string -> (t, parse_error) result
 (** Parse a [';']-separated script, e.g.
     ["120:down:5-14; 150:up:5-14; 130:leave:20; 200:join:20;
       140:tcpstart:1:15; 250:tcpstop:1"].
     Entry forms: [TIME:down:A-B], [TIME:up:A-B], [TIME:bw:A-B:BPS],
     [TIME:delay:A-B:SECS], [TIME:leave:ADDR], [TIME:join:ADDR],
-    [TIME:tcpstart:ID:DST], [TIME:tcpstop:ID]. *)
+    [TIME:tcpstart:ID:DST], [TIME:tcpstop:ID], [TIME:rst:FLOW:DST:SEQ],
+    [TIME:inj:FLOW:DST:SEQ]. *)
 
 val to_spec : t -> string
 (** Inverse of {!of_spec} (up to float formatting). *)

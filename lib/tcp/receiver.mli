@@ -1,14 +1,42 @@
 (** TCP SACK receiver endpoint.
 
-    Consumes data packets, delivers them in order (conceptually — the
-    application is an infinite sink) and acknowledges every packet with
-    the cumulative ack plus up to three SACK blocks, most recently
-    changed first, echoing the data packet's timestamp. *)
+    Consumes data packets, delivers them in order (conceptually — by
+    default the application is an infinite sink) and acknowledges every
+    packet with the cumulative ack plus up to three SACK blocks, most
+    recently changed first, echoing the data packet's timestamp.
+
+    The hardened endpoint also answers SYNs (negotiating options),
+    advertises a finite receive window when one is modeled, responds to
+    zero-window probes, and validates RST and far-out-of-window data
+    sequences per RFC 5961 — a blind injection draws a challenge ack
+    instead of tearing the connection down. *)
+
+type window = {
+  capacity : int;  (** Receive-buffer size, packets (>= 1). *)
+  app_rate : float;
+      (** Application drain rate, packets/s, as a deterministic
+          function of simulated time — no consumption events. *)
+}
 
 type t
 
-val create : net:Net.Network.t -> node:Net.Packet.addr -> flow:Net.Packet.flow -> peer:Net.Packet.addr -> t
-(** Attach a receiver for [flow] at [node], acknowledging to [peer]. *)
+val create :
+  ?window:window ->
+  ?wscale:int ->
+  ?rst_strict:bool ->
+  net:Net.Network.t ->
+  node:Net.Packet.addr ->
+  flow:Net.Packet.flow ->
+  peer:Net.Packet.addr ->
+  unit ->
+  t
+(** Attach a receiver for [flow] at [node], acknowledging to [peer].
+    Without [window] no finite window is advertised (acks carry
+    {!Wire.no_rwnd}), matching the pre-hardening behavior.  [wscale]
+    (default 0) is the shift offered at SYN time and applied to the
+    advertised field; [rst_strict] (default [true]) selects RFC 5961
+    RST validation — [false] models a legacy stack that accepts any
+    in-window RST. *)
 
 val expected : t -> int
 (** Next in-order packet expected. *)
@@ -21,12 +49,50 @@ val duplicates : t -> int
 val out_of_order_pending : t -> int
 (** Packets buffered above the in-order point. *)
 
+val closed : t -> bool
+(** An accepted RST tore the connection down; the endpoint goes
+    silent (no acks, no data processing). *)
+
+val window_scale : t -> int
+(** Effective shift after any SYN negotiation. *)
+
+val set_rst_strict : t -> bool -> unit
+(** Toggle RFC 5961 RST validation (for legacy-stack experiments). *)
+
+val rst_accepted : t -> int
+
+val rst_challenged : t -> int
+(** In-window inexact RSTs answered with a challenge ack. *)
+
+val rst_dropped : t -> int
+(** RSTs outside the receive window, silently discarded. *)
+
+val challenge_acks : t -> int
+
+val ghost_data : t -> int
+(** Data segments dropped by sequence validation (blind injection). *)
+
+val probes_received : t -> int
+(** Zero-window probes answered. *)
+
 type state = {
   s_ooo : int list;  (** out-of-order set, ascending *)
   s_recent : int list;  (** SACK block representatives, recency order *)
   s_expected : int;
   s_received_total : int;
   s_duplicates : int;
+  s_t0 : float;
+  s_wscale : int;
+  s_sack_ok : bool;
+  s_rst_strict : bool;
+  s_closed : bool;
+  s_syn_received : bool;
+  s_rst_accepted : int;
+  s_rst_challenged : int;
+  s_rst_dropped : int;
+  s_challenge_acks : int;
+  s_ghost_data : int;
+  s_probes_received : int;
 }
 
 val capture : t -> state

@@ -10,19 +10,26 @@ type t = {
 let create ?(min_rto = 1.0) ?(max_rto = 60.0) () =
   { min_rto; max_rto; srtt = 0.0; rttvar = 0.0; shift = 0; samples = 0 }
 
-let sample t m =
+let sample ?(rexmitted = false) t m =
   if m < 0.0 then invalid_arg "Rto.sample: negative RTT";
-  if t.samples = 0 then begin
-    t.srtt <- m;
-    t.rttvar <- m /. 2.0
+  (* Karn's algorithm: a measurement taken over a retransmitted
+     sequence range is ambiguous (the ack may answer either
+     transmission), so it must neither update the estimator nor relax
+     an in-force backoff.  The timestamp echo makes most samples
+     unambiguous; callers flag the ones that are not. *)
+  if not rexmitted then begin
+    if t.samples = 0 then begin
+      t.srtt <- m;
+      t.rttvar <- m /. 2.0
+    end
+    else begin
+      let err = m -. t.srtt in
+      t.srtt <- t.srtt +. (err /. 8.0);
+      t.rttvar <- t.rttvar +. ((abs_float err -. t.rttvar) /. 4.0)
+    end;
+    t.samples <- t.samples + 1;
+    t.shift <- 0
   end
-  else begin
-    let err = m -. t.srtt in
-    t.srtt <- t.srtt +. (err /. 8.0);
-    t.rttvar <- t.rttvar +. ((abs_float err -. t.rttvar) /. 4.0)
-  end;
-  t.samples <- t.samples + 1;
-  t.shift <- 0
 
 let srtt t = t.srtt
 
@@ -36,7 +43,12 @@ let timeout t =
   let v = base_timeout t *. (2.0 ** float_of_int t.shift) in
   Stdlib.min v t.max_rto
 
+(* The shift only grows while it still changes the clamped timeout, so
+   the cap is enforced structurally: once [timeout t = max_rto] the
+   shift freezes and [2.0 ** shift] can never overflow. *)
 let backoff t = if timeout t < t.max_rto then t.shift <- t.shift + 1
+
+let at_max t = timeout t >= t.max_rto
 
 let has_sample t = t.samples > 0
 

@@ -9,8 +9,11 @@ type t
 val create : ?min_rto:float -> ?max_rto:float -> unit -> t
 (** Defaults: [min_rto] 1.0 s, [max_rto] 60 s — NS2's values. *)
 
-val sample : t -> float -> unit
-(** Feed a fresh RTT measurement (seconds); resets any backoff. *)
+val sample : ?rexmitted:bool -> t -> float -> unit
+(** Feed a fresh RTT measurement (seconds); resets any backoff.
+    With [~rexmitted:true] the call is a no-op (Karn's algorithm): a
+    sample over a retransmitted range neither updates srtt/rttvar nor
+    clears the backoff shift. *)
 
 val srtt : t -> float
 (** Smoothed RTT; 0 before the first sample. *)
@@ -21,7 +24,12 @@ val timeout : t -> float
 (** Current retransmission timeout (includes backoff). *)
 
 val backoff : t -> unit
-(** Double the timeout (up to [max_rto]), as after a timer expiry. *)
+(** Double the timeout (up to [max_rto]), as after a timer expiry.
+    Once the clamped timeout reaches [max_rto] the shift freezes, so
+    repeated backoffs cannot overflow the exponent. *)
+
+val at_max : t -> bool
+(** The timeout has hit the [max_rto] ceiling. *)
 
 val has_sample : t -> bool
 

@@ -272,6 +272,23 @@ let expire_rexmits t ~before =
     !stale
   end
 
+(* Karn's-algorithm support: does the (clamped) range [lo, hi) hold a
+   retransmitted packet?  Must be asked before [process_ack] advances
+   the cumulative point — advancing clears the slots.  The scan is
+   bounded by the window, and by [rexmit_out = 0] in the common case. *)
+let range_has_rexmit t ~lo ~hi =
+  if t.rexmit_out = 0 then false
+  else begin
+    let lo = Stdlib.max lo t.high_ack and hi = Stdlib.min hi t.next_seq in
+    let found = ref false in
+    let seq = ref lo in
+    while (not !found) && !seq < hi do
+      if get_flags t !seq land f_rexmitted <> 0 then found := true;
+      incr seq
+    done;
+    !found
+  end
+
 let in_flight_window t = t.next_seq - t.high_ack
 
 let pipe t = in_flight_window t - t.sacked_cnt - t.lost_cnt + t.rexmit_out

@@ -89,6 +89,12 @@ val expire_rexmits : t -> before:float -> int list
     their sequence numbers, ascending.  Converts a lost retransmission
     into a quick re-request instead of a full timeout. *)
 
+val range_has_rexmit : t -> lo:int -> hi:int -> bool
+(** Does the window-clamped range [\[lo, hi)] contain a packet whose
+    retransmission is still outstanding?  Karn's-algorithm callers ask
+    this {e before} {!process_ack} (advancing the cumulative point
+    clears the flags) to decide whether an RTT sample is ambiguous. *)
+
 val pipe : t -> int
 (** Estimate of packets currently in flight. *)
 

@@ -7,6 +7,10 @@ type params = {
   data_size : int;
   min_rto : float;
   limit : int option;
+  handshake : bool;
+  wscale : int;
+  window : Receiver.window option;
+  karn : bool;
 }
 
 let default_params =
@@ -19,7 +23,14 @@ let default_params =
     data_size = Wire.data_size;
     min_rto = 1.0;
     limit = None;
+    handshake = false;
+    wscale = 0;
+    window = None;
+    karn = false;
   }
+
+(* Persist-timer probes back off like the RTO but cap at NS2's 60 s. *)
+let persist_max = 60.0
 
 (* Cached observability handles (see [Obs.Registry]); sampling happens
    at ack/timeout processing points only, never from scheduled events,
@@ -52,6 +63,18 @@ type t = {
      on each delivering ack, so a per-arm closure is hot-path litter. *)
   mutable timeout_thunk : unit -> unit;
   mutable start_event : Sim.Scheduler.event_id option;
+  (* connection establishment (params.handshake) *)
+  mutable established : bool;
+  mutable syn_sent : int;
+  mutable neg_wscale : int;
+  (* flow control: last advertised window field; Wire.no_rwnd = none *)
+  mutable rwnd_field : int;
+  mutable persist_timer : Sim.Scheduler.event_id option;
+  mutable persist_thunk : unit -> unit;
+  mutable persist_shift : int;
+  mutable zero_window_probes : int;
+  (* RFC 5961-style validation: acks for never-sent data, dropped *)
+  mutable ghost_acks : int;
   (* statistics *)
   cwnd_avg : Stats.Time_avg.t;
   rtt : Stats.Welford.t ref;
@@ -92,7 +115,32 @@ let rtt_stats t = !(t.rtt)
 
 let receiver t = t.receiver
 
+let established t = t.established
+
+let syn_sent t = t.syn_sent
+
+let negotiated_wscale t = t.neg_wscale
+
+let ghost_acks t = t.ghost_acks
+
+let zero_window_probes t = t.zero_window_probes
+
 let now t = Net.Network.now t.net
+
+let local_options t =
+  Options.make
+    ~mss:(Stdlib.min t.params.data_size 0xFFFF)
+    ~wscale:t.params.wscale ~sack_ok:true
+
+(* Peer receive window in packets; no advertisement means unlimited
+   (the pre-hardening behavior, and the honest default). *)
+let rwnd_pkts t =
+  if t.rwnd_field = Wire.no_rwnd then max_int
+  else t.rwnd_field lsl t.neg_wscale
+
+(* lint: hot ack_in_window -- runs once per received ack before any
+   scoreboard work; pure integer compares, no allocation *)
+let ack_in_window t ~cum_ack = cum_ack <= Scoreboard.next_seq t.sb
 
 let set_cwnd t value =
   let value = Stdlib.max 1.0 (Stdlib.min value t.params.max_cwnd) in
@@ -174,6 +222,13 @@ let cancel_timer t =
       Sim.Scheduler.cancel (Net.Network.scheduler t.net) id;
       t.timer <- None
 
+let cancel_persist t =
+  match t.persist_timer with
+  | None -> ()
+  | Some id ->
+      Sim.Scheduler.cancel (Net.Network.scheduler t.net) id;
+      t.persist_timer <- None
+
 let send_data t ~seq ~rexmit =
   let pkt =
     Net.Network.make_packet t.net ~flow:t.flow ~src:t.src
@@ -198,46 +253,104 @@ and restart_timer t =
   if Scoreboard.in_flight_window t.sb > 0 then arm_timer t
 
 and try_send t =
-  let can_send_new () =
-    match t.params.limit with
-    | None -> true
-    | Some limit -> Scoreboard.next_seq t.sb < limit
+  if t.established then begin
+    let can_send_new () =
+      (match t.params.limit with
+      | None -> true
+      | Some limit -> Scoreboard.next_seq t.sb < limit)
+      (* Flow control: unacknowledged data must fit the peer window. *)
+      && Scoreboard.in_flight_window t.sb < rwnd_pkts t
+    in
+    let budget = ref t.params.max_burst in
+    let blocked = ref false in
+    while
+      (not !blocked) && !budget > 0
+      && Scoreboard.pipe t.sb < int_of_float t.cwnd
+    do
+      (match Scoreboard.next_retransmit t.sb with
+      | Some seq ->
+          Scoreboard.mark_retransmitted t.sb seq;
+          send_data t ~seq ~rexmit:true
+      | None ->
+          if can_send_new () then begin
+            let seq = Scoreboard.register_send t.sb in
+            send_data t ~seq ~rexmit:false
+          end
+          else blocked := true);
+      decr budget
+    done;
+    if Scoreboard.in_flight_window t.sb > 0 then arm_timer t
+    else if rwnd_pkts t = 0 && t.completed_at = None then
+      (* Zero window and nothing in flight: only a probe can solicit
+         the reopening advertisement (the peer has nothing to ack). *)
+      arm_persist t
+  end
+
+and arm_persist t =
+  if t.persist_timer = None && t.completed_at = None then begin
+    let interval =
+      Stdlib.min
+        (Rto.timeout t.rto *. (2.0 ** float_of_int t.persist_shift))
+        persist_max
+    in
+    t.persist_timer <-
+      Some
+        (Sim.Scheduler.schedule_after
+           (Net.Network.scheduler t.net)
+           interval t.persist_thunk)
+  end
+
+and on_persist t =
+  if t.established && t.completed_at = None && rwnd_pkts t = 0 then begin
+    let pkt =
+      Net.Network.make_packet t.net ~flow:t.flow ~src:t.src
+        ~dst:(Net.Packet.Unicast t.dst) ~size:Wire.ack_size
+        ~payload:
+          (Wire.Tcp_probe { seq = Scoreboard.next_seq t.sb; sent_at = now t })
+    in
+    Net.Network.send t.net pkt;
+    t.zero_window_probes <- t.zero_window_probes + 1;
+    if t.persist_shift < 16 then t.persist_shift <- t.persist_shift + 1;
+    arm_persist t
+  end
+
+and send_syn t =
+  let pkt =
+    Net.Network.make_packet t.net ~flow:t.flow ~src:t.src
+      ~dst:(Net.Packet.Unicast t.dst) ~size:Wire.ack_size
+      ~payload:
+        (Wire.Tcp_syn
+           { options = Options.encode (local_options t); sent_at = now t })
   in
-  let budget = ref t.params.max_burst in
-  let blocked = ref false in
-  while
-    (not !blocked) && !budget > 0 && Scoreboard.pipe t.sb < int_of_float t.cwnd
-  do
-    (match Scoreboard.next_retransmit t.sb with
-    | Some seq ->
-        Scoreboard.mark_retransmitted t.sb seq;
-        send_data t ~seq ~rexmit:true
-    | None ->
-        if can_send_new () then begin
-          let seq = Scoreboard.register_send t.sb in
-          send_data t ~seq ~rexmit:false
-        end
-        else blocked := true);
-    decr budget
-  done;
-  if Scoreboard.in_flight_window t.sb > 0 then arm_timer t
+  t.syn_sent <- t.syn_sent + 1;
+  Net.Network.send t.net pkt;
+  arm_timer t
 
 and on_timeout t =
-  (* Timeout: halve ssthresh, collapse to one packet, resend from the
-     cumulative ack point. *)
-  if Scoreboard.in_flight_window t.sb > 0 then begin
-    t.timeouts <- t.timeouts + 1;
-    t.window_cuts <- t.window_cuts + 1;
-    t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
-    set_cwnd t 1.0;
-    probe_cut t;
-    probe_flow t;
-    Rto.backoff t.rto;
-    ignore (Scoreboard.mark_all_lost t.sb);
-    t.in_recovery <- false;
-    t.recover_point <- Scoreboard.next_seq t.sb
-  end;
-  try_send t
+  if not t.established then begin
+    (* SYN retransmission with exponential backoff. *)
+    if t.completed_at = None then begin
+      Rto.backoff t.rto;
+      send_syn t
+    end
+  end
+  else begin
+    (* Timeout: halve ssthresh, collapse to one packet, resend from the
+       cumulative ack point. *)
+    if Scoreboard.in_flight_window t.sb > 0 then begin
+      t.timeouts <- t.timeouts + 1;
+      t.window_cuts <- t.window_cuts + 1;
+      t.ssthresh <- Stdlib.max 2.0 (t.cwnd /. 2.0);
+      set_cwnd t 1.0;
+      probe_cut t;
+      probe_flow t;
+      Rto.backoff t.rto;
+      ignore (Scoreboard.mark_all_lost t.sb);
+      t.in_recovery <- false;
+      t.recover_point <- Scoreboard.next_seq t.sb
+    end;
+    try_send t
+  end
 
 let enter_recovery t =
   t.in_recovery <- true;
@@ -257,32 +370,66 @@ let check_completion t =
   match (t.params.limit, t.completed_at) with
   | Some limit, None when Scoreboard.high_ack t.sb >= limit ->
       t.completed_at <- Some (now t);
-      cancel_timer t
+      cancel_timer t;
+      cancel_persist t
   | _ -> ()
 
-let on_ack t ~cum_ack ~blocks ~echo ~ece =
-  Rto.sample t.rto (now t -. echo);
-  (match t.taps with
-  | None -> ()
-  | Some taps -> Obs.Series.add taps.srtt_s ~time:(now t) (Rto.srtt t.rto));
-  let newly, _, losses =
-    Scoreboard.process_ack t.sb ~cum_ack
-      ~blocks:
-        (List.map
-           (fun { Wire.block_lo; block_hi } -> (block_lo, block_hi))
-           blocks)
-      ~dupthresh:t.params.dupthresh
-  in
-  if newly > 0 then begin
-    restart_timer t;
-    if t.in_recovery && Scoreboard.high_ack t.sb >= t.recover_point then
-      t.in_recovery <- false;
-    if not t.in_recovery then grow_window t newly
-  end;
-  if (losses <> [] || ece) && not t.in_recovery then enter_recovery t;
-  probe_flow t;
-  check_completion t;
-  if t.completed_at = None then try_send t
+let on_ack t ~cum_ack ~blocks ~echo ~ece ~rwnd =
+  if not (ack_in_window t ~cum_ack) then
+    (* RFC 5961-flavored validation: an ack for data never sent is a
+       forgery (or an optimistic acker); drop it before it can touch
+       the estimator, the scoreboard or the window. *)
+    t.ghost_acks <- t.ghost_acks + 1
+  else begin
+    t.rwnd_field <- rwnd;
+    if rwnd <> 0 && t.persist_timer <> None then begin
+      cancel_persist t;
+      t.persist_shift <- 0
+    end;
+    (* Karn's algorithm (params.karn): an RTT sample spanning a
+       retransmitted range is ambiguous — ask before process_ack
+       clears the flags.  Challenge acks carry no echo (< 0). *)
+    let rexmitted =
+      t.params.karn
+      && Scoreboard.range_has_rexmit t.sb ~lo:(Scoreboard.high_ack t.sb)
+           ~hi:cum_ack
+    in
+    if echo >= 0.0 then Rto.sample ~rexmitted t.rto (now t -. echo);
+    (match t.taps with
+    | None -> ()
+    | Some taps -> Obs.Series.add taps.srtt_s ~time:(now t) (Rto.srtt t.rto));
+    let newly, _, losses =
+      Scoreboard.process_ack t.sb ~cum_ack
+        ~blocks:
+          (List.map
+             (fun { Wire.block_lo; block_hi } -> (block_lo, block_hi))
+             blocks)
+        ~dupthresh:t.params.dupthresh
+    in
+    if newly > 0 then begin
+      restart_timer t;
+      if t.in_recovery && Scoreboard.high_ack t.sb >= t.recover_point then
+        t.in_recovery <- false;
+      if not t.in_recovery then grow_window t newly
+    end;
+    if (losses <> [] || ece) && not t.in_recovery then enter_recovery t;
+    probe_flow t;
+    check_completion t;
+    if t.completed_at = None then try_send t
+  end
+
+let on_syn_ack t ~options ~rwnd ~sent_at =
+  if not t.established then
+    match Options.decode options with
+    | Error _ -> ()  (* unparseable SYN-ACK options: drop the segment *)
+    | Ok peer ->
+        let negotiated = Options.negotiate (local_options t) peer in
+        t.neg_wscale <- negotiated.Options.wscale;
+        t.rwnd_field <- rwnd;
+        t.established <- true;
+        Rto.sample t.rto (now t -. sent_at);
+        cancel_timer t;
+        try_send t
 
 let completed_at t = t.completed_at
 
@@ -295,12 +442,16 @@ let is_complete t = t.completed_at <> None
 let stop t =
   if t.completed_at = None then begin
     t.completed_at <- Some (now t);
-    cancel_timer t
+    cancel_timer t;
+    cancel_persist t
   end
 
 let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
   let flow = Net.Network.fresh_flow net in
-  let receiver = Receiver.create ~net ~node:dst ~flow ~peer:src in
+  let receiver =
+    Receiver.create ?window:params.window ~wscale:params.wscale ~net ~node:dst
+      ~flow ~peer:src ()
+  in
   let start = Net.Network.now net +. start_at in
   let t =
     {
@@ -319,6 +470,15 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       timer = None;
       timeout_thunk = ignore;
       start_event = None;
+      established = not params.handshake;
+      syn_sent = 0;
+      neg_wscale = (if params.handshake then 0 else params.wscale);
+      rwnd_field = Wire.no_rwnd;
+      persist_timer = None;
+      persist_thunk = ignore;
+      persist_shift = 0;
+      zero_window_probes = 0;
+      ghost_acks = 0;
       cwnd_avg = Stats.Time_avg.create ~start ~value:params.init_cwnd;
       rtt = ref (Stats.Welford.create ());
       sent_new = 0;
@@ -339,6 +499,10 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
     (fun () ->
       t.timer <- None;
       on_timeout t);
+  t.persist_thunk <-
+    (fun () ->
+      t.persist_timer <- None;
+      on_persist t);
   (match Net.Network.observer net with
   | None -> ()
   | Some reg ->
@@ -357,9 +521,11 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       probe_flow t);
   Net.Node.attach (Net.Network.node net src) ~flow (fun pkt ->
       match pkt.Net.Packet.payload with
-      | Wire.Tcp_ack { cum_ack; blocks; echo; ece } ->
-          Stats.Welford.add !(t.rtt) (now t -. echo);
-          on_ack t ~cum_ack ~blocks ~echo ~ece
+      | Wire.Tcp_ack { cum_ack; blocks; echo; ece; rwnd } ->
+          if echo >= 0.0 then Stats.Welford.add !(t.rtt) (now t -. echo);
+          on_ack t ~cum_ack ~blocks ~echo ~ece ~rwnd
+      | Wire.Tcp_syn_ack { options; rwnd; sent_at } ->
+          on_syn_ack t ~options ~rwnd ~sent_at
       | _ -> ());
   (* Random sub-RTT stagger avoids artificial start synchronisation. *)
   let stagger = Sim.Rng.float (Net.Network.fork_rng net) 0.1 in
@@ -368,7 +534,7 @@ let create ~net ~src ~dst ?(params = default_params) ?(start_at = 0.0) () =
       (Sim.Scheduler.schedule_at (Net.Network.scheduler net) (start +. stagger)
          (fun () ->
            t.start_event <- None;
-           try_send t));
+           if t.established then try_send t else send_syn t));
   t
 
 (* --- checkpoint/restore -------------------------------------------- *)
@@ -396,6 +562,14 @@ type state = {
   s_meas_window_cuts : int;
   s_meas_timeouts : int;
   s_completed_at : float option;
+  s_established : bool;
+  s_syn_sent : int;
+  s_neg_wscale : int;
+  s_rwnd_field : int;
+  s_persist_timer : Sim.Scheduler.event_id option;
+  s_persist_shift : int;
+  s_zero_window_probes : int;
+  s_ghost_acks : int;
 }
 
 let capture t =
@@ -422,6 +596,14 @@ let capture t =
     s_meas_window_cuts = t.meas_window_cuts;
     s_meas_timeouts = t.meas_timeouts;
     s_completed_at = t.completed_at;
+    s_established = t.established;
+    s_syn_sent = t.syn_sent;
+    s_neg_wscale = t.neg_wscale;
+    s_rwnd_field = t.rwnd_field;
+    s_persist_timer = t.persist_timer;
+    s_persist_shift = t.persist_shift;
+    s_zero_window_probes = t.zero_window_probes;
+    s_ghost_acks = t.ghost_acks;
   }
 
 let restore t st =
@@ -434,16 +616,27 @@ let restore t st =
   t.recover_point <- st.s_recover_point;
   t.timer <- st.s_timer;
   t.start_event <- st.s_start_event;
+  t.established <- st.s_established;
+  t.syn_sent <- st.s_syn_sent;
+  t.neg_wscale <- st.s_neg_wscale;
+  t.rwnd_field <- st.s_rwnd_field;
+  t.persist_timer <- st.s_persist_timer;
+  t.persist_shift <- st.s_persist_shift;
+  t.zero_window_probes <- st.s_zero_window_probes;
+  t.ghost_acks <- st.s_ghost_acks;
   let sched = Net.Network.scheduler t.net in
   (match st.s_timer with
   | None -> ()
   | Some id -> Sim.Scheduler.rearm sched ~id t.timeout_thunk);
+  (match st.s_persist_timer with
+  | None -> ()
+  | Some id -> Sim.Scheduler.rearm sched ~id t.persist_thunk);
   (match st.s_start_event with
   | None -> ()
   | Some id ->
       Sim.Scheduler.rearm sched ~id (fun () ->
           t.start_event <- None;
-          try_send t));
+          if t.established then try_send t else send_syn t));
   Stats.Time_avg.restore t.cwnd_avg st.s_cwnd_avg;
   Stats.Welford.restore !(t.rtt) st.s_rtt;
   t.sent_new <- st.s_sent_new;

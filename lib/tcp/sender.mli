@@ -19,12 +19,29 @@ type params = {
   limit : int option;
       (** [Some n] makes this a finite flow of [n] packets (for
           short-flow experiments); [None] sends forever. *)
+  handshake : bool;
+      (** Run a SYN / SYN-ACK exchange (with {!Options} negotiation)
+          before data; [false] starts established, the legacy
+          behavior. *)
+  wscale : int;
+      (** Window-scale shift offered at SYN time and applied to the
+          advertised-window field (RFC 7323; 0..14). *)
+  window : Receiver.window option;
+      (** Finite receive window to model at the peer; [None] keeps the
+          infinite-sink receiver (no advertisement, no flow control,
+          no zero-window probing — the legacy behavior). *)
+  karn : bool;
+      (** Karn's algorithm: discard RTT samples spanning retransmitted
+          ranges and keep the RTO backoff in force until an
+          unambiguous sample arrives. *)
 }
 
 val default_params : params
 (** cwnd 1, ssthresh 64, dupthresh 3, max_burst 4, max_cwnd 128 (a
     1998-vintage 128 KB receiver window), 1000-byte packets, min RTO
-    1.0 s, infinite data. *)
+    1.0 s, infinite data; no handshake, no window scaling, infinite
+    receive window, Karn off — every hardening feature defaults to
+    the legacy behavior so existing experiments replay byte-identically. *)
 
 type t
 
@@ -102,6 +119,28 @@ val snapshot : t -> snapshot
 
 val receiver : t -> Receiver.t
 
+val established : t -> bool
+(** [true] once the handshake completed (immediately, without one). *)
+
+val syn_sent : t -> int
+(** SYN transmissions, including backoff retries. *)
+
+val negotiated_wscale : t -> int
+(** Effective window-scale shift after negotiation (0 before). *)
+
+val ack_in_window : t -> cum_ack:int -> bool
+(** The ack-validation fast path: a cumulative ack is acceptable iff
+    it does not acknowledge data never sent ([cum_ack <= next_seq]).
+    Runs once per received ack before any scoreboard work; a failing
+    ack is counted in {!ghost_acks} and otherwise ignored, which is
+    what neutralises optimistic-ack forgery. *)
+
+val ghost_acks : t -> int
+(** Acks dropped by {!ack_in_window} validation. *)
+
+val zero_window_probes : t -> int
+(** Persist-timer probes sent against a closed peer window. *)
+
 val completed_at : t -> float option
 (** For finite flows: when the last packet was cumulatively
     acknowledged; [None] while incomplete or for infinite flows. *)
@@ -140,6 +179,14 @@ type state = {
   s_meas_window_cuts : int;
   s_meas_timeouts : int;
   s_completed_at : float option;
+  s_established : bool;
+  s_syn_sent : int;
+  s_neg_wscale : int;
+  s_rwnd_field : int;
+  s_persist_timer : Sim.Scheduler.event_id option;
+  s_persist_shift : int;
+  s_zero_window_probes : int;
+  s_ghost_acks : int;
 }
 
 val capture : t -> state

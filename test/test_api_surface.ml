@@ -420,6 +420,118 @@ let test_timeseries_times () =
        (Array.sub times 1 (Array.length times - 1)))
 
 (* ------------------------------------------------------------------ *)
+(* Adversary                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_flood_accessors () =
+  let net, a, b = build_pair () in
+  let f = Tcp.Wire.rwnd_field_bits in
+  Alcotest.(check bool) "rwnd field is a sane width" true (f > 0 && f < 16);
+  let fl = Adversary.Flood.create ~net ~src:a ~dst:b ~rate:200.0 () in
+  Alcotest.(check bool) "flow allocated" true (Adversary.Flood.flow fl >= 0);
+  check_float "configured rate" 200.0 (Adversary.Flood.rate fl);
+  Net.Network.run_until net 5.0;
+  Adversary.Flood.stop fl;
+  Net.Network.run_until net 6.0;
+  let sent = Adversary.Flood.sent fl in
+  Alcotest.(check bool)
+    (Printf.sprintf "blasted at the configured rate (%d)" sent)
+    true
+    (sent >= 900 && sent <= 1100);
+  Alcotest.(check bool) "deliveries counted at the sink" true
+    (Adversary.Flood.delivered fl > 0 && Adversary.Flood.delivered fl <= sent);
+  let frozen = Adversary.Flood.sent fl in
+  Net.Network.run_until net 8.0;
+  Alcotest.(check int) "stop freezes the blast" frozen
+    (Adversary.Flood.sent fl)
+
+let test_ackdiv_accessors () =
+  let net, a, b = build_pair () in
+  let d = Adversary.Ackdiv.create ~net ~src:a ~dst:b () in
+  Alcotest.(check bool) "flow allocated" true (Adversary.Ackdiv.flow d >= 0);
+  Net.Network.run_until net 10.0;
+  Alcotest.(check bool) "window opened past slow start" true
+    (Adversary.Ackdiv.cwnd d > 1.0);
+  let sent = Adversary.Ackdiv.sent d in
+  let delivered = Adversary.Ackdiv.delivered d in
+  Alcotest.(check bool) "progress made" true (sent > 0 && delivered > 0);
+  Alcotest.(check bool) "split acks: several per delivered packet" true
+    (Adversary.Ackdiv.acks_sent d >= 2 * delivered);
+  Alcotest.(check bool) "acks flowed back" true
+    (Adversary.Ackdiv.acks_received d > 0);
+  (* The inflated window overruns the 20-packet queue, so go-back-N
+     timeouts do fire — they just must stay rare next to the sends. *)
+  Alcotest.(check bool) "timeouts rare next to sends" true
+    (Adversary.Ackdiv.timeouts d * 10 < sent);
+  Adversary.Ackdiv.stop d;
+  Net.Network.run_until net 11.0;
+  let frozen = Adversary.Ackdiv.sent d in
+  Net.Network.run_until net 13.0;
+  Alcotest.(check int) "stop freezes the sender" frozen
+    (Adversary.Ackdiv.sent d)
+
+let test_optack_accessors () =
+  let net, a, b = build_pair () in
+  let flow = Net.Network.fresh_flow net in
+  let opt = Adversary.Optack.hijack ~net ~node:b ~flow ~peer:a () in
+  let send seq =
+    Net.Network.send net
+      (Net.Network.make_packet net ~flow ~src:a ~dst:(Net.Packet.Unicast b)
+         ~size:1000
+         ~payload:(Tcp.Wire.Tcp_data { seq; sent_at = Net.Network.now net }))
+  in
+  (* A gap at 1: the optimistic acker claims past it anyway. *)
+  send 0;
+  send 2;
+  Net.Network.run_until net 1.0;
+  Alcotest.(check int) "both arrivals counted" 2 (Adversary.Optack.received opt);
+  Alcotest.(check int) "one ack per arrival" 2 (Adversary.Optack.acks_sent opt);
+  Alcotest.(check int) "claims max_seen + 1, concealing the hole" 3
+    (Adversary.Optack.claimed opt)
+
+let test_hostile_names_and_job () =
+  List.iter
+    (fun mix ->
+      let name = Experiments.Hostile.mix_name mix in
+      Alcotest.(check bool)
+        (Printf.sprintf "mix name %s round-trips" name)
+        true
+        (Experiments.Hostile.mix_of_string name = Some mix))
+    Experiments.Hostile.all_mixes;
+  Alcotest.(check bool) "unknown mix rejected" true
+    (Experiments.Hostile.mix_of_string "nonsense" = None);
+  let cfg =
+    {
+      (Experiments.Hostile.default_config ~mix:Experiments.Hostile.Honest) with
+      Experiments.Hostile.topology =
+        Experiments.Hostile.Kary { fanout = 2; depth = 2 };
+      duration = 20.0;
+      warmup = 5.0;
+    }
+  in
+  Alcotest.(check bool) "topology name mentions the shape" true
+    (contains ~sub:"2"
+       (Experiments.Hostile.topology_name cfg.Experiments.Hostile.topology));
+  let job = Experiments.Hostile.job ~label:"api" cfg in
+  Alcotest.(check string) "job keeps its label" "api" (Runner.Job.label job);
+  match Runner.Job.run job with
+  | Some _net, by_job ->
+      (* run_with_net exposes the network the pool's metric reads. *)
+      let net, direct = Experiments.Hostile.run_with_net cfg in
+      Alcotest.(check bool) "network ran to the horizon" true
+        (Net.Network.now net >= 20.0);
+      Alcotest.(check bool) "job and direct runs agree" true (by_job = direct);
+      (* The blind injector's data counter (the rst mix covers the RST
+         path): two spoofed segments, counted as sent. *)
+      let inj = Adversary.Blind.create ~net ~src:0 () in
+      let flow = Net.Network.fresh_flow net in
+      Adversary.Blind.data inj ~flow ~dst:1 ~seq:1_000;
+      Adversary.Blind.data inj ~flow ~dst:1 ~seq:2_000;
+      Alcotest.(check int) "spoofed data counted" 2
+        (Adversary.Blind.data_sent inj)
+  | None, _ -> Alcotest.fail "hostile job must carry its network"
+
+(* ------------------------------------------------------------------ *)
 (* Faults                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -608,6 +720,14 @@ let () =
           Alcotest.test_case "short-flow background names" `Quick
             test_short_flows_background_name;
           Alcotest.test_case "timeseries times" `Quick test_timeseries_times;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "flood accessors" `Quick test_flood_accessors;
+          Alcotest.test_case "ackdiv accessors" `Quick test_ackdiv_accessors;
+          Alcotest.test_case "optack accessors" `Quick test_optack_accessors;
+          Alcotest.test_case "hostile names and job" `Quick
+            test_hostile_names_and_job;
         ] );
       ( "faults",
         [

@@ -216,6 +216,18 @@ let prop_scoreboard_codec_round_trip =
               s_expected = 4;
               s_received_total = 11;
               s_duplicates = 1;
+              s_t0 = 0.0;
+              s_wscale = 2;
+              s_sack_ok = true;
+              s_rst_strict = true;
+              s_closed = false;
+              s_syn_received = true;
+              s_rst_accepted = 0;
+              s_rst_challenged = 1;
+              s_rst_dropped = 2;
+              s_challenge_acks = 1;
+              s_ghost_data = 0;
+              s_probes_received = 3;
             };
           s_cwnd = 3.5;
           s_ssthresh = 8.0;
@@ -237,6 +249,14 @@ let prop_scoreboard_codec_round_trip =
           s_meas_window_cuts = 0;
           s_meas_timeouts = 0;
           s_completed_at = None;
+          s_established = true;
+          s_syn_sent = 1;
+          s_neg_wscale = 2;
+          s_rwnd_field = 17;
+          s_persist_timer = Some 23;
+          s_persist_shift = 1;
+          s_zero_window_probes = 4;
+          s_ghost_acks = 2;
         }
       in
       Ckpt.State.w_tcp_sender buf st_wrapped;
@@ -254,10 +274,12 @@ let gen_packet =
     let* size = int_range 40 1500 in
     let* born = float_bound_inclusive 300.0 in
     let* ecn = bool in
-    let* tag = int_bound 4 in
+    let* tag = int_bound 8 in
     let* seq = int_bound 5000 in
     let* sent_at = float_bound_inclusive 300.0 in
     let* rexmit = bool in
+    let* rwnd_raw = int_bound 64 in
+    let rwnd = rwnd_raw - 1 in
     let payload =
       match tag with
       | 0 -> Net.Packet.Raw
@@ -269,8 +291,15 @@ let gen_packet =
               blocks = [ { Tcp.Wire.block_lo = seq + 2; block_hi = seq + 4 } ];
               echo = sent_at;
               ece = rexmit;
+              rwnd;
             }
       | 3 -> Rla.Wire.Rla_data { seq; sent_at; rexmit }
+      | 5 -> Tcp.Wire.Tcp_syn { options = seq land 0x1FFFFF; sent_at }
+      | 6 ->
+          Tcp.Wire.Tcp_syn_ack
+            { options = seq land 0x1FFFFF; rwnd = rwnd_raw; sent_at }
+      | 7 -> Tcp.Wire.Tcp_rst { seq }
+      | 8 -> Tcp.Wire.Tcp_probe { seq; sent_at }
       | _ ->
           Rla.Wire.Rla_ack
             {
@@ -633,6 +662,97 @@ let test_save_load_resume_equivalent () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Sys.rmdir dir
 
+(* --- hardened TCP endpoint: restore at T/2 is byte-identical --------- *)
+
+(* Every PR 10 sender/receiver feature at once — handshake with window
+   scaling, a finite receive window (persist timer + zero-window
+   probes), Karn's algorithm, strict RFC 5961 validation — plus one
+   challenged RST and one ghosted data injection before the capture
+   point.  A run interrupted at T/2 and restored into a fresh build
+   must end at T with exactly the reference run's state. *)
+let hardened_fixture () =
+  let net = Net.Network.create ~seed:13 () in
+  let a = Net.Node.id (Net.Network.add_node net) in
+  let b = Net.Node.id (Net.Network.add_node net) in
+  ignore
+    (Net.Network.duplex net a b
+       {
+         Net.Link.bandwidth_bps = 10_000.0 *. 8000.0;
+         prop_delay = 0.01;
+         queue = Net.Queue_disc.Droptail;
+         capacity = 200;
+         phase_jitter = false;
+       });
+  Net.Network.install_routes net;
+  let params =
+    {
+      Tcp.Sender.default_params with
+      Tcp.Sender.handshake = true;
+      wscale = 3;
+      window = Some { Tcp.Receiver.capacity = 8; app_rate = 20.0 };
+      karn = true;
+    }
+  in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b ~params () in
+  (net, a, b, tcp)
+
+(* Drive the fixture to [until], injecting one in-window RST and one
+   far-out-of-window data segment at t=2 (both before any capture
+   point this test uses). *)
+let hardened_drive (net, a, b, tcp) ~until =
+  Net.Network.run_until net (Stdlib.min 2.0 until);
+  if until >= 2.0 then begin
+    let flow = Tcp.Sender.flow tcp in
+    let rcv = Tcp.Sender.receiver tcp in
+    let send payload size =
+      Net.Network.send net
+        (Net.Network.make_packet net ~flow ~src:a ~dst:(Net.Packet.Unicast b)
+           ~size ~payload)
+    in
+    (* In-window for the 8-packet validation window, ahead of the ~20
+       pkt/s drain-throttled in-order point during the 10 ms flight. *)
+    send
+      (Tcp.Wire.Tcp_rst { seq = Tcp.Receiver.expected rcv + 4 })
+      Tcp.Wire.ack_size;
+    send (Tcp.Wire.Tcp_data { seq = 50_000_000; sent_at = 2.0 }) 1000;
+    Net.Network.run_until net until
+  end
+
+let test_hardened_endpoint_restore_at_half () =
+  let t_full = 20.0 and t_half = 10.0 in
+  (* Uninterrupted reference. *)
+  let ((_, _, _, tcp_ref) as ref_fx) = hardened_fixture () in
+  hardened_drive ref_fx ~until:t_full;
+  (* Interrupted at T/2: capture scheduler, network and endpoint. *)
+  let ((net1, _, _, tcp1) as fx1) = hardened_fixture () in
+  hardened_drive fx1 ~until:t_half;
+  let sched_st = Sim.Scheduler.capture (Net.Network.scheduler net1) in
+  let net_st = Net.Network.capture net1 in
+  let tcp_st = Tcp.Sender.capture tcp1 in
+  (* Fresh build (same construction order), restore, finish the run. *)
+  let net2, _, _, tcp2 = hardened_fixture () in
+  Sim.Scheduler.restore (Net.Network.scheduler net2) sched_st;
+  Net.Network.restore net2 net_st;
+  Tcp.Sender.restore tcp2 tcp_st;
+  Alcotest.(check (list int)) "all pending events claimed" []
+    (Sim.Scheduler.unrestored (Net.Network.scheduler net2));
+  Net.Network.run_until net2 t_full;
+  (* The features actually engaged before the cut... *)
+  let rcv_ref = Tcp.Sender.receiver tcp_ref in
+  Alcotest.(check bool) "handshake completed" true
+    (Tcp.Sender.established tcp_ref);
+  Alcotest.(check int) "wscale negotiated" 3
+    (Tcp.Sender.negotiated_wscale tcp_ref);
+  Alcotest.(check bool) "persist probes sent" true
+    (Tcp.Sender.zero_window_probes tcp_ref > 0);
+  Alcotest.(check int) "RST challenged" 1 (Tcp.Receiver.rst_challenged rcv_ref);
+  Alcotest.(check int) "injection ghosted" 1 (Tcp.Receiver.ghost_data rcv_ref);
+  (* ... and the restored run ends in the reference's exact state,
+     receiver counters, estimator floats and pending event ids
+     included. *)
+  Alcotest.(check bool) "byte-identical final state" true
+    (Tcp.Sender.capture tcp_ref = Tcp.Sender.capture tcp2)
+
 let test_restore_rejects_wrong_topology () =
   (* A checkpoint from one case must not restore into a session whose
      rebuild disagrees; here we corrupt the config section so the CRC
@@ -707,5 +827,7 @@ let () =
             test_save_load_resume_equivalent;
           Alcotest.test_case "rejects damaged checkpoints" `Quick
             test_restore_rejects_wrong_topology;
+          Alcotest.test_case "hardened endpoint restore at T/2" `Quick
+            test_hardened_endpoint_restore_at_half;
         ] );
     ]

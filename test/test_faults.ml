@@ -59,11 +59,14 @@ let test_spec_roundtrip () =
      140:tcpstart:1:15; 250:tcpstop:1; 160:bw:1-2:5e6; 170:delay:1-2:0.05"
   in
   match Faults.Timeline.of_spec spec with
-  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Error e ->
+      Alcotest.failf "parse failed: %s" (Faults.Timeline.parse_error_to_string e)
   | Ok t -> (
       Alcotest.(check int) "eight entries" 8 (Faults.Timeline.length t);
       match Faults.Timeline.of_spec (Faults.Timeline.to_spec t) with
-      | Error e -> Alcotest.failf "round-trip failed: %s" e
+      | Error e ->
+          Alcotest.failf "round-trip failed: %s"
+            (Faults.Timeline.parse_error_to_string e)
       | Ok t' ->
           Alcotest.(check bool) "round-trips" true
             (Faults.Timeline.entries t = Faults.Timeline.entries t'))
@@ -78,6 +81,75 @@ let test_spec_errors () =
   Alcotest.(check bool) "negative time" true (fails "-3:leave:20");
   Alcotest.(check bool) "missing field" true (fails "10:tcpstart:1");
   Alcotest.(check bool) "zero bandwidth" true (fails "10:bw:1-2:0")
+
+let test_spec_error_position () =
+  match Faults.Timeline.of_spec "10:down:1-2; 20:explode:3; 30:up:1-2" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+      Alcotest.(check int) "entry index" 1 e.Faults.Timeline.pe_index;
+      (* The second entry's text starts after "10:down:1-2; ". *)
+      Alcotest.(check int) "byte offset" 13 e.Faults.Timeline.pe_offset;
+      Alcotest.(check string) "entry text" "20:explode:3"
+        e.Faults.Timeline.pe_entry;
+      let contains ~sub s =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      let msg = Faults.Timeline.parse_error_to_string e in
+      Alcotest.(check bool) "message cites 1-based entry 2" true
+        (contains ~sub:"entry 2" msg && contains ~sub:"offset 13" msg)
+
+(* qcheck: [of_spec] inverts [to_spec] for any scripted timeline whose
+   floats survive %g formatting — times and delays are quarter-second
+   multiples, bandwidths whole kbit/s, both exact in six significant
+   digits. *)
+let qcheck_spec_roundtrip =
+  let gen_event =
+    QCheck.Gen.(
+      let addr = int_bound 99 in
+      let link = pair addr addr in
+      let flow = int_bound 9 in
+      let quarter hi = map (fun k -> float_of_int k *. 0.25) (int_bound hi) in
+      let bw = map (fun k -> float_of_int (k + 1) *. 1000.0) (int_bound 9999) in
+      oneof
+        [
+          map (fun l -> Faults.Timeline.Link_down l) link;
+          map (fun l -> Faults.Timeline.Link_up l) link;
+          map (fun (l, b) -> Faults.Timeline.Set_bandwidth (l, b))
+            (pair link bw);
+          map (fun (l, d) -> Faults.Timeline.Set_delay (l, d))
+            (pair link (quarter 40));
+          map (fun a -> Faults.Timeline.Receiver_leave a) addr;
+          map (fun a -> Faults.Timeline.Receiver_join a) addr;
+          map (fun (id, dst) -> Faults.Timeline.Flow_start { id; dst })
+            (pair flow addr);
+          map (fun id -> Faults.Timeline.Flow_stop { id }) flow;
+          map
+            (fun (flow, (dst, seq)) ->
+              Faults.Timeline.Rst_inject { flow; dst; seq })
+            (pair flow (pair addr (int_bound 100_000)));
+          map
+            (fun (flow, (dst, seq)) ->
+              Faults.Timeline.Data_inject { flow; dst; seq })
+            (pair flow (pair addr (int_bound 100_000)));
+        ])
+  in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (pair (map (fun k -> float_of_int k *. 0.25) (int_bound 4000)) gen_event))
+  in
+  let print events =
+    Faults.Timeline.to_spec (Faults.Timeline.scripted events)
+  in
+  QCheck.Test.make ~name:"of_spec inverts to_spec" ~count:500
+    (QCheck.make ~print gen) (fun events ->
+      let t = Faults.Timeline.scripted events in
+      match Faults.Timeline.of_spec (Faults.Timeline.to_spec t) with
+      | Error e ->
+          QCheck.Test.fail_report (Faults.Timeline.parse_error_to_string e)
+      | Ok t' -> Faults.Timeline.entries t' = Faults.Timeline.entries t)
 
 let gen_params =
   {
@@ -263,6 +335,8 @@ let membership_handlers rla =
         | exception Invalid_argument _ -> false);
     on_flow_start = (fun ~id:_ ~dst:_ -> false);
     on_flow_stop = (fun ~id:_ -> false);
+    on_rst_inject = (fun ~flow:_ ~dst:_ ~seq:_ -> false);
+    on_data_inject = (fun ~flow:_ ~dst:_ ~seq:_ -> false);
     membership = (fun () -> List.length (Rla.Sender.active_receivers rla));
   }
 
@@ -427,6 +501,9 @@ let () =
           Alcotest.test_case "validation" `Quick test_timeline_validation;
           Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
           Alcotest.test_case "spec errors" `Quick test_spec_errors;
+          Alcotest.test_case "spec error position" `Quick
+            test_spec_error_position;
+          QCheck_alcotest.to_alcotest qcheck_spec_roundtrip;
           Alcotest.test_case "generate deterministic" `Quick
             test_generate_deterministic;
           Alcotest.test_case "generate shape" `Quick test_generate_shape;

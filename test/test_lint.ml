@@ -400,6 +400,47 @@ let test_hot_paths_are_annotated () =
            (fun (f, t) -> Filename.basename f = "scheduler.ml" && t = "step")
            hots)
 
+let test_adversary_is_domain_safe () =
+  (* The hostile-workload subsystem must clear the same bar as the
+     parallel engine: adversaries run inside pooled jobs, so nothing in
+     lib/adversary may capture shared mutable state, call
+     domain-unsafe primitives, or allocate in a declared hot path. *)
+  match existing_trees [ Filename.concat "lib" "adversary" ] with
+  | [] -> ()
+  | trees -> (
+      match
+        run
+          ~rules:
+            [
+              "shared-mutable-capture";
+              "domain-unsafe-call";
+              "alloc-hot";
+              "hot-coverage";
+              "wall-clock";
+              "ambient-rng";
+              "mli-required";
+            ]
+          trees
+      with
+      | [] -> ()
+      | findings ->
+          Alcotest.fail
+            (Printf.sprintf "lib/adversary findings:\n%s"
+               (Lint.Driver.render_text findings)))
+
+let test_ack_validation_declared_hot () =
+  (* PR 10's fast path: the per-ack validation gate in the TCP sender
+     must carry a vetted hot annotation. *)
+  match existing_trees [ Filename.concat "lib" "tcp" ] with
+  | [] -> ()
+  | trees ->
+      let hots = Lint.Driver.hot_annotations ~paths:trees () in
+      Alcotest.(check bool) "ack_in_window is declared hot" true
+        (List.exists
+           (fun (f, t) ->
+             Filename.basename f = "sender.ml" && t = "ack_in_window")
+           hots)
+
 let () =
   Alcotest.run "lint"
     [
@@ -465,5 +506,9 @@ let () =
             test_parallel_engine_is_domain_safe;
           Alcotest.test_case "hot paths annotated" `Quick
             test_hot_paths_are_annotated;
+          Alcotest.test_case "adversary subsystem domain-safe" `Quick
+            test_adversary_is_domain_safe;
+          Alcotest.test_case "ack validation declared hot" `Quick
+            test_ack_validation_declared_hot;
         ] );
     ]

@@ -52,6 +52,38 @@ let test_rto_max_clamp () =
   done;
   check_float "capped at max" 8.0 (Tcp.Rto.timeout r)
 
+let test_rto_karn () =
+  let r = Tcp.Rto.create ~min_rto:1.0 () in
+  Tcp.Rto.sample r 0.1;
+  Tcp.Rto.backoff r;
+  Tcp.Rto.backoff r;
+  check_float "backed off" 4.0 (Tcp.Rto.timeout r);
+  (* Karn's algorithm: an ambiguous sample (taken over a retransmitted
+     range) must neither update the estimator nor relax the backoff. *)
+  Tcp.Rto.sample ~rexmitted:true r 9.0;
+  check_float "srtt untouched" 0.1 (Tcp.Rto.srtt r);
+  check_float "backoff kept" 4.0 (Tcp.Rto.timeout r);
+  Tcp.Rto.sample ~rexmitted:false r 0.1;
+  check_float "clean sample resets" 1.0 (Tcp.Rto.timeout r)
+
+let test_rto_at_max_freezes () =
+  let r = Tcp.Rto.create ~min_rto:1.0 ~max_rto:8.0 () in
+  Tcp.Rto.sample r 0.1;
+  Alcotest.(check bool) "not at max" false (Tcp.Rto.at_max r);
+  for _ = 1 to 3 do
+    Tcp.Rto.backoff r
+  done;
+  Alcotest.(check bool) "at max" true (Tcp.Rto.at_max r);
+  let shift_before = (Tcp.Rto.capture r).Tcp.Rto.s_shift in
+  (* The shift freezes at the ceiling: further backoffs are no-ops, so
+     the exponent can never overflow however long the outage lasts. *)
+  for _ = 1 to 100 do
+    Tcp.Rto.backoff r
+  done;
+  Alcotest.(check int) "shift frozen" shift_before
+    (Tcp.Rto.capture r).Tcp.Rto.s_shift;
+  check_float "still capped" 8.0 (Tcp.Rto.timeout r)
+
 let test_rto_negative_sample () =
   let r = Tcp.Rto.create () in
   Alcotest.(check bool) "negative rejected" true
@@ -430,7 +462,7 @@ let test_receiver_sack_blocks () =
       | Tcp.Wire.Tcp_ack { cum_ack; blocks; _ } ->
           acks := (cum_ack, blocks) :: !acks
       | _ -> ());
-  let _rcv = Tcp.Receiver.create ~net ~node:b ~flow ~peer:a in
+  let _rcv = Tcp.Receiver.create ~net ~node:b ~flow ~peer:a () in
   let send seq =
     let pkt =
       Net.Network.make_packet net ~flow ~src:a ~dst:(Net.Packet.Unicast b)
@@ -461,7 +493,7 @@ let test_receiver_sack_blocks () =
 let test_receiver_duplicate_counting () =
   let net, a, b = build_pair () in
   let flow = Net.Network.fresh_flow net in
-  let rcv = Tcp.Receiver.create ~net ~node:b ~flow ~peer:a in
+  let rcv = Tcp.Receiver.create ~net ~node:b ~flow ~peer:a () in
   let send seq =
     Net.Network.send net
       (Net.Network.make_packet net ~flow ~src:a ~dst:(Net.Packet.Unicast b)
@@ -472,6 +504,215 @@ let test_receiver_duplicate_counting () =
   Net.Network.run_until net 1.0;
   Alcotest.(check int) "two duplicates" 2 (Tcp.Receiver.duplicates rcv);
   Alcotest.(check int) "received total" 4 (Tcp.Receiver.received_total rcv)
+
+(* ------------------------------------------------------------------ *)
+(* Hardening: options, handshake, flow control, RFC 5961              *)
+(* ------------------------------------------------------------------ *)
+
+let test_options_codec_roundtrip () =
+  List.iter
+    (fun mss ->
+      for wscale = 0 to Tcp.Options.max_wscale do
+        List.iter
+          (fun sack_ok ->
+            let o = Tcp.Options.make ~mss ~wscale ~sack_ok in
+            match Tcp.Options.decode (Tcp.Options.encode o) with
+            | Ok o' ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "round-trips %s" (Tcp.Options.to_string o))
+                  true (o = o')
+            | Error e ->
+                Alcotest.failf "decode failed: %s"
+                  (Tcp.Options.error_to_string e))
+          [ false; true ]
+      done)
+    [ 1; 536; 1000; 1460; 65535 ]
+
+let test_options_codec_rejects_junk () =
+  let rejects v =
+    match Tcp.Options.decode v with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "zero mss" true (rejects 0);
+  Alcotest.(check bool) "shift 15" true
+    (rejects (Tcp.Options.encode Tcp.Options.default lor (15 lsl 16)));
+  Alcotest.(check bool) "stray high bits" true
+    (rejects (Tcp.Options.encode Tcp.Options.default lor (1 lsl 22)));
+  Alcotest.(check bool) "make validates" true
+    (try
+       ignore (Tcp.Options.make ~mss:0 ~wscale:0 ~sack_ok:false);
+       false
+     with Invalid_argument _ -> true)
+
+let test_options_negotiate () =
+  let a = Tcp.Options.make ~mss:1460 ~wscale:7 ~sack_ok:true in
+  let b = Tcp.Options.make ~mss:536 ~wscale:2 ~sack_ok:false in
+  let m = Tcp.Options.negotiate a b in
+  Alcotest.(check int) "min mss" 536 m.Tcp.Options.mss;
+  Alcotest.(check int) "min shift" 2 m.Tcp.Options.wscale;
+  Alcotest.(check bool) "sack iff both" false m.Tcp.Options.sack_ok;
+  Alcotest.(check bool) "symmetric" true
+    (Tcp.Options.negotiate b a = m)
+
+let test_handshake_negotiates_wscale () =
+  let net, a, b = build_pair () in
+  let params =
+    { Tcp.Sender.default_params with Tcp.Sender.handshake = true; wscale = 5 }
+  in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b ~params () in
+  Alcotest.(check bool) "not yet established" false
+    (Tcp.Sender.established tcp);
+  Net.Network.run_until net 5.0;
+  Alcotest.(check bool) "established" true (Tcp.Sender.established tcp);
+  Alcotest.(check bool) "syn sent" true (Tcp.Sender.syn_sent tcp >= 1);
+  Alcotest.(check int) "negotiated shift" 5
+    (Tcp.Sender.negotiated_wscale tcp);
+  Alcotest.(check int) "receiver agrees" 5
+    (Tcp.Receiver.window_scale (Tcp.Sender.receiver tcp));
+  Alcotest.(check bool) "data flows after the handshake" true
+    (Tcp.Sender.delivered tcp > 100)
+
+let test_zero_window_persist () =
+  (* A slow application behind a fast path: the sender fills the
+     8-packet buffer, the window closes, and only persist-timer probes
+     keep the connection alive until drain opens it again. *)
+  let net, a, b = build_pair ~mu_pkts:10_000.0 ~capacity:200 () in
+  let params =
+    {
+      Tcp.Sender.default_params with
+      Tcp.Sender.window =
+        Some { Tcp.Receiver.capacity = 8; app_rate = 20.0 };
+    }
+  in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b ~params () in
+  Net.Network.run_until net 30.0;
+  let rcv = Tcp.Sender.receiver tcp in
+  Alcotest.(check bool) "probes sent" true
+    (Tcp.Sender.zero_window_probes tcp > 0);
+  Alcotest.(check bool) "probes answered" true
+    (Tcp.Receiver.probes_received rcv > 0);
+  (* Flow control throttles to the drain rate but never deadlocks. *)
+  let delivered = Tcp.Sender.delivered tcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivery tracks the app drain (%d)" delivered)
+    true
+    (delivered > 400 && delivered < 700)
+
+let inject net ~flow ~src ~dst payload ~size =
+  Net.Network.send net
+    (Net.Network.make_packet net ~flow ~src ~dst:(Net.Packet.Unicast dst)
+       ~size ~payload)
+
+let test_rst_validation_strict () =
+  let net, a, b = build_pair () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let flow = Tcp.Sender.flow tcp in
+  let rcv = Tcp.Sender.receiver tcp in
+  Net.Network.run_until net 5.0;
+  let expected = Tcp.Receiver.expected rcv in
+  (* Far outside the window: silently dropped. *)
+  inject net ~flow ~src:a ~dst:b
+    (Tcp.Wire.Tcp_rst { seq = expected + 1_000_000 })
+    ~size:Tcp.Wire.ack_size;
+  Net.Network.run_until net 6.0;
+  Alcotest.(check int) "outside window dropped" 1 (Tcp.Receiver.rst_dropped rcv);
+  Alcotest.(check bool) "still open" false (Tcp.Receiver.closed rcv);
+  (* In-window but inexact: challenge ack, no teardown (RFC 5961).
+     Aim 500 ahead — far beyond what can arrive during the RST's own
+     flight (at most a cwnd's worth), well inside the 1024 window. *)
+  let expected = Tcp.Receiver.expected rcv in
+  inject net ~flow ~src:a ~dst:b
+    (Tcp.Wire.Tcp_rst { seq = expected + 500 })
+    ~size:Tcp.Wire.ack_size;
+  Net.Network.run_until net 7.0;
+  Alcotest.(check int) "in-window challenged" 1
+    (Tcp.Receiver.rst_challenged rcv);
+  Alcotest.(check bool) "challenge ack sent" true
+    (Tcp.Receiver.challenge_acks rcv >= 1);
+  Alcotest.(check bool) "still open after challenge" false
+    (Tcp.Receiver.closed rcv);
+  Alcotest.(check int) "nothing accepted" 0 (Tcp.Receiver.rst_accepted rcv)
+
+let test_rst_exact_match_accepted () =
+  let net, a, b = build_pair () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let flow = Tcp.Sender.flow tcp in
+  let rcv = Tcp.Sender.receiver tcp in
+  Net.Network.run_until net 5.0;
+  let before = Tcp.Receiver.expected rcv in
+  (* An attacker who knows the exact next sequence is indistinguishable
+     from the peer: the RST is honored even under strict validation.
+     Freeze the flow first so the in-order point holds still. *)
+  Tcp.Sender.stop tcp;
+  Net.Network.run_until net 8.0;
+  inject net ~flow ~src:a ~dst:b
+    (Tcp.Wire.Tcp_rst { seq = Tcp.Receiver.expected rcv })
+    ~size:Tcp.Wire.ack_size;
+  Net.Network.run_until net 9.0;
+  Alcotest.(check bool) "accepted" true (Tcp.Receiver.rst_accepted rcv >= 1);
+  Alcotest.(check bool) "torn down" true (Tcp.Receiver.closed rcv);
+  (* A closed endpoint goes silent: no more delivery progress. *)
+  let frozen = Tcp.Receiver.expected rcv in
+  Net.Network.run_until net 12.0;
+  Alcotest.(check int) "no progress after close" frozen
+    (Tcp.Receiver.expected rcv);
+  Alcotest.(check bool) "in-order point had advanced first" true (before > 0)
+
+let test_rst_validation_legacy () =
+  let net, a, b = build_pair () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let flow = Tcp.Sender.flow tcp in
+  let rcv = Tcp.Sender.receiver tcp in
+  Tcp.Receiver.set_rst_strict rcv false;
+  Net.Network.run_until net 5.0;
+  (* The same inexact in-window guess that a strict stack challenges
+     kills a legacy stack outright. *)
+  inject net ~flow ~src:a ~dst:b
+    (Tcp.Wire.Tcp_rst { seq = Tcp.Receiver.expected rcv + 500 })
+    ~size:Tcp.Wire.ack_size;
+  Net.Network.run_until net 6.0;
+  Alcotest.(check bool) "legacy accepts in-window RST" true
+    (Tcp.Receiver.rst_accepted rcv >= 1);
+  Alcotest.(check bool) "torn down" true (Tcp.Receiver.closed rcv);
+  Alcotest.(check int) "no challenge" 0 (Tcp.Receiver.rst_challenged rcv)
+
+let test_blind_data_inject_ghosted () =
+  let net, a, b = build_pair () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let flow = Tcp.Sender.flow tcp in
+  let rcv = Tcp.Sender.receiver tcp in
+  Net.Network.run_until net 5.0;
+  inject net ~flow ~src:a ~dst:b
+    (Tcp.Wire.Tcp_data { seq = 50_000_000; sent_at = 5.0 })
+    ~size:1000;
+  Net.Network.run_until net 6.0;
+  Alcotest.(check int) "ghost data counted" 1 (Tcp.Receiver.ghost_data rcv);
+  Alcotest.(check int) "not buffered" 0
+    (Tcp.Receiver.out_of_order_pending rcv);
+  Alcotest.(check bool) "flow unharmed" false (Tcp.Receiver.closed rcv)
+
+let test_ghost_ack_dropped_by_sender () =
+  let net, a, b = build_pair () in
+  let tcp = Tcp.Sender.create ~net ~src:a ~dst:b () in
+  let flow = Tcp.Sender.flow tcp in
+  Net.Network.run_until net 5.0;
+  (* An optimistic ack for data never sent must be dropped by the
+     ack-validation fast path, not absorbed into the scoreboard. *)
+  Alcotest.(check bool) "fast path rejects" false
+    (Tcp.Sender.ack_in_window tcp ~cum_ack:50_000_000);
+  inject net ~flow ~src:b ~dst:a
+    (Tcp.Wire.Tcp_ack
+       {
+         cum_ack = 50_000_000;
+         blocks = [];
+         echo = 5.0;
+         ece = false;
+         rwnd = Tcp.Wire.no_rwnd;
+       })
+    ~size:Tcp.Wire.ack_size;
+  Net.Network.run_until net 6.0;
+  Alcotest.(check int) "ghost ack counted" 1 (Tcp.Sender.ghost_acks tcp);
+  Alcotest.(check bool) "delivered untouched" true
+    (Tcp.Sender.delivered tcp < 50_000_000)
 
 let () =
   Alcotest.run "tcp"
@@ -484,6 +725,10 @@ let () =
           Alcotest.test_case "min clamp" `Quick test_rto_min_clamp;
           Alcotest.test_case "backoff" `Quick test_rto_backoff;
           Alcotest.test_case "max clamp" `Quick test_rto_max_clamp;
+          Alcotest.test_case "karn rejects ambiguous samples" `Quick
+            test_rto_karn;
+          Alcotest.test_case "backoff freezes at max" `Quick
+            test_rto_at_max_freezes;
           Alcotest.test_case "negative sample" `Quick test_rto_negative_sample;
         ] );
       ( "scoreboard",
@@ -527,5 +772,27 @@ let () =
           Alcotest.test_case "receiver sack blocks" `Quick test_receiver_sack_blocks;
           Alcotest.test_case "receiver duplicates" `Quick
             test_receiver_duplicate_counting;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "options codec round-trip" `Quick
+            test_options_codec_roundtrip;
+          Alcotest.test_case "options codec rejects junk" `Quick
+            test_options_codec_rejects_junk;
+          Alcotest.test_case "options negotiate" `Quick test_options_negotiate;
+          Alcotest.test_case "handshake negotiates wscale" `Quick
+            test_handshake_negotiates_wscale;
+          Alcotest.test_case "zero-window persist" `Quick
+            test_zero_window_persist;
+          Alcotest.test_case "rst strict validation" `Quick
+            test_rst_validation_strict;
+          Alcotest.test_case "rst exact match accepted" `Quick
+            test_rst_exact_match_accepted;
+          Alcotest.test_case "rst legacy stack dies" `Quick
+            test_rst_validation_legacy;
+          Alcotest.test_case "blind data ghosted" `Quick
+            test_blind_data_inject_ghosted;
+          Alcotest.test_case "ghost ack dropped" `Quick
+            test_ghost_ack_dropped_by_sender;
         ] );
     ]
